@@ -1,0 +1,61 @@
+"""Ablation A: the paper's E^(S)(W) closed form vs the strict renewal estimator.
+
+DESIGN.md notes that the paper's expected-completion-time formula
+``E(W) = (1 + (W−1) E_c) / P₊^{W−1}`` is a conservative variant of the strict
+renewal conditional expectation ``1 + (W−1) E_c / P₊`` (they coincide when no
+worker can fail).  This ablation runs the same reduced Table-I campaign with
+the heuristics driven by each estimator and compares the resulting rankings:
+the expected outcome is that the ranking of heuristic families is unchanged —
+i.e. the paper's conclusions are not an artefact of the estimator variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import campaign_scale, write_result
+from repro.analysis.group import ExpectationMode
+from repro.experiments.metrics import summarize_results
+from repro.experiments.runner import run_campaign
+from repro.experiments.scenarios import CampaignScale
+from repro.experiments.tables import format_summaries
+
+ABLATION_HEURISTICS = ("IE", "Y-IE", "P-IE", "E-IAY", "IAY", "RANDOM")
+
+ABLATION_SCALE = CampaignScale(
+    ncom_values=(10,),
+    wmin_values=(1, 4),
+    scenarios_per_cell=2,
+    trials_per_scenario=1,
+    iterations=10,
+    makespan_cap=40_000,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("mode", [ExpectationMode.PAPER, ExpectationMode.RENEWAL])
+def test_estimator_ablation(benchmark, mode):
+    scale = campaign_scale(ABLATION_SCALE)
+
+    def run():
+        campaign = run_campaign(
+            5,
+            heuristics=ABLATION_HEURISTICS,
+            scale=scale,
+            label=f"ablation-{mode.value}",
+            mode=mode,
+        )
+        return summarize_results(campaign.results)
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_summaries(
+        summaries, title=f"Estimator ablation — mode={mode.value} (m = 5, reduced grid)"
+    )
+    print("\n" + text)
+    write_result(f"ablation_estimator_{mode.value}.txt", text)
+
+    by_name = {summary.heuristic: summary for summary in summaries}
+    assert by_name["IE"].pct_diff == pytest.approx(0.0)
+    # Whatever the estimator, RANDOM must remain far behind the informed heuristics.
+    if by_name["RANDOM"].pct_diff is not None:
+        assert by_name["RANDOM"].pct_diff > 25.0

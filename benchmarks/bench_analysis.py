@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the Theorem 5.1 analytical machinery.
+
+These are not paper experiments but performance guards: the heuristics call
+these primitives hundreds of times per simulated slot, so regressions here
+translate directly into campaign wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cache import AnalysisContext
+from repro.analysis.group import GroupAnalysis
+from repro.analysis.single import WorkerAnalysis
+from repro.application import Configuration
+from repro.availability.generators import random_markov_models
+from repro.platform import PlatformSpec, paper_platform
+
+
+def make_platform(num_processors=20, wmin=2, seed=7):
+    return paper_platform(
+        PlatformSpec(num_processors=num_processors, ncom=10, wmin=wmin),
+        num_tasks=10,
+        seed=seed,
+    )
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_group_quantities_cold(benchmark):
+    """Cost of computing Eu/A/P+/E_c for a fresh 8-worker set (no cache)."""
+    models = random_markov_models(8, seed=3)
+    workers = [WorkerAnalysis(model) for model in models]
+
+    def run():
+        analysis = GroupAnalysis(workers, epsilon=1e-6)
+        return analysis.quantities(range(8))
+
+    quantities = benchmark(run)
+    assert 0.0 < quantities.p_plus < 1.0
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_group_quantities_cached(benchmark):
+    """Cost of a cache hit (the common case inside the heuristics)."""
+    models = random_markov_models(8, seed=3)
+    analysis = GroupAnalysis([WorkerAnalysis(model) for model in models], epsilon=1e-6)
+    analysis.quantities(range(8))
+
+    result = benchmark(analysis.quantities, range(8))
+    assert result.horizon > 0
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_configuration_evaluation(benchmark):
+    """Cost of one full configuration estimate (comm + computation + yield)."""
+    platform = make_platform()
+    context = AnalysisContext(platform)
+    configuration = Configuration({0: 2, 3: 2, 5: 3, 9: 2, 12: 1})
+
+    def run():
+        return context.evaluate(configuration, has_program=[0, 3], elapsed=11)
+
+    estimate = benchmark(run)
+    assert estimate.expected_time > 0
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_incremental_allocation(benchmark):
+    """Cost of one greedy m=10 allocation over 20 UP workers (the per-slot
+    cost of a proactive heuristic's candidate construction)."""
+    from repro.analysis.criteria import get_criterion
+    from repro.scheduling.allocation import IncrementalAllocator
+
+    platform = make_platform()
+    context = AnalysisContext(platform)
+    allocator = IncrementalAllocator(get_criterion("E"), context, platform, num_tasks=10)
+    up_workers = list(range(platform.num_processors))
+
+    configuration = benchmark(allocator.allocate, up_workers)
+    assert configuration is not None
+    assert configuration.total_tasks() == 10

@@ -1,0 +1,65 @@
+"""Benchmarks of the off-line complexity artefacts (Section IV / Theorem 4.1).
+
+The paper has no off-line experiment (the result is an NP-hardness proof),
+so this benchmark exercises the constructive artefacts instead: the ENCD
+reductions and the exact exponential-time solvers on small random instances,
+plus the clairvoyant greedy oracle on a longer trace (useful as an upper
+baseline in the examples).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import write_result
+from repro.availability import AvailabilityTrace, MarkovAvailabilityModel
+from repro.availability.generators import random_markov_models
+from repro.offline import (
+    ENCDInstance,
+    OfflineProblem,
+    encd_to_offline_mu1,
+    encd_to_offline_mu_inf,
+    greedy_oracle_iterations,
+    solve_encd_bruteforce,
+    solve_offline_mu1,
+    solve_offline_mu_inf,
+    upper_bound_iterations,
+)
+
+
+@pytest.mark.benchmark(group="offline")
+def test_encd_reduction_and_exact_solvers(benchmark):
+    """Exact feasibility of a 12x14 random ENCD instance via both reductions."""
+    instance = ENCDInstance.random(12, 14, edge_probability=0.6, a=4, b=4, seed=42)
+
+    def run():
+        encd = solve_encd_bruteforce(instance) is not None
+        mu1 = solve_offline_mu1(encd_to_offline_mu1(instance)) is not None
+        mu_inf = solve_offline_mu_inf(encd_to_offline_mu_inf(instance)) is not None
+        return encd, mu1, mu_inf
+
+    encd, mu1, mu_inf = benchmark(run)
+    # Theorem 4.1: the three answers must agree.
+    assert encd == mu1 == mu_inf
+    write_result(
+        "offline_theorem41.txt",
+        "Theorem 4.1 feasibility cross-check on a random 12x14 ENCD instance "
+        f"(a=4, b=4): ENCD={encd}, OFF-LINE-COUPLED(mu=1)={mu1}, "
+        f"OFF-LINE-COUPLED(mu=inf)={mu_inf}",
+    )
+
+
+@pytest.mark.benchmark(group="offline")
+def test_clairvoyant_oracle_on_markov_trace(benchmark):
+    """Greedy clairvoyant oracle vs upper bound on a 20-processor Markov trace."""
+    models = random_markov_models(20, seed=9)
+    trace = AvailabilityTrace.from_models(models, horizon=2_000, seed=10)
+    problem = OfflineProblem(trace=trace, num_tasks=5, task_slots=4, capacity=1)
+
+    def run():
+        count, _ = greedy_oracle_iterations(problem)
+        return count
+
+    count = benchmark(run)
+    bound = upper_bound_iterations(problem)
+    assert 0 <= count <= bound

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the discrete-event simulation engine.
+
+Measures the per-run cost of representative single instances (passive,
+proactive and RANDOM schedulers on a paper-style platform) — the building
+blocks whose wall-clock cost determines how much of the paper's 6,000-instance
+campaign can be replayed in a given time budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cache import AnalysisContext
+from repro.application import Application
+from repro.platform import PlatformSpec, paper_platform
+from repro.scheduling import create_scheduler
+from repro.simulation import SimulationEngine
+
+
+def make_setup(wmin=1, m=5, num_processors=20, ncom=10, seed=11):
+    platform = paper_platform(
+        PlatformSpec(num_processors=num_processors, ncom=ncom, wmin=wmin),
+        num_tasks=m,
+        seed=seed,
+    )
+    application = Application(tasks_per_iteration=m, iterations=10)
+    analysis = AnalysisContext(platform)
+    return platform, application, analysis
+
+
+def run_once(platform, application, analysis, heuristic, seed=5, max_slots=60_000):
+    engine = SimulationEngine(
+        platform,
+        application,
+        create_scheduler(heuristic),
+        seed=seed,
+        max_slots=max_slots,
+        analysis=analysis,
+    )
+    return engine.run()
+
+
+@pytest.mark.benchmark(group="simulator")
+@pytest.mark.parametrize("heuristic", ["RANDOM", "IE", "Y-IE", "E-IAY"])
+def test_single_instance_m5(benchmark, heuristic):
+    """One m = 5 instance (easy cell of the campaign) under each heuristic class."""
+    platform, application, analysis = make_setup(wmin=1, m=5)
+    result = benchmark.pedantic(
+        run_once, args=(platform, application, analysis, heuristic), rounds=3, iterations=1
+    )
+    assert result.success
+
+
+@pytest.mark.benchmark(group="simulator")
+@pytest.mark.parametrize("heuristic", ["IE", "Y-IE"])
+def test_single_instance_m10_moderate(benchmark, heuristic):
+    """One m = 10, wmin = 3 instance (moderate difficulty)."""
+    platform, application, analysis = make_setup(wmin=3, m=10)
+    result = benchmark.pedantic(
+        run_once, args=(platform, application, analysis, heuristic), rounds=1, iterations=1
+    )
+    assert result.completed_iterations > 0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a tightly-coupled application on a volatile desktop grid.
+
+This example builds a random 12-processor platform following the paper's
+experimental methodology (Section VII-A), defines an iterative application
+with m = 5 tightly-coupled tasks per iteration, and compares three schedulers:
+
+* ``RANDOM``  — the uninformed baseline,
+* ``IE``      — the passive "expected completion time" heuristic (the paper's
+  reference),
+* ``Y-IE``    — the best proactive heuristic of the paper (host selection by
+  expected completion time, configuration switching by expected yield).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnalysisContext,
+    Application,
+    PlatformSpec,
+    create_scheduler,
+    paper_platform,
+    simulate,
+)
+
+
+def main() -> None:
+    # 1. A random heterogeneous platform: 12 processors, speeds in [1, 10],
+    #    Markov availability with stay-probabilities in [0.90, 0.99],
+    #    master limited to 6 simultaneous transfers.
+    spec = PlatformSpec(num_processors=12, ncom=6, wmin=1)
+    platform = paper_platform(spec, num_tasks=5, seed=2024)
+    print("Platform:", platform.describe())
+    for processor in platform:
+        print("  ", processor.describe())
+
+    # 2. The application: 10 iterations of 5 tightly-coupled tasks.
+    application = Application(tasks_per_iteration=5, iterations=10, name="quickstart")
+    print("\nApplication:", application.describe())
+
+    # 3. Sharing one AnalysisContext across schedulers avoids recomputing the
+    #    Markov machinery of Section V (it only depends on the platform).
+    analysis = AnalysisContext(platform)
+
+    print("\nSimulating 10 iterations under three schedulers (same availability):")
+    print(f"{'heuristic':>10s} {'makespan':>9s} {'restarts':>9s} {'reconfigs':>10s} {'mean iter':>10s}")
+    for name in ("RANDOM", "IE", "Y-IE"):
+        result = simulate(
+            platform,
+            application,
+            create_scheduler(name),
+            seed=7,            # same seed => same availability realisation
+            max_slots=200_000,
+            analysis=analysis,
+        )
+        mean_iteration = result.mean_iteration_duration()
+        print(
+            f"{name:>10s} {result.makespan!s:>9s} {result.total_restarts:>9d} "
+            f"{result.total_configuration_changes:>10d} "
+            f"{mean_iteration:>10.1f}"
+        )
+
+    print(
+        "\nThe informed heuristics finish far earlier than RANDOM, and the proactive\n"
+        "Y-IE heuristic improves further on IE by abandoning configurations whose\n"
+        "expected yield has been overtaken by the currently available workers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""The :class:`AnalysisContext`: everything a scheduler needs, with caching.
+
+The on-line heuristics call the Theorem 5.1 machinery thousands of times per
+simulated iteration (once per candidate worker per task per slot for the
+proactive heuristics).  The quantities involved depend only on
+
+* the *set* of workers considered (group quantities),
+* the remaining per-worker communication slots (communication estimate), and
+* the remaining workload (cheap scalar arithmetic once the group quantities
+  are known),
+
+so aggressive memoisation keyed on those values makes the heuristics
+affordable without changing any result.  :class:`AnalysisContext` bundles the
+per-worker analyses, the group analysis and a communication-estimate cache,
+and exposes a single :meth:`evaluate` entry point mirroring
+:func:`repro.analysis.evaluation.evaluate_configuration`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.analysis.communication import CommunicationEstimate, estimate_communication
+from repro.analysis.evaluation import ConfigurationEstimate
+from repro.analysis.group import ExpectationMode, GroupAnalysis, GroupQuantities
+from repro.analysis.single import WorkerAnalysis
+from repro.application.configuration import Configuration
+from repro.platform.platform import Platform
+
+__all__ = ["AnalysisContext"]
+
+
+class AnalysisContext:
+    """Cached analytical machinery bound to one platform.
+
+    Parameters
+    ----------
+    platform:
+        The platform whose workers are analysed.  Non-Markovian availability
+        models are handled through their Markov approximation (see
+        :meth:`Platform.markov_models`).
+    epsilon:
+        Precision of the truncated series of Theorem 5.1.
+    mode:
+        Which ``E^(S)(W)`` estimator the heuristics should use.
+    max_horizon:
+        Cap on the truncation horizon.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        epsilon: float = 1e-6,
+        mode: ExpectationMode = ExpectationMode.PAPER,
+        max_horizon: int = 200_000,
+    ) -> None:
+        self.platform = platform
+        self.mode = mode
+        models = platform.markov_models()
+        self._workers = [
+            WorkerAnalysis(model, speed=proc.speed, capacity=proc.capacity)
+            for model, proc in zip(models, platform.processors)
+        ]
+        self.group = GroupAnalysis(self._workers, epsilon=epsilon, max_horizon=max_horizon)
+        self._comm_cache: Dict[Tuple[Tuple[int, int], ...], CommunicationEstimate] = {}
+        self._single_time_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def worker(self, worker_id: int) -> WorkerAnalysis:
+        """Per-worker analysis (speed, spectrum, no-DOWN probabilities)."""
+        return self._workers[worker_id]
+
+    def quantities(self, workers: Iterable[int]) -> GroupQuantities:
+        """Group quantities (``Eu``, ``P₊``, ``E_c``) for a worker set."""
+        return self.group.quantities(workers)
+
+    # ------------------------------------------------------------------
+    def single_expected_time(self, worker: int, slots: int) -> float:
+        """Cached single-worker ``E^{(P_q)}(n)`` (used by the communication estimate)."""
+        if slots <= 0:
+            return 0.0
+        key = (int(worker), int(slots))
+        cached = self._single_time_cache.get(key)
+        if cached is None:
+            cached = self.group.quantities((worker,)).expected_time(slots, self.mode)
+            self._single_time_cache[key] = cached
+        return cached
+
+    def no_down_probability(self, worker: int, slots: int) -> float:
+        """Cached per-worker ``P_ND(t)``."""
+        return self._workers[worker].no_down_probability(int(slots))
+
+    # ------------------------------------------------------------------
+    def communication(self, comm_slots: Mapping[int, int]) -> CommunicationEstimate:
+        """Cached communication estimate for the given remaining slots."""
+        key = tuple(sorted((int(w), int(n)) for w, n in comm_slots.items()))
+        cached = self._comm_cache.get(key)
+        if cached is None:
+            cached = estimate_communication(
+                self.group, dict(key), ncom=self.platform.ncom, mode=self.mode
+            )
+            self._comm_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        configuration: Configuration,
+        *,
+        comm_slots: Optional[Mapping[int, int]] = None,
+        has_program: Iterable[int] = (),
+        received_data: Optional[Mapping[int, int]] = None,
+        workload: Optional[int] = None,
+        completed_work: int = 0,
+        elapsed: int = 0,
+    ) -> ConfigurationEstimate:
+        """Estimate *configuration* (see :func:`evaluate_configuration`).
+
+        This cached variant is what the heuristics use; semantics are
+        identical to the module-level function with ``mode=self.mode``.
+        """
+        if comm_slots is None:
+            comm_slots = configuration.communication_slots(
+                self.platform, has_program=has_program, received_data=received_data
+            )
+        if workload is None:
+            workload = configuration.workload(self.platform)
+        remaining_workload = max(int(workload) - int(completed_work), 0)
+
+        communication = self.communication(comm_slots)
+
+        workers = configuration.workers
+        if remaining_workload == 0 or not workers:
+            computation_probability = 1.0
+            computation_time = 0.0
+        else:
+            quantities = self.group.quantities(workers)
+            computation_probability = quantities.success_probability(remaining_workload)
+            computation_time = quantities.expected_time(remaining_workload, self.mode)
+
+        return ConfigurationEstimate(
+            configuration=configuration,
+            workload=remaining_workload,
+            communication=communication,
+            computation_probability=computation_probability,
+            computation_time=computation_time,
+            elapsed=int(elapsed),
+        )
+
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop all memoised values (group quantities and communication estimates)."""
+        self.group.clear_cache()
+        self._comm_cache.clear()
+        self._single_time_cache.clear()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Sizes of the internal caches (for diagnostics and tests)."""
+        return {
+            "group_sets": self.group.cache_size(),
+            "communication_keys": len(self._comm_cache),
+        }

@@ -1,0 +1,14 @@
+"""Application model: tightly-coupled iterative master–worker applications.
+
+Implements the model of Section III-A: the application performs a sequence
+of iterations; each iteration executes ``m`` identical tightly-coupled tasks
+and ends with a global synchronisation.  Because tasks exchange data
+throughout the iteration, all of them must progress in locked step — the
+computation advances only during time-slots at which *every* enrolled worker
+is UP, and the whole iteration is lost if any enrolled worker goes DOWN.
+"""
+
+from repro.application.application import Application
+from repro.application.configuration import Configuration
+
+__all__ = ["Application", "Configuration"]

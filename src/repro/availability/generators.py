@@ -1,0 +1,124 @@
+"""Random availability-model generators following Section VII-A.
+
+The paper instantiates its experimental campaign as follows:
+
+    "For each processor Pq, we pick a random value uniformly distributed
+     between 0.90 and 0.99 for each P(q)_{x,x} value (for x = u, r, d).
+     We then set P(q)_{x,y} to 0.5 x (1 - P(q)_{x,x}), for x != y."
+
+i.e. each diagonal entry (probability of staying in the current state) is
+drawn uniformly in [0.90, 0.99] and the remaining mass is split evenly
+between the two other states.  This module implements exactly that recipe,
+plus a few parameterised variants used by the extension experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.availability.markov import MarkovAvailabilityModel
+from repro.exceptions import InvalidModelError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "paper_transition_matrix",
+    "random_markov_model",
+    "random_markov_models",
+    "reliability_spread_models",
+]
+
+
+def paper_transition_matrix(
+    stay_probabilities: Sequence[float],
+) -> np.ndarray:
+    """Build the paper's transition matrix from the three diagonal values.
+
+    Parameters
+    ----------
+    stay_probabilities:
+        The three diagonal entries ``(P_uu, P_rr, P_dd)``.  Off-diagonal
+        entries are ``(1 - P_xx) / 2`` as prescribed by Section VII-A.
+    """
+    stay = np.asarray(stay_probabilities, dtype=float)
+    if stay.shape != (3,):
+        raise InvalidModelError(
+            f"expected three stay probabilities (P_uu, P_rr, P_dd), got shape {stay.shape}"
+        )
+    if np.any(stay < 0) or np.any(stay > 1):
+        raise InvalidModelError("stay probabilities must lie in [0, 1]")
+    matrix = np.empty((3, 3), dtype=float)
+    for i in range(3):
+        off = 0.5 * (1.0 - stay[i])
+        matrix[i] = off
+        matrix[i, i] = stay[i]
+    return matrix
+
+
+def random_markov_model(
+    seed: SeedLike = None,
+    *,
+    stay_low: float = 0.90,
+    stay_high: float = 0.99,
+) -> MarkovAvailabilityModel:
+    """Draw one availability model per the paper's methodology.
+
+    The diagonal entries are i.i.d. uniform in ``[stay_low, stay_high]``
+    (defaults match the paper) and the off-diagonal mass is split evenly.
+    """
+    if not (0.0 <= stay_low <= stay_high <= 1.0):
+        raise InvalidModelError(
+            f"need 0 <= stay_low <= stay_high <= 1, got [{stay_low}, {stay_high}]"
+        )
+    rng = as_generator(seed)
+    stay = rng.uniform(stay_low, stay_high, size=3)
+    return MarkovAvailabilityModel(paper_transition_matrix(stay))
+
+
+def random_markov_models(
+    count: int,
+    seed: SeedLike = None,
+    *,
+    stay_low: float = 0.90,
+    stay_high: float = 0.99,
+) -> List[MarkovAvailabilityModel]:
+    """Draw *count* independent models (one per processor of a platform)."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = as_generator(seed)
+    return [
+        random_markov_model(rng, stay_low=stay_low, stay_high=stay_high)
+        for _ in range(count)
+    ]
+
+
+def reliability_spread_models(
+    count: int,
+    seed: SeedLike = None,
+    *,
+    reliable_fraction: float = 0.5,
+    reliable_range: Tuple[float, float] = (0.98, 0.995),
+    unreliable_range: Tuple[float, float] = (0.85, 0.95),
+) -> List[MarkovAvailabilityModel]:
+    """Models with a bimodal reliability mix (extension scenarios).
+
+    A fraction of processors is highly reliable (UP-stay probability drawn
+    from ``reliable_range``) while the rest churn much more (drawn from
+    ``unreliable_range``).  These instances stress exactly the trade-off the
+    paper's heuristics are designed around: is a fast-but-flaky processor
+    worth enrolling when the whole configuration dies with it?
+    """
+    if not (0.0 <= reliable_fraction <= 1.0):
+        raise ValueError("reliable_fraction must lie in [0, 1]")
+    rng = as_generator(seed)
+    models: List[MarkovAvailabilityModel] = []
+    num_reliable = int(round(count * reliable_fraction))
+    for index in range(count):
+        low, high = reliable_range if index < num_reliable else unreliable_range
+        stay_up = rng.uniform(low, high)
+        stay_other = rng.uniform(0.90, 0.99, size=2)
+        matrix = paper_transition_matrix([stay_up, stay_other[0], stay_other[1]])
+        models.append(MarkovAvailabilityModel(matrix))
+    rng.shuffle(models)  # avoid correlating reliability with processor index
+    return models

@@ -1,0 +1,96 @@
+"""Abstract availability-model interface.
+
+The simulator drives availability models through a tiny protocol:
+
+* :meth:`AvailabilityModel.initial_state` — draw the state at time-slot 0;
+* :meth:`AvailabilityModel.next_state` — draw the state at ``t + 1`` given
+  the state at ``t`` (models may keep internal memory, e.g. semi-Markov
+  holding times);
+* :meth:`AvailabilityModel.reset` — clear any internal memory so that a new
+  trajectory can be sampled.
+
+Schedulers that rely on the analytical results of Section V additionally need
+a 3x3 Markov transition matrix.  Models that are genuinely Markovian return
+their exact matrix from :meth:`AvailabilityModel.markov_approximation`;
+non-Markovian models return a *fitted* matrix (this is precisely the "flawed
+Markov model" experiment suggested in the paper's conclusion).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.types import ProcessorState
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["AvailabilityModel"]
+
+
+class AvailabilityModel(abc.ABC):
+    """Abstract base class for per-processor availability processes."""
+
+    @abc.abstractmethod
+    def initial_state(self, rng: np.random.Generator) -> ProcessorState:
+        """Draw the state of the processor at time-slot 0."""
+
+    @abc.abstractmethod
+    def next_state(
+        self, current: ProcessorState, rng: np.random.Generator
+    ) -> ProcessorState:
+        """Draw the state at the next time-slot given the *current* state."""
+
+    def reset(self) -> None:
+        """Clear per-trajectory internal memory (no-op for memoryless models)."""
+
+    @abc.abstractmethod
+    def markov_approximation(self) -> np.ndarray:
+        """Return a 3x3 stochastic matrix approximating this process.
+
+        Rows/columns are ordered (UP, RECLAIMED, DOWN) as in
+        :data:`repro.types.STATE_INDEX`.  For a genuine Markov model this is
+        the exact transition matrix; for other models it is a best-effort
+        Markov fit used by the analysis-based heuristics.
+        """
+
+    # ------------------------------------------------------------------
+    # Convenience sampling helpers shared by all models.
+    # ------------------------------------------------------------------
+    def sample_trajectory(
+        self,
+        length: int,
+        seed: SeedLike = None,
+        *,
+        initial: Optional[ProcessorState] = None,
+    ) -> np.ndarray:
+        """Sample a trajectory of *length* states as an ``int8`` array.
+
+        Parameters
+        ----------
+        length:
+            Number of time-slots to sample (>= 0).
+        seed:
+            Seed or generator for the random draws.
+        initial:
+            Optional forced initial state; when omitted the model's
+            :meth:`initial_state` is used.
+        """
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        rng = as_generator(seed)
+        states = np.empty(length, dtype=np.int8)
+        self.reset()
+        if length == 0:
+            return states
+        current = initial if initial is not None else self.initial_state(rng)
+        states[0] = int(current)
+        for t in range(1, length):
+            current = self.next_state(current, rng)
+            states[t] = int(current)
+        return states
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in logs and reports)."""
+        return type(self).__name__

@@ -1,0 +1,262 @@
+"""Semi-Markov availability models (non-Markovian holding times).
+
+The paper's conclusion notes that real desktop-grid availability intervals
+are "far from being exponentially distributed" and suggests Weibull or
+log-normal holding times (citing Nurmi et al., Wolski et al., Javadi et al.).
+It proposes, as future work, to evaluate how badly the Markov-based
+heuristics behave when the true availability process is *not* Markovian.
+
+This module implements that substrate: a discrete-time semi-Markov process
+where
+
+* the *embedded* jump chain between states (which state comes next when the
+  current sojourn ends) is an ordinary 3x3 stochastic matrix with a zero
+  diagonal, and
+* the number of slots spent in a state before jumping is drawn from an
+  arbitrary per-state holding-time distribution (Weibull, log-normal,
+  geometric, deterministic...).
+
+The resulting process is indistinguishable from a Markov chain only when all
+holding times are geometric; otherwise it has memory, and the analysis of
+Section V is only an approximation for it — which is exactly what the
+robustness benchmark (``benchmarks/bench_nonmarkov.py``) measures.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.availability.model import AvailabilityModel
+from repro.exceptions import InvalidModelError
+from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "HoldingTimeDistribution",
+    "GeometricHolding",
+    "DeterministicHolding",
+    "WeibullHolding",
+    "LogNormalHolding",
+    "SemiMarkovAvailabilityModel",
+]
+
+
+class HoldingTimeDistribution(abc.ABC):
+    """Distribution of the number of whole slots spent in a state (>= 1)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one holding time (an integer >= 1)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected holding time in slots."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class GeometricHolding(HoldingTimeDistribution):
+    """Geometric holding time with success probability *p* (mean ``1/p``).
+
+    With geometric holding times the semi-Markov process collapses to an
+    ordinary Markov chain, which makes this class handy for differential
+    testing of :class:`SemiMarkovAvailabilityModel` against
+    :class:`~repro.availability.markov.MarkovAvailabilityModel`.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not (0.0 < p <= 1.0):
+            raise InvalidModelError(f"geometric parameter must be in (0, 1], got {p}")
+        self.p = float(p)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.geometric(self.p))
+
+    def mean(self) -> float:
+        return 1.0 / self.p
+
+    def describe(self) -> str:
+        return f"Geometric(p={self.p:.4f})"
+
+
+class DeterministicHolding(HoldingTimeDistribution):
+    """Constant holding time (useful for scripted scenarios and tests)."""
+
+    def __init__(self, duration: int) -> None:
+        if duration < 1:
+            raise InvalidModelError(f"holding duration must be >= 1, got {duration}")
+        self.duration = int(duration)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.duration
+
+    def mean(self) -> float:
+        return float(self.duration)
+
+    def describe(self) -> str:
+        return f"Deterministic({self.duration})"
+
+
+class WeibullHolding(HoldingTimeDistribution):
+    """Weibull holding time, discretised by ceiling to whole slots.
+
+    ``shape < 1`` gives the heavy-tailed behaviour reported for desktop-grid
+    availability intervals (many short intervals, a few very long ones).
+    """
+
+    def __init__(self, shape: float, scale: float) -> None:
+        self.shape = check_positive(shape, "shape")
+        self.scale = check_positive(scale, "scale")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = self.scale * rng.weibull(self.shape)
+        return max(1, int(math.ceil(value)))
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def describe(self) -> str:
+        return f"Weibull(shape={self.shape:.3f}, scale={self.scale:.3f})"
+
+
+class LogNormalHolding(HoldingTimeDistribution):
+    """Log-normal holding time, discretised by ceiling to whole slots."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        self.mu = float(mu)
+        self.sigma = check_positive(sigma, "sigma")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = rng.lognormal(self.mu, self.sigma)
+        return max(1, int(math.ceil(value)))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def describe(self) -> str:
+        return f"LogNormal(mu={self.mu:.3f}, sigma={self.sigma:.3f})"
+
+
+class SemiMarkovAvailabilityModel(AvailabilityModel):
+    """Discrete-time semi-Markov availability process.
+
+    Parameters
+    ----------
+    jump_matrix:
+        3x3 stochastic matrix of the embedded jump chain.  The diagonal must
+        be zero: remaining in a state is expressed through the holding-time
+        distribution, not through a self-loop.
+    holding_times:
+        Mapping state -> :class:`HoldingTimeDistribution`.
+    initial_state:
+        State at time-slot 0 (default UP, matching the paper's convention of
+        only enrolling processors observed UP).
+    """
+
+    def __init__(
+        self,
+        jump_matrix: np.ndarray,
+        holding_times: Dict[ProcessorState, HoldingTimeDistribution],
+        *,
+        initial_state: ProcessorState = UP,
+    ) -> None:
+        matrix = np.asarray(jump_matrix, dtype=float)
+        if matrix.shape != (3, 3):
+            raise InvalidModelError(f"jump matrix must be 3x3, got {matrix.shape}")
+        if np.any(np.abs(np.diag(matrix)) > 1e-12):
+            raise InvalidModelError("jump matrix must have a zero diagonal")
+        if np.any(matrix < 0) or not np.allclose(matrix.sum(axis=1), 1.0):
+            raise InvalidModelError("jump matrix rows must be probability vectors")
+        for state in (UP, RECLAIMED, DOWN):
+            if state not in holding_times:
+                raise InvalidModelError(f"missing holding-time distribution for {state.name}")
+        self._jump = matrix
+        self._holding = dict(holding_times)
+        self._initial = ProcessorState.coerce(initial_state)
+        self._remaining = 0
+        self._fitted: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def desktop_grid(
+        cls,
+        *,
+        up_shape: float = 0.6,
+        mean_up: float = 40.0,
+        mean_reclaimed: float = 5.0,
+        mean_down: float = 20.0,
+        reclaim_fraction: float = 0.7,
+    ) -> "SemiMarkovAvailabilityModel":
+        """A convenience preset loosely shaped like published desktop-grid traces.
+
+        Availability intervals are Weibull with ``shape < 1`` (heavy tail);
+        reclamations are short and much more frequent than crashes
+        (``reclaim_fraction`` of departures from UP are reclamations).
+        """
+        if not (0.0 <= reclaim_fraction <= 1.0):
+            raise InvalidModelError("reclaim_fraction must lie in [0, 1]")
+        jump = np.array(
+            [
+                [0.0, reclaim_fraction, 1.0 - reclaim_fraction],
+                [0.9, 0.0, 0.1],
+                [1.0, 0.0, 0.0],
+            ]
+        )
+        up_scale = mean_up / math.gamma(1.0 + 1.0 / up_shape)
+        holding = {
+            UP: WeibullHolding(up_shape, up_scale),
+            RECLAIMED: LogNormalHolding(math.log(max(mean_reclaimed, 1.0)), 0.75),
+            DOWN: LogNormalHolding(math.log(max(mean_down, 1.0)), 0.5),
+        }
+        return cls(jump, holding)
+
+    # ------------------------------------------------------------------
+    # AvailabilityModel interface
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._remaining = 0
+
+    def initial_state(self, rng: np.random.Generator) -> ProcessorState:
+        self._remaining = max(0, self._holding[self._initial].sample(rng) - 1)
+        return self._initial
+
+    def next_state(self, current: ProcessorState, rng: np.random.Generator) -> ProcessorState:
+        if self._remaining > 0:
+            self._remaining -= 1
+            return current
+        row = self._jump[int(current)]
+        target = ProcessorState(int(rng.choice(3, p=row)))
+        self._remaining = max(0, self._holding[target].sample(rng) - 1)
+        return target
+
+    def markov_approximation(self) -> np.ndarray:
+        """Geometric-holding-time Markov fit with the same mean sojourns.
+
+        For each state *i* with mean holding time :math:`h_i`, the fitted
+        chain stays with probability :math:`1 - 1/h_i` and otherwise jumps
+        according to the embedded jump chain.  This is the natural "flawed"
+        Markov model a scheduler would estimate from the marginal interval
+        lengths of a trace.
+        """
+        if self._fitted is None:
+            matrix = np.zeros((3, 3))
+            for index in range(3):
+                state = ProcessorState(index)
+                mean_holding = max(self._holding[state].mean(), 1.0)
+                leave = 1.0 / mean_holding
+                matrix[index] = leave * self._jump[index]
+                matrix[index, index] = 1.0 - leave
+            self._fitted = matrix
+        return self._fitted.copy()
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{state.name.lower()}={self._holding[state].describe()}"
+            for state in (UP, RECLAIMED, DOWN)
+        )
+        return f"SemiMarkov({parts})"

@@ -1,0 +1,230 @@
+"""Availability traces and trace-replay models.
+
+Two distinct needs are served here:
+
+* **Off-line problems and golden tests** need a *fixed, known* availability
+  matrix (the vectors :math:`S_q` of the paper).  :class:`AvailabilityTrace`
+  stores such a matrix (one row per processor, one column per slot) with
+  helpers for slicing, serialisation, and conversion to/from compact string
+  form (``"uurdd..."``).
+
+* **Trace-driven simulation** (the robustness extension, or replaying a
+  recorded desktop-grid log) needs an :class:`AvailabilityModel` that simply
+  replays one row of a trace.  :class:`TraceAvailabilityModel` wraps a single
+  per-processor state sequence and exposes the model interface, fitting an
+  empirical Markov matrix for use by the analysis-based heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.availability.model import AvailabilityModel
+from repro.availability.statistics import estimate_markov_matrix
+from repro.exceptions import InvalidModelError
+from repro.types import DOWN, RECLAIMED, UP, ProcessorState, StateLike
+
+__all__ = ["AvailabilityTrace", "TraceAvailabilityModel"]
+
+
+def _coerce_states(row: Union[str, Sequence[StateLike], np.ndarray]) -> np.ndarray:
+    """Convert a row given as string / sequence / array into an int8 vector."""
+    if isinstance(row, str):
+        return np.array([int(ProcessorState.from_char(c)) for c in row], dtype=np.int8)
+    if isinstance(row, np.ndarray) and row.dtype.kind in "iu":
+        values = row.astype(np.int8)
+        if values.size and (values.min() < 0 or values.max() > 2):
+            raise InvalidModelError("state codes must be 0 (UP), 1 (RECLAIMED) or 2 (DOWN)")
+        return values
+    return np.array([int(ProcessorState.coerce(value)) for value in row], dtype=np.int8)
+
+
+class AvailabilityTrace:
+    """A fixed availability matrix: ``states[q, t]`` is the state of P_q at slot *t*."""
+
+    def __init__(self, states: Union[np.ndarray, Sequence[Union[str, Sequence[StateLike]]]]):
+        if isinstance(states, np.ndarray) and states.ndim == 2:
+            matrix = _coerce_states(states.reshape(-1)).reshape(states.shape)
+        else:
+            rows = [_coerce_states(row) for row in states]
+            if not rows:
+                raise InvalidModelError("a trace needs at least one processor row")
+            lengths = {row.size for row in rows}
+            if len(lengths) != 1:
+                raise InvalidModelError(
+                    f"all processor rows must have the same length, got lengths {sorted(lengths)}"
+                )
+            matrix = np.vstack(rows)
+        if matrix.ndim != 2:
+            raise InvalidModelError("trace states must form a 2-D matrix")
+        self._states = matrix.astype(np.int8)
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> np.ndarray:
+        """The underlying ``(p, N)`` int8 matrix (copy)."""
+        return self._states.copy()
+
+    @property
+    def num_processors(self) -> int:
+        return int(self._states.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Number of time-slots covered by the trace."""
+        return int(self._states.shape[1])
+
+    def state(self, worker: int, t: int) -> ProcessorState:
+        """State of processor *worker* at slot *t*."""
+        return ProcessorState(int(self._states[worker, t]))
+
+    def row(self, worker: int) -> np.ndarray:
+        """The full state vector :math:`S_q` of one processor."""
+        return self._states[worker].copy()
+
+    def up_matrix(self) -> np.ndarray:
+        """Boolean matrix ``up[q, t]`` — True where the processor is UP."""
+        return self._states == int(UP)
+
+    def processors_up_at(self, t: int) -> List[int]:
+        """Indices of processors UP at slot *t*."""
+        return [int(q) for q in np.flatnonzero(self._states[:, t] == int(UP))]
+
+    def slots_all_up(self, workers: Iterable[int]) -> np.ndarray:
+        """Slots at which all the given *workers* are simultaneously UP."""
+        workers = list(workers)
+        if not workers:
+            return np.arange(self.horizon)
+        mask = np.all(self._states[workers, :] == int(UP), axis=0)
+        return np.flatnonzero(mask)
+
+    def truncated(self, horizon: int) -> "AvailabilityTrace":
+        """A copy of the trace restricted to the first *horizon* slots."""
+        if horizon < 0 or horizon > self.horizon:
+            raise ValueError(
+                f"horizon must be in [0, {self.horizon}], got {horizon}"
+            )
+        return AvailabilityTrace(self._states[:, :horizon])
+
+    def extended(self, extra: "AvailabilityTrace") -> "AvailabilityTrace":
+        """Concatenate another trace for the same processors after this one."""
+        if extra.num_processors != self.num_processors:
+            raise InvalidModelError(
+                "cannot extend: traces describe different numbers of processors"
+            )
+        return AvailabilityTrace(np.hstack([self._states, extra._states]))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_strings(self) -> List[str]:
+        """Compact per-processor strings such as ``"uurddru"``."""
+        chars = np.array(["u", "r", "d"])
+        return ["".join(chars[row]) for row in self._states]
+
+    def to_dict(self) -> dict:
+        return {"type": "trace", "rows": self.to_strings()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AvailabilityTrace":
+        if payload.get("type") != "trace":
+            raise InvalidModelError(f"not a trace payload: {payload.get('type')!r}")
+        return cls(payload["rows"])
+
+    @classmethod
+    def from_models(
+        cls,
+        models: Sequence[AvailabilityModel],
+        horizon: int,
+        seed=None,
+        *,
+        initial: Optional[ProcessorState] = None,
+    ) -> "AvailabilityTrace":
+        """Materialise a trace by sampling one trajectory per model."""
+        from repro.utils.rng import spawn_generators
+
+        generators = spawn_generators(seed, len(models))
+        rows = [
+            model.sample_trajectory(horizon, generator, initial=initial)
+            for model, generator in zip(models, generators)
+        ]
+        return cls(np.vstack(rows) if rows else np.empty((0, horizon), dtype=np.int8))
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AvailabilityTrace):
+            return NotImplemented
+        return self._states.shape == other._states.shape and bool(
+            np.all(self._states == other._states)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AvailabilityTrace p={self.num_processors} N={self.horizon}>"
+
+
+class TraceAvailabilityModel(AvailabilityModel):
+    """Replay a single processor's recorded state sequence.
+
+    The model steps through the given sequence slot by slot; when the
+    sequence is exhausted the behaviour is controlled by ``wrap``:
+
+    * ``wrap=True`` (default) — replay from the beginning (periodic
+      extension), which keeps long simulations well-defined;
+    * ``wrap=False`` — the final state repeats forever.
+
+    :meth:`markov_approximation` fits a maximum-likelihood Markov matrix to
+    the sequence, which is exactly the "flawed Markov model built from
+    traces" that the paper's conclusion proposes to study.
+    """
+
+    def __init__(self, states: Union[str, Sequence[StateLike], np.ndarray], *, wrap: bool = True):
+        values = _coerce_states(states)
+        if values.size == 0:
+            raise InvalidModelError("a trace model needs at least one state")
+        self._sequence = values
+        self._wrap = bool(wrap)
+        self._cursor = 0
+        self._fitted: Optional[np.ndarray] = None
+
+    @property
+    def sequence(self) -> np.ndarray:
+        return self._sequence.copy()
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def initial_state(self, rng: np.random.Generator) -> ProcessorState:
+        self._cursor = 0
+        return ProcessorState(int(self._sequence[0]))
+
+    def next_state(self, current: ProcessorState, rng: np.random.Generator) -> ProcessorState:
+        self._cursor += 1
+        if self._cursor >= self._sequence.size:
+            if self._wrap:
+                self._cursor = self._cursor % self._sequence.size
+            else:
+                self._cursor = self._sequence.size - 1
+        return ProcessorState(int(self._sequence[self._cursor]))
+
+    def markov_approximation(self) -> np.ndarray:
+        if self._fitted is None:
+            self._fitted = estimate_markov_matrix(self._sequence)
+        return self._fitted.copy()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (single-row trace payload)."""
+        chars = np.array(["u", "r", "d"])
+        return {"type": "trace", "rows": ["".join(chars[self._sequence])], "wrap": self._wrap}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceAvailabilityModel":
+        """Inverse of :meth:`to_dict`."""
+        if payload.get("type") != "trace" or len(payload.get("rows", [])) != 1:
+            raise InvalidModelError("expected a single-row trace payload")
+        return cls(payload["rows"][0], wrap=payload.get("wrap", True))
+
+    def describe(self) -> str:
+        up_fraction = float(np.mean(self._sequence == int(UP))) if self._sequence.size else 0.0
+        return f"Trace(length={self._sequence.size}, up_fraction={up_fraction:.3f})"

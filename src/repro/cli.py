@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro-grid <command>``.
+
+Commands
+--------
+``table1``    Reproduce Table I (m = 5, all 17 heuristics).
+``table2``    Reproduce Table II (m = 10, best 8 heuristics).
+``figure2``   Reproduce the Figure 2 series (%diff vs wmin, m = 10).
+``demo``      Simulate one instance under one heuristic and print a Gantt chart.
+``offline``   Solve a random small off-line instance exactly (Theorem 4.1 artefacts).
+``heuristics``  List the available heuristic names.
+
+Every experiment command accepts ``--scale {smoke,reduced,paper}`` plus
+individual overrides (``--scenarios``, ``--trials``, ``--wmin``, ``--ncom``,
+``--cap``, ``--iterations``), ``--jobs`` for multi-process execution and
+``--output`` to persist the raw campaign results as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.group import ExpectationMode
+from repro.experiments.figures import figure2_series, format_figure2
+from repro.experiments.io import save_campaign
+from repro.experiments.metrics import summarize_results
+from repro.experiments.runner import run_campaign
+from repro.experiments.scenarios import CampaignScale
+from repro.experiments.tables import format_summaries
+from repro.scheduling.registry import ALL_HEURISTICS, TABLE2_HEURISTICS, create_scheduler
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _scale_from_args(args: argparse.Namespace) -> CampaignScale:
+    presets = {
+        "smoke": CampaignScale.smoke,
+        "reduced": CampaignScale.reduced,
+        "paper": CampaignScale.paper,
+    }
+    scale = presets[args.scale]()
+    overrides = {}
+    if args.scenarios is not None:
+        overrides["scenarios_per_cell"] = args.scenarios
+    if args.trials is not None:
+        overrides["trials_per_scenario"] = args.trials
+    if args.wmin:
+        overrides["wmin_values"] = tuple(args.wmin)
+    if args.ncom:
+        overrides["ncom_values"] = tuple(args.ncom)
+    if args.cap is not None:
+        overrides["makespan_cap"] = args.cap
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    if overrides:
+        scale = scale.with_overrides(**overrides)
+    return scale
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", choices=("smoke", "reduced", "paper"), default="reduced",
+        help="campaign size preset (default: reduced)",
+    )
+    parser.add_argument("--scenarios", type=int, default=None, help="scenarios per grid cell")
+    parser.add_argument("--trials", type=int, default=None, help="trials per scenario")
+    parser.add_argument("--wmin", type=int, nargs="+", default=None, help="wmin values to sweep")
+    parser.add_argument("--ncom", type=int, nargs="+", default=None, help="ncom values to sweep")
+    parser.add_argument("--cap", type=int, default=None, help="makespan cap (slots)")
+    parser.add_argument("--iterations", type=int, default=None, help="iterations per run")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument(
+        "--estimator", choices=("paper", "renewal"), default="paper",
+        help="E^(S)(W) estimator used by the heuristics",
+    )
+    parser.add_argument(
+        "--heuristics", nargs="+", default=None, help="restrict to these heuristic names"
+    )
+    parser.add_argument("--output", default=None, help="write raw campaign results to this JSON file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scheduling Tightly-Coupled Applications on "
+        "Heterogeneous Desktop Grids' (HCW 2013)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, default_m, default_heuristics, help_text in (
+        ("table1", 5, ALL_HEURISTICS, "reproduce Table I (m=5, all heuristics)"),
+        ("table2", 10, TABLE2_HEURISTICS, "reproduce Table II (m=10, best heuristics)"),
+        ("figure2", 10, TABLE2_HEURISTICS, "reproduce Figure 2 (%diff vs wmin, m=10)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_campaign_arguments(sub)
+        sub.set_defaults(default_m=default_m, default_heuristics=default_heuristics)
+
+    demo = subparsers.add_parser("demo", help="simulate one instance and print a Gantt chart")
+    demo.add_argument("--heuristic", default="Y-IE", help="heuristic name (default Y-IE)")
+    demo.add_argument("--m", type=int, default=5, help="tasks per iteration")
+    demo.add_argument("--ncom", type=int, default=10)
+    demo.add_argument("--wmin", type=int, default=1)
+    demo.add_argument("--processors", type=int, default=10)
+    demo.add_argument("--iterations", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--gantt-slots", type=int, default=80, help="slots of Gantt chart to print")
+
+    offline = subparsers.add_parser("offline", help="solve a small random off-line instance exactly")
+    offline.add_argument("--left", type=int, default=8, help="|V| (processors)")
+    offline.add_argument("--right", type=int, default=10, help="|W| (time-slots)")
+    offline.add_argument("--edge-probability", type=float, default=0.6)
+    offline.add_argument("--a", type=int, default=3, help="workers required (m)")
+    offline.add_argument("--b", type=int, default=3, help="common UP slots required (w)")
+    offline.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("heuristics", help="list available heuristic names")
+
+    return parser
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    heuristics = args.heuristics or args.default_heuristics
+    mode = ExpectationMode(args.estimator)
+    m = args.default_m
+
+    def progress(done: int, total: int) -> None:
+        print(f"  scenario {done}/{total} done", file=sys.stderr, flush=True)
+
+    campaign = run_campaign(
+        m,
+        heuristics=heuristics,
+        scale=scale,
+        label=args.command,
+        n_jobs=args.jobs,
+        mode=mode,
+        progress=progress,
+    )
+    if args.output:
+        path = save_campaign(campaign, args.output)
+        print(f"raw results written to {path}", file=sys.stderr)
+
+    if args.command == "figure2":
+        series = figure2_series(campaign.results)
+        print(format_figure2(series, heuristics=[h for h in heuristics if h in series]))
+    else:
+        summaries = summarize_results(campaign.results)
+        title = "Table I (m = 5)" if args.command == "table1" else "Table II (m = 10)"
+        print(format_summaries(summaries, title=f"{title} — {scale.num_instances()} instances"))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.application import Application
+    from repro.platform import PlatformSpec, paper_platform
+    from repro.simulation import SimulationEngine, render_gantt
+
+    spec = PlatformSpec(num_processors=args.processors, ncom=args.ncom, wmin=args.wmin)
+    platform = paper_platform(spec, num_tasks=args.m, seed=args.seed)
+    application = Application(tasks_per_iteration=args.m, iterations=args.iterations)
+    scheduler = create_scheduler(args.heuristic)
+    engine = SimulationEngine(
+        platform, application, scheduler, seed=args.seed, max_slots=200_000,
+        record_activity=True, record_events=True,
+    )
+    result = engine.run()
+    print(result.describe())
+    if engine.activity_matrix is not None:
+        window = min(args.gantt_slots, engine.activity_matrix.shape[1])
+        print()
+        print(render_gantt(engine.activity_matrix, engine.state_matrix, end=window))
+    return 0
+
+
+def _cmd_offline(args: argparse.Namespace) -> int:
+    from repro.offline import (
+        ENCDInstance,
+        encd_to_offline_mu1,
+        encd_to_offline_mu_inf,
+        solve_encd_bruteforce,
+        solve_offline_mu1,
+        solve_offline_mu_inf,
+    )
+
+    instance = ENCDInstance.random(
+        args.left, args.right, args.edge_probability, args.a, args.b, seed=args.seed
+    )
+    biclique = solve_encd_bruteforce(instance)
+    mu1 = solve_offline_mu1(encd_to_offline_mu1(instance))
+    mu_inf = solve_offline_mu_inf(encd_to_offline_mu_inf(instance))
+    rows = [
+        ["ENCD bi-clique (a, b)", "feasible" if biclique else "infeasible"],
+        ["OFF-LINE-COUPLED (mu=1)", "feasible" if mu1 else "infeasible"],
+        ["OFF-LINE-COUPLED (mu=inf)", "feasible" if mu_inf else "infeasible"],
+    ]
+    print(format_table(rows, headers=["problem", "answer"], align_right=[False, False]))
+    if mu1:
+        print(f"mu=1 solution: workers={sorted(mu1.workers)}, slots={list(mu1.slots)}")
+    if mu_inf:
+        print(
+            f"mu=inf solution: workers={sorted(mu_inf.workers)}, "
+            f"tasks/worker={mu_inf.tasks_per_worker}, {mu_inf.num_slots} slots"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("table1", "table2", "figure2"):
+        return _cmd_campaign(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "offline":
+        return _cmd_offline(args)
+    if args.command == "heuristics":
+        for name in ALL_HEURISTICS:
+            print(name)
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

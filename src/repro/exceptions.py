@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library errors with a single ``except`` clause while still
+letting programming errors (``TypeError`` on wrong argument types, etc.)
+propagate normally.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidModelError",
+    "InvalidPlatformError",
+    "InvalidApplicationError",
+    "InvalidConfigurationError",
+    "InfeasibleProblemError",
+    "SimulationError",
+    "SchedulingError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidModelError(ReproError):
+    """An availability model is malformed (e.g. non-stochastic matrix)."""
+
+
+class InvalidPlatformError(ReproError):
+    """A platform description violates the model of Section III-B."""
+
+
+class InvalidApplicationError(ReproError):
+    """An application description violates the model of Section III-A."""
+
+
+class InvalidConfigurationError(ReproError):
+    """A worker configuration violates the execution model of Section III-C.
+
+    Examples: task counts that do not sum to ``m``, a worker assigned more
+    tasks than its memory bound ``µ_q`` permits, or an empty configuration.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """An (off-line) problem instance admits no feasible schedule."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced an invalid decision or could not be built."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was misconfigured or a campaign failed."""

@@ -1,0 +1,53 @@
+"""Experiment harness reproducing the campaign of Section VII.
+
+The paper's campaign sweeps ``(m, ncom, wmin)`` over
+``{5, 10} × {5, 10, 20} × {1..10}``, draws 10 random scenarios per cell and
+runs 10 Markov-realisation trials per scenario, for 6,000 problem instances,
+each executed under all 17 heuristics.  The harness reproduces that grid (or
+a configurable subset — see :class:`CampaignScale`), computes the paper's
+metrics (#fails, %diff, %wins, %wins30, stdv against the IE reference) and
+rebuilds Table I, Table II and the Figure 2 series.
+"""
+
+from repro.experiments.figures import figure2_series, format_figure2
+from repro.experiments.io import load_campaign, save_campaign
+from repro.experiments.metrics import HeuristicSummary, summarize_results
+from repro.experiments.report import PaperComparison, compare_with_paper, format_comparison
+from repro.experiments.runner import (
+    CampaignResult,
+    InstanceResult,
+    run_campaign,
+    run_instance,
+    run_scenario,
+)
+from repro.experiments.scenarios import (
+    CampaignScale,
+    ExperimentScenario,
+    ScenarioParameters,
+    generate_scenarios,
+)
+from repro.experiments.tables import build_table, format_table1, format_table2
+
+__all__ = [
+    "CampaignScale",
+    "ScenarioParameters",
+    "ExperimentScenario",
+    "generate_scenarios",
+    "InstanceResult",
+    "CampaignResult",
+    "run_instance",
+    "run_scenario",
+    "run_campaign",
+    "HeuristicSummary",
+    "summarize_results",
+    "PaperComparison",
+    "compare_with_paper",
+    "format_comparison",
+    "build_table",
+    "format_table1",
+    "format_table2",
+    "figure2_series",
+    "format_figure2",
+    "save_campaign",
+    "load_campaign",
+]

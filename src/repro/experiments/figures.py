@@ -1,0 +1,82 @@
+"""Rebuilding Figure 2 of the paper: %diff vs wmin for m = 10.
+
+Figure 2 plots, for each of the eight best heuristics, the mean relative
+distance to the IE reference as a function of the synthetic difficulty
+parameter ``wmin`` (larger ``wmin`` means longer tasks and transfers, i.e.
+harder instances).  The qualitative shape to reproduce: Y-IE is the best (or
+near-best) heuristic up to ``wmin ≈ 8`` and is overtaken by IE (and P-IE)
+for the hardest instances.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.experiments.metrics import relative_difference
+from repro.experiments.runner import InstanceResult
+from repro.utils.tables import format_table
+
+__all__ = ["figure2_series", "format_figure2"]
+
+
+def figure2_series(
+    results: Sequence[InstanceResult],
+    *,
+    reference: str = "IE",
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Per-heuristic series of (wmin, mean relative distance to the reference).
+
+    The relative distance is the same per-scenario quantity as %diff but
+    expressed as a fraction (the paper's Figure 2 y-axis spans roughly
+    [-0.6, 0.6]), averaged over the scenarios sharing one ``wmin`` value.
+    """
+    reference_means: Dict[Tuple, float] = {}
+    per_scenario: Dict[str, Dict[Tuple, List[float]]] = defaultdict(lambda: defaultdict(list))
+    for result in results:
+        if not result.success or result.makespan is None:
+            continue
+        per_scenario[result.heuristic][result.scenario_key()].append(float(result.makespan))
+
+    if reference not in per_scenario:
+        raise ExperimentError(f"reference heuristic {reference!r} absent from results")
+    for key, makespans in per_scenario[reference].items():
+        reference_means[key] = float(np.mean(makespans))
+
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for heuristic, scenarios in per_scenario.items():
+        by_wmin: Dict[int, List[float]] = defaultdict(list)
+        for key, makespans in scenarios.items():
+            ref_mean = reference_means.get(key)
+            if ref_mean is None:
+                continue
+            wmin = key[2]  # scenario_key = (m, ncom, wmin, scenario_index)
+            by_wmin[wmin].append(relative_difference(float(np.mean(makespans)), ref_mean))
+        series[heuristic] = [
+            (wmin, float(np.mean(values))) for wmin, values in sorted(by_wmin.items())
+        ]
+    return series
+
+
+def format_figure2(
+    series: Dict[str, List[Tuple[int, float]]],
+    *,
+    heuristics: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the Figure 2 data as a text table (wmin rows, heuristic columns)."""
+    if heuristics is None:
+        heuristics = sorted(series)
+    wmin_values = sorted({wmin for name in heuristics for wmin, _ in series.get(name, [])})
+    rows = []
+    for wmin in wmin_values:
+        row: List = [wmin]
+        for name in heuristics:
+            lookup = dict(series.get(name, []))
+            value = lookup.get(wmin)
+            row.append(None if value is None else round(value, 3))
+        rows.append(row)
+    headers = ["wmin"] + list(heuristics)
+    return format_table(rows, headers=headers, float_fmt=".3f")

@@ -1,0 +1,77 @@
+"""JSON persistence for campaigns.
+
+Campaigns can take a while; persisting the raw :class:`InstanceResult`
+records lets tables/figures be rebuilt, re-sliced or compared across runs
+without re-simulating.  The format is plain JSON so results can be inspected
+or post-processed with any external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import CampaignResult, InstanceResult
+from repro.experiments.scenarios import CampaignScale
+
+__all__ = ["save_campaign", "load_campaign"]
+
+FORMAT_VERSION = 1
+
+
+def save_campaign(campaign: CampaignResult, path: Union[str, Path]) -> Path:
+    """Write *campaign* to *path* as JSON and return the path."""
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "label": campaign.label,
+        "m": campaign.m,
+        "heuristics": list(campaign.heuristics),
+        "scale": {
+            "ncom_values": list(campaign.scale.ncom_values),
+            "wmin_values": list(campaign.scale.wmin_values),
+            "scenarios_per_cell": campaign.scale.scenarios_per_cell,
+            "trials_per_scenario": campaign.scale.trials_per_scenario,
+            "iterations": campaign.scale.iterations,
+            "makespan_cap": campaign.scale.makespan_cap,
+            "num_processors": campaign.scale.num_processors,
+        },
+        "results": [result.as_dict() for result in campaign.results],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignResult:
+    """Load a campaign previously written by :func:`save_campaign`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot load campaign from {path}: {error}") from error
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported campaign format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    scale_payload = payload["scale"]
+    scale = CampaignScale(
+        ncom_values=tuple(scale_payload["ncom_values"]),
+        wmin_values=tuple(scale_payload["wmin_values"]),
+        scenarios_per_cell=scale_payload["scenarios_per_cell"],
+        trials_per_scenario=scale_payload["trials_per_scenario"],
+        iterations=scale_payload["iterations"],
+        makespan_cap=scale_payload["makespan_cap"],
+        num_processors=scale_payload.get("num_processors", 20),
+    )
+    campaign = CampaignResult(
+        label=payload["label"],
+        m=payload["m"],
+        heuristics=tuple(payload["heuristics"]),
+        scale=scale,
+    )
+    campaign.extend(InstanceResult.from_dict(entry) for entry in payload["results"])
+    return campaign

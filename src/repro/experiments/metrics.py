@@ -1,0 +1,174 @@
+"""The paper's comparison metrics (#fails, %diff, %wins, %wins30, stdv).
+
+All metrics compare a heuristic ``H`` against the reference heuristic ``IE``
+(the most robust one in the paper), exactly as in Section VII-A:
+
+* **#fails** — number of (scenario, trial) instances on which ``H`` hit the
+  makespan cap;
+* **%diff** — for every scenario, ``H``'s makespan averaged over its
+  successful trials is compared to ``IE``'s average on the same scenario via
+  ``(makespan_H − makespan_IE) / min(makespan_H, makespan_IE)``; %diff is the
+  mean of this relative difference over scenarios, in percent (negative
+  means ``H`` beats the reference on average);
+* **%wins** — fraction of trials on which ``H``'s makespan is smaller than or
+  equal to ``IE``'s (a failed ``H`` trial counts as a loss; trials where the
+  reference itself failed are skipped);
+* **%wins30** — fraction of trials on which ``H``'s makespan does not exceed
+  ``IE``'s by more than 30 %;
+* **stdv** — standard deviation over scenarios of the per-scenario relative
+  difference (not in percent, matching the paper's table scale).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import InstanceResult
+
+__all__ = ["HeuristicSummary", "summarize_results", "relative_difference"]
+
+#: The reference heuristic of the paper's tables.
+DEFAULT_REFERENCE = "IE"
+
+
+def relative_difference(makespan: float, reference: float) -> float:
+    """``(makespan − reference) / min(makespan, reference)`` (the paper's %diff core)."""
+    if makespan <= 0 or reference <= 0:
+        raise ValueError("makespans must be positive")
+    return (makespan - reference) / min(makespan, reference)
+
+
+@dataclass(frozen=True)
+class HeuristicSummary:
+    """One row of Table I / Table II."""
+
+    heuristic: str
+    fails: int
+    pct_diff: Optional[float]
+    pct_wins: Optional[float]
+    pct_wins30: Optional[float]
+    stdv: Optional[float]
+    num_scenarios: int
+    num_trials: int
+
+    def as_row(self) -> list:
+        return [
+            self.heuristic,
+            self.fails,
+            None if self.pct_diff is None else round(self.pct_diff, 2),
+            None if self.pct_wins is None else round(self.pct_wins, 2),
+            None if self.pct_wins30 is None else round(self.pct_wins30, 2),
+            None if self.stdv is None else round(self.stdv, 2),
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "heuristic": self.heuristic,
+            "fails": self.fails,
+            "pct_diff": self.pct_diff,
+            "pct_wins": self.pct_wins,
+            "pct_wins30": self.pct_wins30,
+            "stdv": self.stdv,
+            "num_scenarios": self.num_scenarios,
+            "num_trials": self.num_trials,
+        }
+
+
+def _group_by_heuristic(results: Iterable[InstanceResult]) -> Dict[str, List[InstanceResult]]:
+    grouped: Dict[str, List[InstanceResult]] = defaultdict(list)
+    for result in results:
+        grouped[result.heuristic].append(result)
+    return grouped
+
+
+def _index_by_instance(results: Iterable[InstanceResult]) -> Dict[Tuple, InstanceResult]:
+    return {result.instance_key(): result for result in results}
+
+
+def summarize_results(
+    results: Sequence[InstanceResult],
+    *,
+    reference: str = DEFAULT_REFERENCE,
+    wins_margin: float = 0.30,
+) -> List[HeuristicSummary]:
+    """Compute the Table I/II rows for every heuristic present in *results*.
+
+    Rows are sorted best-first (ascending %diff, reference pinned where its
+    %diff of 0.0 lands, heuristics with no comparable scenarios last).
+    """
+    grouped = _group_by_heuristic(results)
+    if reference not in grouped:
+        raise ExperimentError(
+            f"reference heuristic {reference!r} not present in the results "
+            f"(available: {sorted(grouped)})"
+        )
+    reference_by_instance = _index_by_instance(grouped[reference])
+
+    summaries: List[HeuristicSummary] = []
+    for heuristic, entries in grouped.items():
+        fails = sum(1 for entry in entries if not entry.success)
+        num_trials = len(entries)
+
+        # --- per-scenario mean makespans (successful trials only) ----------
+        per_scenario: Dict[Tuple, Dict[str, List[float]]] = defaultdict(
+            lambda: {"h": [], "ref": []}
+        )
+        wins = 0
+        wins30 = 0
+        comparable_trials = 0
+        for entry in entries:
+            ref_entry = reference_by_instance.get(entry.instance_key())
+            if ref_entry is None or not ref_entry.success:
+                continue  # the reference itself failed: skip the trial, as the paper does
+            comparable_trials += 1
+            if entry.success and entry.makespan is not None:
+                per_scenario[entry.scenario_key()]["h"].append(float(entry.makespan))
+                per_scenario[entry.scenario_key()]["ref"].append(float(ref_entry.makespan))
+                if entry.makespan <= ref_entry.makespan:
+                    wins += 1
+                if entry.makespan <= (1.0 + wins_margin) * ref_entry.makespan:
+                    wins30 += 1
+            # A failed heuristic trial counts as a loss for both win metrics.
+
+        scenario_diffs: List[float] = []
+        for data in per_scenario.values():
+            if not data["h"] or not data["ref"]:
+                continue
+            mean_h = float(np.mean(data["h"]))
+            mean_ref = float(np.mean(data["ref"]))
+            scenario_diffs.append(relative_difference(mean_h, mean_ref))
+
+        if scenario_diffs:
+            pct_diff = 100.0 * float(np.mean(scenario_diffs))
+            stdv = float(np.std(scenario_diffs))
+        else:
+            pct_diff = None
+            stdv = None
+        if comparable_trials > 0:
+            pct_wins = 100.0 * wins / comparable_trials
+            pct_wins30 = 100.0 * wins30 / comparable_trials
+        else:
+            pct_wins = None
+            pct_wins30 = None
+
+        summaries.append(
+            HeuristicSummary(
+                heuristic=heuristic,
+                fails=fails,
+                pct_diff=pct_diff,
+                pct_wins=pct_wins,
+                pct_wins30=pct_wins30,
+                stdv=stdv,
+                num_scenarios=len(per_scenario),
+                num_trials=num_trials,
+            )
+        )
+
+    summaries.sort(key=lambda s: (s.pct_diff is None, s.pct_diff if s.pct_diff is not None else math.inf))
+    return summaries

@@ -1,0 +1,284 @@
+"""Running instances, scenarios and whole campaigns.
+
+The unit of work is the *instance*: one (scenario, trial, heuristic) triple.
+Two properties of the runner are important for faithfulness and efficiency:
+
+* **Paired availability realisations** — for a given (scenario, trial), every
+  heuristic sees exactly the same availability realisation: the engine
+  derives its per-worker availability streams deterministically from the
+  trial seed, independently of the scheduler's own stream.  This matches the
+  paper's per-trial comparison of heuristics and sharply reduces the variance
+  of %diff/%wins at small trial counts.
+* **Shared analysis** — all heuristics and trials of a scenario share one
+  :class:`AnalysisContext` (the Theorem 5.1 quantities depend only on the
+  platform), which is what makes the proactive heuristics affordable.
+
+Campaigns can fan out over processes (``n_jobs > 1``); each process receives
+self-contained scenario descriptions and rebuilds platforms locally, so no
+large objects cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache import AnalysisContext
+from repro.analysis.group import ExpectationMode
+from repro.exceptions import ExperimentError
+from repro.experiments.scenarios import CampaignScale, ExperimentScenario, generate_scenarios
+from repro.scheduling.registry import (
+    ALL_HEURISTICS,
+    EXTENSION_HEURISTIC_NAMES,
+    create_scheduler,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.results import SimulationResult
+
+__all__ = ["InstanceResult", "CampaignResult", "run_instance", "run_scenario", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """Outcome of one (scenario, trial, heuristic) problem instance."""
+
+    heuristic: str
+    m: int
+    ncom: int
+    wmin: int
+    scenario_index: int
+    trial_index: int
+    success: bool
+    makespan: Optional[int]
+    completed_iterations: int
+    total_restarts: int
+    total_configuration_changes: int
+    wall_time_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def scenario_key(self) -> Tuple[int, int, int, int]:
+        """Identifies the scenario (platform) this instance ran on."""
+        return (self.m, self.ncom, self.wmin, self.scenario_index)
+
+    def instance_key(self) -> Tuple[int, int, int, int, int]:
+        """Identifies the (scenario, trial) problem instance."""
+        return (self.m, self.ncom, self.wmin, self.scenario_index, self.trial_index)
+
+    def as_dict(self) -> dict:
+        return {
+            "heuristic": self.heuristic,
+            "m": self.m,
+            "ncom": self.ncom,
+            "wmin": self.wmin,
+            "scenario_index": self.scenario_index,
+            "trial_index": self.trial_index,
+            "success": self.success,
+            "makespan": self.makespan,
+            "completed_iterations": self.completed_iterations,
+            "total_restarts": self.total_restarts,
+            "total_configuration_changes": self.total_configuration_changes,
+            "wall_time_seconds": self.wall_time_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InstanceResult":
+        return cls(**payload)
+
+    @classmethod
+    def from_simulation(
+        cls,
+        scenario: ExperimentScenario,
+        trial: int,
+        result: SimulationResult,
+        wall_time: float,
+    ) -> "InstanceResult":
+        return cls(
+            heuristic=result.scheduler,
+            m=scenario.params.m,
+            ncom=scenario.params.ncom,
+            wmin=scenario.params.wmin,
+            scenario_index=scenario.scenario_index,
+            trial_index=trial,
+            success=result.success,
+            makespan=result.makespan,
+            completed_iterations=result.completed_iterations,
+            total_restarts=result.total_restarts,
+            total_configuration_changes=result.total_configuration_changes,
+            wall_time_seconds=wall_time,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All instance results of one campaign plus its metadata."""
+
+    label: str
+    m: int
+    heuristics: Tuple[str, ...]
+    scale: CampaignScale
+    results: List[InstanceResult] = field(default_factory=list)
+
+    def by_heuristic(self) -> Dict[str, List[InstanceResult]]:
+        grouped: Dict[str, List[InstanceResult]] = {name: [] for name in self.heuristics}
+        for result in self.results:
+            grouped.setdefault(result.heuristic, []).append(result)
+        return grouped
+
+    def num_instances(self) -> int:
+        return len({result.instance_key() for result in self.results})
+
+    def extend(self, results: Iterable[InstanceResult]) -> None:
+        self.results.extend(results)
+
+
+# ----------------------------------------------------------------------
+# Single instance / scenario execution
+# ----------------------------------------------------------------------
+def run_instance(
+    scenario: ExperimentScenario,
+    heuristic: str,
+    trial: int,
+    *,
+    scale: Optional[CampaignScale] = None,
+    analysis: Optional[AnalysisContext] = None,
+    platform=None,
+    mode: ExpectationMode = ExpectationMode.PAPER,
+) -> InstanceResult:
+    """Run one (scenario, trial, heuristic) instance.
+
+    *platform* and *analysis* may be supplied to share work across calls;
+    when omitted they are rebuilt from the scenario (deterministically).
+    """
+    scale = scale or CampaignScale.reduced()
+    if platform is None:
+        platform = scenario.build_platform()
+    if analysis is None:
+        analysis = AnalysisContext(platform, mode=mode)
+    application = scenario.build_application(iterations=scale.iterations)
+    scheduler = create_scheduler(heuristic)
+    engine = SimulationEngine(
+        platform,
+        application,
+        scheduler,
+        seed=scenario.trial_seed(trial),
+        max_slots=scale.makespan_cap,
+        analysis=analysis,
+    )
+    start = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    return InstanceResult.from_simulation(scenario, trial, result, elapsed)
+
+
+def run_scenario(
+    scenario: ExperimentScenario,
+    heuristics: Sequence[str],
+    *,
+    scale: Optional[CampaignScale] = None,
+    mode: ExpectationMode = ExpectationMode.PAPER,
+) -> List[InstanceResult]:
+    """Run all trials of all *heuristics* on one scenario (shared platform/analysis)."""
+    scale = scale or CampaignScale.reduced()
+    platform = scenario.build_platform()
+    analysis = AnalysisContext(platform, mode=mode)
+    results: List[InstanceResult] = []
+    for trial in range(scale.trials_per_scenario):
+        for heuristic in heuristics:
+            results.append(
+                run_instance(
+                    scenario,
+                    heuristic,
+                    trial,
+                    scale=scale,
+                    analysis=analysis,
+                    platform=platform,
+                    mode=mode,
+                )
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Campaign execution (optionally multi-process)
+# ----------------------------------------------------------------------
+def _run_scenario_payload(payload: dict) -> List[dict]:
+    """Process-pool entry point: rebuild the scenario locally and run it."""
+    scenario = ExperimentScenario(
+        params=payload["params"], scenario_index=payload["scenario_index"], campaign=payload["campaign"]
+    )
+    results = run_scenario(
+        scenario,
+        payload["heuristics"],
+        scale=payload["scale"],
+        mode=ExpectationMode(payload["mode"]),
+    )
+    return [result.as_dict() for result in results]
+
+
+def run_campaign(
+    m: int,
+    *,
+    heuristics: Sequence[str] = ALL_HEURISTICS,
+    scale: Optional[CampaignScale] = None,
+    label: str = "campaign",
+    n_jobs: int = 1,
+    mode: ExpectationMode = ExpectationMode.PAPER,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignResult:
+    """Run a full campaign for one value of ``m`` (Table I: m=5, Table II: m=10).
+
+    Parameters
+    ----------
+    m:
+        Tasks per iteration.
+    heuristics:
+        Heuristic names to evaluate (default: all seventeen).
+    scale:
+        Grid dimensions and caps; defaults to :meth:`CampaignScale.reduced`.
+    label:
+        Campaign label, folded into every derived seed.
+    n_jobs:
+        Number of worker processes (1 = run in-process).
+    mode:
+        Estimator variant used by the heuristics (paper formula vs renewal).
+    progress:
+        Optional callback ``(done_scenarios, total_scenarios)``.
+    """
+    scale = scale or CampaignScale.reduced()
+    recognised = set(ALL_HEURISTICS) | set(EXTENSION_HEURISTIC_NAMES)
+    unknown = [name for name in heuristics if name.upper() not in recognised]
+    if unknown:
+        raise ExperimentError(f"unknown heuristics requested: {unknown}")
+    heuristics = tuple(name.upper() for name in heuristics)
+    scenarios = generate_scenarios(scale, m, campaign=label)
+    campaign = CampaignResult(label=label, m=m, heuristics=heuristics, scale=scale)
+
+    total = len(scenarios)
+    if n_jobs <= 1:
+        for index, scenario in enumerate(scenarios):
+            campaign.extend(run_scenario(scenario, heuristics, scale=scale, mode=mode))
+            if progress is not None:
+                progress(index + 1, total)
+        return campaign
+
+    payloads = [
+        {
+            "params": scenario.params,
+            "scenario_index": scenario.scenario_index,
+            "campaign": scenario.campaign,
+            "heuristics": heuristics,
+            "scale": scale,
+            "mode": mode.value,
+        }
+        for scenario in scenarios
+    ]
+    done = 0
+    with ProcessPoolExecutor(max_workers=n_jobs) as executor:
+        for chunk in executor.map(_run_scenario_payload, payloads):
+            campaign.extend(InstanceResult.from_dict(entry) for entry in chunk)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return campaign

@@ -1,0 +1,191 @@
+"""Scenario grid generation following Section VII-A.
+
+An *experimental scenario* is one random instantiation of a platform for a
+given cell ``(m, ncom, wmin)`` of the campaign grid:
+
+* 20 processors, Markov availability with stay-probabilities uniform in
+  [0.90, 0.99] and the remaining mass split evenly;
+* speeds ``w_q`` uniform integers in ``[wmin, 10 · wmin]``;
+* ``Tdata = wmin``, ``Tprog = 5 · wmin``.
+
+Each scenario is then simulated for several *trials*, each trial being a
+different realisation of the Markov chains (different seed) but the same
+platform.  Every seed is derived deterministically from the campaign label
+and the scenario coordinates, so any individual instance can be re-run in
+isolation and reproduce the in-campaign realisation exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.application.application import Application
+from repro.exceptions import ExperimentError
+from repro.platform.builders import PlatformSpec, paper_platform
+from repro.platform.platform import Platform
+from repro.utils.rng import stable_hash_seed
+
+__all__ = [
+    "ScenarioParameters",
+    "ExperimentScenario",
+    "CampaignScale",
+    "generate_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioParameters:
+    """One cell of the experimental grid."""
+
+    m: int
+    ncom: int
+    wmin: int
+    num_processors: int = 20
+
+    def __post_init__(self) -> None:
+        for name in ("m", "ncom", "wmin", "num_processors"):
+            value = getattr(self, name)
+            if int(value) != value or value < 1:
+                raise ExperimentError(f"{name} must be a positive integer, got {value!r}")
+
+    def platform_spec(self) -> PlatformSpec:
+        return PlatformSpec(
+            num_processors=self.num_processors, ncom=self.ncom, wmin=self.wmin
+        )
+
+    def label(self) -> str:
+        return f"m{self.m}_ncom{self.ncom}_wmin{self.wmin}"
+
+
+@dataclass(frozen=True)
+class ExperimentScenario:
+    """One random platform instantiation for a grid cell."""
+
+    params: ScenarioParameters
+    scenario_index: int
+    campaign: str = "campaign"
+
+    # ------------------------------------------------------------------
+    def platform_seed(self) -> int:
+        return stable_hash_seed(self.campaign, "platform", self.params.label(), self.scenario_index)
+
+    def trial_seed(self, trial: int) -> int:
+        return stable_hash_seed(
+            self.campaign, "trial", self.params.label(), self.scenario_index, int(trial)
+        )
+
+    def build_platform(self) -> Platform:
+        """Materialise the scenario's platform (deterministic in the seed)."""
+        return paper_platform(
+            self.params.platform_spec(),
+            num_tasks=self.params.m,
+            seed=self.platform_seed(),
+        )
+
+    def build_application(self, iterations: int = 10) -> Application:
+        return Application(
+            tasks_per_iteration=self.params.m,
+            iterations=iterations,
+            name=f"{self.params.label()}_s{self.scenario_index}",
+        )
+
+    def label(self) -> str:
+        return f"{self.params.label()}_s{self.scenario_index}"
+
+
+@dataclass(frozen=True)
+class CampaignScale:
+    """How much of the paper's campaign to run.
+
+    ``CampaignScale.paper()`` is the full grid (6,000 instances per the
+    paper); the default :meth:`reduced` grid keeps the sweep structure but
+    shrinks the number of scenarios, trials and wmin values so a full
+    17-heuristic campaign finishes on a laptop; :meth:`smoke` is for tests.
+    """
+
+    ncom_values: Tuple[int, ...] = (5, 10, 20)
+    wmin_values: Tuple[int, ...] = tuple(range(1, 11))
+    scenarios_per_cell: int = 10
+    trials_per_scenario: int = 10
+    iterations: int = 10
+    makespan_cap: int = 1_000_000
+    num_processors: int = 20
+
+    def __post_init__(self) -> None:
+        if not self.ncom_values or not self.wmin_values:
+            raise ExperimentError("ncom_values and wmin_values must be non-empty")
+        if self.scenarios_per_cell < 1 or self.trials_per_scenario < 1:
+            raise ExperimentError("scenarios_per_cell and trials_per_scenario must be >= 1")
+        if self.iterations < 1:
+            raise ExperimentError("iterations must be >= 1")
+        if self.makespan_cap < 1:
+            raise ExperimentError("makespan_cap must be >= 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "CampaignScale":
+        """The paper's full campaign parameters."""
+        return cls()
+
+    @classmethod
+    def reduced(cls) -> "CampaignScale":
+        """Laptop-scale default: same sweep structure, fewer repetitions."""
+        return cls(
+            ncom_values=(5, 20),
+            wmin_values=(1, 4, 7, 10),
+            scenarios_per_cell=2,
+            trials_per_scenario=2,
+            iterations=10,
+            makespan_cap=150_000,
+        )
+
+    @classmethod
+    def smoke(cls) -> "CampaignScale":
+        """Tiny grid for unit/integration tests and CI."""
+        return cls(
+            ncom_values=(5,),
+            wmin_values=(1,),
+            scenarios_per_cell=1,
+            trials_per_scenario=1,
+            iterations=3,
+            makespan_cap=30_000,
+            num_processors=10,
+        )
+
+    def with_overrides(self, **kwargs) -> "CampaignScale":
+        """A copy with selected fields replaced (convenience for the CLI)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    def num_instances(self, num_m_values: int = 1) -> int:
+        """Number of (scenario, trial) problem instances in the campaign."""
+        return (
+            num_m_values
+            * len(self.ncom_values)
+            * len(self.wmin_values)
+            * self.scenarios_per_cell
+            * self.trials_per_scenario
+        )
+
+
+def generate_scenarios(
+    scale: CampaignScale,
+    m: int,
+    *,
+    campaign: str = "campaign",
+) -> List[ExperimentScenario]:
+    """All scenarios of the grid for a given ``m`` (Table I uses m=5, Table II m=10)."""
+    if m < 1:
+        raise ExperimentError(f"m must be >= 1, got {m}")
+    scenarios: List[ExperimentScenario] = []
+    for ncom in scale.ncom_values:
+        for wmin in scale.wmin_values:
+            params = ScenarioParameters(
+                m=m, ncom=ncom, wmin=wmin, num_processors=scale.num_processors
+            )
+            for index in range(scale.scenarios_per_cell):
+                scenarios.append(
+                    ExperimentScenario(params=params, scenario_index=index, campaign=campaign)
+                )
+    return scenarios

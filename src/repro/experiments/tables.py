@@ -1,0 +1,122 @@
+"""Rebuilding Table I and Table II of the paper.
+
+Table I reports #fails, %diff, %wins, %wins30 and stdv for all seventeen
+heuristics with ``m = 5``; Table II reports the best eight heuristics with
+``m = 10``.  The builders here wrap the campaign runner and the metrics
+module and render the same columns as the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.group import ExpectationMode
+from repro.experiments.metrics import HeuristicSummary, summarize_results
+from repro.experiments.runner import CampaignResult, run_campaign
+from repro.experiments.scenarios import CampaignScale
+from repro.scheduling.registry import ALL_HEURISTICS, TABLE2_HEURISTICS
+from repro.utils.tables import format_table
+
+__all__ = [
+    "build_table",
+    "format_summaries",
+    "format_table1",
+    "format_table2",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+]
+
+#: Paper-reported Table I rows (m = 5): heuristic -> (fails, %diff, %wins, %wins30, stdv).
+PAPER_TABLE1 = {
+    "Y-IE": (2, -11.82, 72.58, 92.09, 0.42),
+    "P-IE": (2, -10.50, 70.98, 91.19, 0.44),
+    "E-IAY": (4, -10.40, 64.75, 85.15, 0.77),
+    "E-IY": (4, -3.40, 59.91, 81.64, 0.80),
+    "IE": (1, 0.00, 100.00, 100.00, 0.00),
+    "IAY": (2, 13.59, 51.07, 76.42, 1.93),
+    "E-IP": (4, 19.35, 47.73, 69.69, 0.98),
+    "IY": (2, 24.22, 45.26, 70.85, 1.96),
+    "IP": (2, 52.03, 34.79, 58.54, 2.11),
+    "E-IE": (5, 53.93, 39.57, 64.51, 2.57),
+    "Y-IAY": (3, 99.75, 53.89, 70.77, 5.55),
+    "Y-IY": (3, 113.01, 49.22, 66.80, 5.73),
+    "P-IAY": (3, 125.27, 50.28, 67.33, 6.08),
+    "Y-IP": (2, 145.05, 38.56, 55.54, 5.90),
+    "P-IY": (3, 145.78, 42.54, 59.66, 6.22),
+    "P-IP": (2, 176.92, 36.92, 52.00, 6.61),
+    "RANDOM": (0, 2124.42, 0.00, 0.20, 22.54),
+}
+
+#: Paper-reported Table II rows (m = 10, best eight heuristics).
+PAPER_TABLE2 = {
+    "Y-IE": (141, -10.33, 71.35, 88.42, 0.54),
+    "P-IE": (141, -8.62, 69.64, 87.23, 0.55),
+    "E-IAY": (178, -6.10, 66.62, 81.93, 1.58),
+    "E-IY": (176, 8.04, 61.90, 77.87, 3.07),
+    "E-IP": (168, 29.68, 55.12, 71.86, 3.01),
+    "IAY": (152, 136.65, 46.98, 69.31, 14.76),
+    "IY": (152, 147.77, 42.06, 64.47, 14.76),
+    "IE": (0, 0.00, 100.00, 100.00, 0.00),
+}
+
+_HEADERS = ["Heuristic", "#fails", "%diff", "%wins", "%wins30", "stdv"]
+
+
+def build_table(
+    m: int,
+    *,
+    heuristics: Sequence[str] = ALL_HEURISTICS,
+    scale: Optional[CampaignScale] = None,
+    label: Optional[str] = None,
+    n_jobs: int = 1,
+    mode: ExpectationMode = ExpectationMode.PAPER,
+) -> tuple:
+    """Run the campaign for a table and return ``(campaign, summaries)``."""
+    label = label or f"table_m{m}"
+    campaign = run_campaign(
+        m,
+        heuristics=heuristics,
+        scale=scale,
+        label=label,
+        n_jobs=n_jobs,
+        mode=mode,
+    )
+    summaries = summarize_results(campaign.results)
+    return campaign, summaries
+
+
+def format_summaries(summaries: Sequence[HeuristicSummary], *, title: str = "") -> str:
+    """Render summaries as a Table I/II style text table."""
+    rows = [summary.as_row() for summary in summaries]
+    table = format_table(rows, headers=_HEADERS)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def format_table1(
+    *,
+    scale: Optional[CampaignScale] = None,
+    n_jobs: int = 1,
+    mode: ExpectationMode = ExpectationMode.PAPER,
+) -> tuple:
+    """Reproduce Table I (m = 5, all heuristics); returns ``(campaign, summaries, text)``."""
+    campaign, summaries = build_table(
+        5, heuristics=ALL_HEURISTICS, scale=scale, label="table1", n_jobs=n_jobs, mode=mode
+    )
+    text = format_summaries(summaries, title="Table I — results with m = 5 tasks")
+    return campaign, summaries, text
+
+
+def format_table2(
+    *,
+    scale: Optional[CampaignScale] = None,
+    n_jobs: int = 1,
+    mode: ExpectationMode = ExpectationMode.PAPER,
+) -> tuple:
+    """Reproduce Table II (m = 10, best eight heuristics); returns ``(campaign, summaries, text)``."""
+    campaign, summaries = build_table(
+        10, heuristics=TABLE2_HEURISTICS, scale=scale, label="table2", n_jobs=n_jobs, mode=mode
+    )
+    text = format_summaries(summaries, title="Table II — results with m = 10 tasks (best heuristics)")
+    return campaign, summaries, text

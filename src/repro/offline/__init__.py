@@ -1,0 +1,43 @@
+"""Off-line scheduling problem (Section IV): instances, reductions and solvers.
+
+The off-line problem assumes full knowledge of future processor states.  The
+paper proves that even its simplest deterministic variants are NP-hard
+(Theorem 4.1) through a reduction from the Exact Node Cardinality Decision
+problem (ENCD) on bipartite graphs.  This subpackage provides:
+
+* :class:`OfflineProblem` — the no-communication, homogeneous off-line
+  instances OFF-LINE-COUPLED(µ=1) and OFF-LINE-COUPLED(µ=∞);
+* :mod:`~repro.offline.encd` — ENCD instances and the two reductions of the
+  theorem (plus the reverse mapping used to cross-check them);
+* :mod:`~repro.offline.exact` — exact (exponential-time) solvers for small
+  instances of both problems and of ENCD;
+* :mod:`~repro.offline.bounds` — cheap upper bounds and a greedy oracle
+  schedule usable as a clairvoyant baseline for the on-line heuristics.
+"""
+
+from repro.offline.bounds import greedy_oracle_iterations, upper_bound_iterations
+from repro.offline.encd import (
+    ENCDInstance,
+    encd_to_offline_mu1,
+    encd_to_offline_mu_inf,
+    solve_encd_bruteforce,
+)
+from repro.offline.exact import (
+    OfflineSolution,
+    solve_offline_mu1,
+    solve_offline_mu_inf,
+)
+from repro.offline.problem import OfflineProblem
+
+__all__ = [
+    "OfflineProblem",
+    "OfflineSolution",
+    "ENCDInstance",
+    "encd_to_offline_mu1",
+    "encd_to_offline_mu_inf",
+    "solve_encd_bruteforce",
+    "solve_offline_mu1",
+    "solve_offline_mu_inf",
+    "greedy_oracle_iterations",
+    "upper_bound_iterations",
+]

@@ -1,0 +1,126 @@
+"""Bounds and a clairvoyant greedy oracle for multi-iteration off-line instances.
+
+Finding the optimal off-line schedule is NP-hard even for one iteration
+(Theorem 4.1), so for multi-iteration instances we bracket the optimum:
+
+* :func:`upper_bound_iterations` — a cheap combinatorial upper bound: every
+  compute slot of every iteration needs at least ``ceil(m / µ_eff)`` workers
+  (in the homogeneous model, ``m`` workers for µ=1) simultaneously UP, and a
+  slot can serve only one iteration, so the number of iterations is at most
+  ``floor(#eligible slots / w_per_iteration)``.
+* :func:`greedy_oracle_iterations` — a feasible clairvoyant schedule (hence a
+  lower bound on the optimum): scan time, enrol the first suitable worker set
+  observed, and ride it until the iteration completes; repeat.
+
+Together they bracket what any on-line heuristic could possibly achieve on a
+given trace, which makes them a useful sanity baseline in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.offline.problem import OfflineProblem
+
+__all__ = ["upper_bound_iterations", "greedy_oracle_iterations"]
+
+
+def upper_bound_iterations(problem: OfflineProblem) -> int:
+    """Upper bound on the number of iterations completable within the trace."""
+    up = problem.up_matrix()
+    k_min = problem.minimum_workers()
+    slots_per_iteration = problem.required_common_slots(
+        min(problem.num_tasks, problem.num_processors)
+        if problem.unbounded_capacity
+        else max(k_min, 1)
+    )
+    if problem.unbounded_capacity:
+        # With unbounded capacity a single worker may run the whole iteration,
+        # needing m * w slots; using k workers needs ceil(m/k) * w slots each
+        # of which must have >= k workers UP.  The weakest per-slot requirement
+        # is a single UP worker, but then each iteration consumes m * w slots.
+        eligible = int(np.count_nonzero(up.sum(axis=0) >= 1))
+        cheapest_iteration = problem.task_slots  # k = m workers, one task each
+        richest_count = int(np.count_nonzero(up.sum(axis=0) >= min(problem.num_tasks,
+                                                                   problem.num_processors)))
+        # Two simultaneous necessary conditions; take the tighter bound.
+        bound_single = eligible // (problem.num_tasks * problem.task_slots) if problem.task_slots else 0
+        bound_full = richest_count // cheapest_iteration if cheapest_iteration else 0
+        return max(bound_single, bound_full)
+    # Bounded capacity: every compute slot needs at least ceil(m / µ) workers UP.
+    needed_workers = problem.minimum_workers()
+    eligible = int(np.count_nonzero(up.sum(axis=0) >= needed_workers))
+    per_iteration = problem.required_common_slots(needed_workers)
+    if per_iteration <= 0:
+        return 0
+    return eligible // per_iteration
+
+
+def greedy_oracle_iterations(
+    problem: OfflineProblem,
+    *,
+    workers_per_iteration: Optional[int] = None,
+) -> Tuple[int, List[Tuple[frozenset, int]]]:
+    """A feasible clairvoyant schedule built greedily; returns (#iterations, schedule).
+
+    Parameters
+    ----------
+    problem:
+        The off-line instance.
+    workers_per_iteration:
+        How many workers to enrol per iteration; defaults to the smallest
+        feasible count (``ceil(m / µ)`` for bounded capacity, ``m`` for µ=1,
+        and ``min(m, p)`` for unbounded capacity so each worker gets one task).
+
+    Returns
+    -------
+    (count, schedule) where *schedule* is a list of (worker set, completion
+    slot) pairs, one per completed iteration.
+    """
+    up = problem.up_matrix()
+    p, horizon = up.shape
+    if workers_per_iteration is None:
+        if problem.capacity == 1:
+            workers_per_iteration = problem.num_tasks
+        elif problem.unbounded_capacity:
+            workers_per_iteration = min(problem.num_tasks, p)
+        else:
+            workers_per_iteration = problem.minimum_workers()
+    k = int(workers_per_iteration)
+    if k < problem.minimum_workers() or k > p:
+        return 0, []
+    needed = problem.required_common_slots(k)
+
+    schedule: List[Tuple[frozenset, int]] = []
+    slot = 0
+    while slot < horizon:
+        # Find the first slot with at least k workers UP and enrol the k
+        # candidates whose *current* UP run extends the furthest: those
+        # workers are guaranteed to stay simultaneously UP for the minimum of
+        # their run lengths, which is the clairvoyant information an on-line
+        # scheduler lacks.
+        candidates = np.flatnonzero(up[:, slot])
+        if candidates.size < k:
+            slot += 1
+            continue
+        run_lengths = np.empty(candidates.size, dtype=np.int64)
+        for index, worker in enumerate(candidates):
+            future = up[worker, slot:]
+            breaks = np.flatnonzero(~future)
+            run_lengths[index] = breaks[0] if breaks.size else future.size
+        chosen = candidates[np.argsort(-run_lengths)][:k]
+        chosen_set = frozenset(int(c) for c in chosen)
+        # Ride this set: count slots (from `slot` onwards) where all are UP.
+        common = np.logical_and.reduce(up[list(chosen), slot:], axis=0)
+        cumulative = np.cumsum(common)
+        positions = np.flatnonzero(cumulative >= needed)
+        if positions.size == 0:
+            # This set can never finish within the trace; advance one slot and retry.
+            slot += 1
+            continue
+        completion = slot + int(positions[0])
+        schedule.append((chosen_set, completion))
+        slot = completion + 1
+    return len(schedule), schedule

@@ -1,0 +1,29 @@
+"""Platform model: processors, master bandwidth, and platform builders.
+
+Implements the platform model of Section III-B:
+
+* ``p`` processors, each with a computation speed ``w_q`` (slots per task),
+  a memory bound ``µ_q`` (maximum concurrent tasks), and an availability
+  process;
+* a master that is always UP, with aggregate bandwidth ``BW`` and per-worker
+  bandwidth ``bw``; the master can drive at most ``ncom = floor(BW / bw)``
+  simultaneous transfers (bounded multi-port model);
+* program and data transfer durations ``Tprog = Vprog / bw`` and
+  ``Tdata = Vdata / bw`` expressed in whole time-slots.
+"""
+
+from repro.platform.builders import (
+    PlatformSpec,
+    paper_platform,
+    uniform_platform,
+)
+from repro.platform.platform import Platform
+from repro.platform.processor import Processor
+
+__all__ = [
+    "Processor",
+    "Platform",
+    "PlatformSpec",
+    "paper_platform",
+    "uniform_platform",
+]

@@ -1,0 +1,90 @@
+"""The :class:`Processor` description used throughout the library.
+
+A processor (equivalently, a *worker*: each processor runs exactly one worker
+process) is described by
+
+* ``speed`` — the number of time-slots ``w_q`` the processor needs, while UP,
+  to execute one task of the iteration;
+* ``capacity`` — the memory bound ``µ_q``: the maximum number of tasks the
+  worker may execute concurrently;
+* ``availability`` — the availability process governing its UP / RECLAIMED /
+  DOWN behaviour.
+
+Processors are identified by their index in the owning
+:class:`~repro.platform.platform.Platform`; the optional ``name`` is only
+used for display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.availability.model import AvailabilityModel
+from repro.exceptions import InvalidPlatformError
+
+__all__ = ["Processor"]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """Static description of one processor / worker.
+
+    Attributes
+    ----------
+    speed:
+        ``w_q`` — time-slots of UP computation needed per task.  Smaller is
+        faster.  Strictly positive integer.
+    capacity:
+        ``µ_q`` — maximum number of tasks this worker may hold concurrently.
+        Strictly positive integer (the paper also considers ``µ = ∞``; use a
+        value >= m for that).
+    availability:
+        The availability process of this processor.
+    name:
+        Optional display name; defaults to ``"P{index}"`` when the processor
+        is added to a platform.
+    """
+
+    speed: int
+    capacity: int
+    availability: AvailabilityModel
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.speed, bool) or int(self.speed) != self.speed or self.speed <= 0:
+            raise InvalidPlatformError(
+                f"processor speed w_q must be a positive integer, got {self.speed!r}"
+            )
+        if (
+            isinstance(self.capacity, bool)
+            or int(self.capacity) != self.capacity
+            or self.capacity <= 0
+        ):
+            raise InvalidPlatformError(
+                f"processor capacity µ_q must be a positive integer, got {self.capacity!r}"
+            )
+        object.__setattr__(self, "speed", int(self.speed))
+        object.__setattr__(self, "capacity", int(self.capacity))
+        if not isinstance(self.availability, AvailabilityModel):
+            raise InvalidPlatformError(
+                "availability must be an AvailabilityModel instance, got "
+                f"{type(self.availability).__name__}"
+            )
+
+    def task_slots(self, tasks: int) -> int:
+        """UP time-slots needed to compute *tasks* concurrent tasks (``tasks * w_q``)."""
+        if tasks < 0:
+            raise ValueError(f"tasks must be >= 0, got {tasks}")
+        return tasks * self.speed
+
+    def with_name(self, name: str) -> "Processor":
+        """A copy of this processor with a display name attached."""
+        return Processor(self.speed, self.capacity, self.availability, name)
+
+    def describe(self) -> str:
+        label = self.name or "P?"
+        return (
+            f"{label}(w={self.speed}, mu={self.capacity}, "
+            f"avail={self.availability.describe()})"
+        )

@@ -1,0 +1,46 @@
+"""On-line scheduling heuristics of Section VI.
+
+Seventeen heuristics are provided, exactly matching the paper's evaluation:
+
+* ``RANDOM`` — uniform random task placement on UP workers (baseline);
+* four *passive* incremental heuristics — ``IP`` (probability of success),
+  ``IE`` (expected completion time), ``IY`` (yield), ``IAY`` (apparent
+  yield) — which only reconfigure when a worker fails or a new iteration
+  starts;
+* twelve *proactive* heuristics ``C-H`` with switching criterion ``C`` in
+  {P, E, Y} and host-selection heuristic ``H`` in {IP, IE, IY, IAY}, which
+  recompute a candidate configuration at every slot and abandon the current
+  one when the candidate scores strictly better.
+
+Use :func:`create_scheduler` (or :data:`ALL_HEURISTICS`) to instantiate them
+by name.
+"""
+
+from repro.scheduling.allocation import IncrementalAllocator
+from repro.scheduling.base import Observation, Scheduler
+from repro.scheduling.passive import (
+    PassiveHeuristic,
+    make_passive_heuristic,
+)
+from repro.scheduling.proactive import ProactiveHeuristic
+from repro.scheduling.random_heuristic import RandomScheduler
+from repro.scheduling.registry import (
+    ALL_HEURISTICS,
+    PASSIVE_HEURISTICS,
+    PROACTIVE_HEURISTICS,
+    create_scheduler,
+)
+
+__all__ = [
+    "Scheduler",
+    "Observation",
+    "IncrementalAllocator",
+    "PassiveHeuristic",
+    "make_passive_heuristic",
+    "ProactiveHeuristic",
+    "RandomScheduler",
+    "create_scheduler",
+    "ALL_HEURISTICS",
+    "PASSIVE_HEURISTICS",
+    "PROACTIVE_HEURISTICS",
+]

@@ -1,0 +1,163 @@
+"""Extension heuristics beyond the paper's seventeen.
+
+The related-work section of the paper surveys simpler desktop-grid scheduling
+policies that rank or filter processors on static criteria (clock rate,
+availability threshold) rather than on the probabilistic machinery of
+Section V.  Implementing a couple of them gives useful comparison points:
+
+* :class:`FastestWorkersScheduler` ("FAST") — the knowledge-free policy: take
+  the fastest UP workers, one task each (spilling over by speed order when
+  capacity forces it).  Ignores reliability entirely.
+* :class:`ThresholdScheduler` ("THRESHOLD-IE") — the prior-work style policy
+  (Kondo et al., Estrada et al.): exclude processors whose long-run
+  availability is below a threshold, then run the paper's IE placement on the
+  survivors.  Falls back to all UP workers when the filter leaves too few.
+* :class:`StickyScheduler` ("STICKY") — an intentionally conservative policy
+  that keeps whatever feasible configuration it first finds and only rebuilds
+  on failure, picking workers by speed; isolates the value of the Section V
+  estimators from the value of merely "not moving around".
+
+These heuristics are *not* part of the paper's evaluation; they are exposed
+through :func:`repro.scheduling.registry.create_scheduler` under the names
+above so the experiment harness can include them in extension studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.application.configuration import Configuration
+from repro.scheduling.base import Observation, Scheduler
+from repro.scheduling.passive import make_passive_heuristic
+
+__all__ = [
+    "FastestWorkersScheduler",
+    "ThresholdScheduler",
+    "StickyScheduler",
+    "EXTENSION_HEURISTICS",
+]
+
+#: Names of the extension heuristics understood by the registry.
+EXTENSION_HEURISTICS = ("FAST", "THRESHOLD-IE", "STICKY")
+
+
+def _fill_by_priority(
+    scheduler: Scheduler, observation: Observation, ordered_workers: List[int]
+) -> Optional[Configuration]:
+    """Assign the application's tasks along a worker priority order.
+
+    Workers receive one task each in priority order; remaining tasks wrap
+    around respecting the capacity bounds.  Returns ``None`` when the workers
+    cannot hold all tasks.
+    """
+    num_tasks = scheduler.application.tasks_per_iteration
+    capacities = {w: scheduler.platform.processor(w).capacity for w in ordered_workers}
+    if sum(capacities.values()) < num_tasks or not ordered_workers:
+        return None
+    allocation = {w: 0 for w in ordered_workers}
+    remaining = num_tasks
+    while remaining > 0:
+        progressed = False
+        for worker in ordered_workers:
+            if remaining == 0:
+                break
+            if allocation[worker] < capacities[worker]:
+                allocation[worker] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:  # pragma: no cover - guarded by the capacity check
+            return None
+    return Configuration(allocation)
+
+
+class FastestWorkersScheduler(Scheduler):
+    """Enrol the fastest UP workers, one task each, ignoring reliability."""
+
+    name = "FAST"
+
+    def select(self, observation: Observation) -> Configuration:
+        self._require_bound()
+        if not observation.needs_new_configuration():
+            return observation.current_configuration
+        up_workers = observation.up_workers()
+        ordered = sorted(up_workers, key=lambda w: (self.platform.processor(w).speed, w))
+        num_tasks = self.application.tasks_per_iteration
+        # Use as few (fast) workers as possible: one task each on the m fastest,
+        # spilling over onto them again if there are fewer than m UP workers.
+        configuration = _fill_by_priority(self, observation, ordered[:num_tasks] or ordered)
+        if configuration is None:
+            configuration = _fill_by_priority(self, observation, ordered)
+        return configuration if configuration is not None else Configuration.empty()
+
+
+class ThresholdScheduler(Scheduler):
+    """Filter out low-availability processors, then apply IE placement.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum long-run availability (stationary probability of UP under the
+        processor's Markov approximation) required to be considered.
+    """
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        super().__init__()
+        if not (0.0 <= threshold <= 1.0):
+            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+        self.threshold = float(threshold)
+        self.name = "THRESHOLD-IE"
+        self._inner = make_passive_heuristic("IE")
+        self._availability_cache: Optional[List[float]] = None
+
+    def bind(self, platform, application, analysis, rng) -> None:
+        super().bind(platform, application, analysis, rng)
+        self._inner.bind(platform, application, analysis, rng)
+        self._availability_cache = [
+            model.availability() for model in platform.markov_models()
+        ]
+
+    def select(self, observation: Observation) -> Configuration:
+        self._require_bound()
+        if not observation.needs_new_configuration():
+            return observation.current_configuration
+        up_workers = observation.up_workers()
+        eligible = [
+            worker for worker in up_workers
+            if self._availability_cache[worker] >= self.threshold
+        ]
+        num_tasks = self.application.tasks_per_iteration
+        capacity = sum(self.platform.processor(w).capacity for w in eligible)
+        if capacity < num_tasks:
+            eligible = up_workers  # the filter is too aggressive: fall back
+        if self._inner._allocator is None:  # pragma: no cover - defensive
+            return Configuration.empty()
+        configuration = self._inner._allocator.allocate(
+            eligible,
+            has_program=observation.has_program,
+            received_data=observation.data_received,
+            elapsed=observation.iteration_elapsed,
+        )
+        return configuration if configuration is not None else Configuration.empty()
+
+
+class StickyScheduler(Scheduler):
+    """Keep the first feasible configuration found; rebuild only on failure.
+
+    Workers are chosen purely by speed (like :class:`FastestWorkersScheduler`)
+    but, unlike the paper's passive heuristics, the choice uses no
+    availability information at all — this isolates how much of the paper's
+    improvement comes from the probabilistic estimators rather than from mere
+    configuration stability.
+    """
+
+    name = "STICKY"
+
+    def select(self, observation: Observation) -> Configuration:
+        self._require_bound()
+        if not observation.needs_new_configuration():
+            return observation.current_configuration
+        ordered = sorted(
+            observation.up_workers(), key=lambda w: (self.platform.processor(w).speed, w)
+        )
+        configuration = _fill_by_priority(self, observation, ordered)
+        return configuration if configuration is not None else Configuration.empty()

@@ -1,0 +1,49 @@
+"""The RANDOM baseline heuristic.
+
+Section VI: "a baseline RANDOM heuristic that allocates tasks to UP
+processors randomly using a uniform distribution."  Like the passive
+heuristics, it only reconfigures when it has to (a worker failed, a new
+iteration starts, or the carried-over configuration is empty); each task is
+then assigned to a worker drawn uniformly among the UP workers that still
+have spare capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.application.configuration import Configuration
+from repro.scheduling.base import Observation, Scheduler
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random task placement on UP workers."""
+
+    name = "RANDOM"
+
+    def select(self, observation: Observation) -> Configuration:
+        self._require_bound()
+        if not observation.needs_new_configuration():
+            return observation.current_configuration
+        configuration = self._random_configuration(observation)
+        if configuration is None:
+            return Configuration.empty()
+        return configuration
+
+    # ------------------------------------------------------------------
+    def _random_configuration(self, observation: Observation) -> Optional[Configuration]:
+        up_workers = observation.up_workers()
+        if not up_workers:
+            return None
+        num_tasks = self.application.tasks_per_iteration
+        capacities = {w: self.platform.processor(w).capacity for w in up_workers}
+        if sum(capacities.values()) < num_tasks:
+            return None
+        allocation = {w: 0 for w in up_workers}
+        for _ in range(num_tasks):
+            eligible = [w for w in up_workers if allocation[w] < capacities[w]]
+            worker = int(self.rng.choice(eligible))
+            allocation[worker] += 1
+        return Configuration(allocation)

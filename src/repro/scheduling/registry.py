@@ -1,0 +1,101 @@
+"""Name-based registry of all seventeen heuristics evaluated in the paper.
+
+* ``RANDOM``;
+* passive: ``IP``, ``IE``, ``IY``, ``IAY``;
+* proactive: ``C-H`` for ``C ∈ {P, E, Y}`` and ``H ∈ {IP, IE, IY, IAY}``.
+
+The registry is the single source of truth used by the experiment harness,
+the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.criteria import PROACTIVE_CRITERIA, get_criterion
+from repro.scheduling.base import Scheduler
+from repro.scheduling.extensions import (
+    FastestWorkersScheduler,
+    StickyScheduler,
+    ThresholdScheduler,
+)
+from repro.scheduling.passive import PASSIVE_CRITERION_BY_NAME, make_passive_heuristic
+from repro.scheduling.proactive import ProactiveHeuristic
+from repro.scheduling.random_heuristic import RandomScheduler
+
+#: Factories for the extension heuristics recognised by :func:`create_scheduler`.
+EXTENSION_FACTORIES = {
+    "FAST": FastestWorkersScheduler,
+    "THRESHOLD-IE": ThresholdScheduler,
+    "STICKY": StickyScheduler,
+}
+
+__all__ = [
+    "PASSIVE_HEURISTICS",
+    "PROACTIVE_HEURISTICS",
+    "ALL_HEURISTICS",
+    "TABLE2_HEURISTICS",
+    "EXTENSION_HEURISTIC_NAMES",
+    "create_scheduler",
+]
+
+#: The four passive heuristics of Section VI-A.
+PASSIVE_HEURISTICS: Tuple[str, ...] = tuple(PASSIVE_CRITERION_BY_NAME)
+
+#: The twelve proactive heuristics of Section VI-B.
+PROACTIVE_HEURISTICS: Tuple[str, ...] = tuple(
+    f"{criterion}-{heuristic}"
+    for criterion in PROACTIVE_CRITERIA
+    for heuristic in PASSIVE_HEURISTICS
+)
+
+#: All seventeen heuristics, in the paper's naming.
+ALL_HEURISTICS: Tuple[str, ...] = ("RANDOM",) + PASSIVE_HEURISTICS + PROACTIVE_HEURISTICS
+
+#: Extension heuristics (not part of the paper's evaluation) also accepted by
+#: :func:`create_scheduler`; see :mod:`repro.scheduling.extensions`.
+EXTENSION_HEURISTIC_NAMES: Tuple[str, ...] = ("FAST", "THRESHOLD-IE", "STICKY")
+
+#: The eight heuristics reported in Table II / Figure 2 (m = 10).
+TABLE2_HEURISTICS: Tuple[str, ...] = (
+    "Y-IE",
+    "P-IE",
+    "E-IAY",
+    "E-IY",
+    "E-IP",
+    "IAY",
+    "IY",
+    "IE",
+)
+
+
+def create_scheduler(name: str) -> Scheduler:
+    """Instantiate a heuristic by its paper name (case-insensitive).
+
+    Examples: ``create_scheduler("IE")``, ``create_scheduler("Y-IE")``,
+    ``create_scheduler("random")``.  Besides the paper's seventeen
+    heuristics, the extension policies of
+    :mod:`repro.scheduling.extensions` (``FAST``, ``THRESHOLD-IE``,
+    ``STICKY``) are also recognised.
+    """
+    key = str(name).strip().upper()
+    if key == "RANDOM":
+        return RandomScheduler()
+    if key in EXTENSION_FACTORIES:
+        return EXTENSION_FACTORIES[key]()
+    if key in PASSIVE_CRITERION_BY_NAME:
+        return make_passive_heuristic(key)
+    if "-" in key:
+        criterion_name, _, passive_name = key.partition("-")
+        if criterion_name in PROACTIVE_CRITERIA and passive_name in PASSIVE_CRITERION_BY_NAME:
+            criterion = get_criterion(criterion_name)
+            passive = make_passive_heuristic(passive_name)
+            return ProactiveHeuristic(criterion, passive, name=key)
+    raise ValueError(
+        f"unknown heuristic {name!r}; expected one of {list(ALL_HEURISTICS)}"
+    )
+
+
+def available_heuristics() -> List[str]:
+    """All recognised heuristic names (convenience for CLIs and docs)."""
+    return list(ALL_HEURISTICS)

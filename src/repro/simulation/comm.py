@@ -1,0 +1,102 @@
+"""Bounded multi-port communication manager.
+
+The master can drive at most ``ncom`` simultaneous transfers per slot
+(Section III-B).  Each granted channel moves one slot's worth of program or
+task data to one enrolled, UP worker.
+
+The paper does not prescribe how the master chooses which workers to serve
+when more than ``ncom`` of them need data; any work-conserving policy is
+compatible with the model.  We use a deterministic *sticky* policy that
+matches the behaviour illustrated in Figure 1:
+
+* a worker that held a channel in the previous slot keeps it as long as it is
+  UP, enrolled and still needs communication (transfers are not needlessly
+  preempted);
+* remaining channels are granted to eligible workers by ascending worker id.
+
+The policy is isolated here so alternative policies (e.g. shortest-remaining-
+transfer-first) can be benchmarked without touching the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.simulation.state import WorkerRuntime
+
+__all__ = ["CommunicationManager"]
+
+
+class CommunicationManager:
+    """Allocates the master's ``ncom`` channels slot by slot."""
+
+    def __init__(self, ncom: int) -> None:
+        if ncom < 1:
+            raise ValueError(f"ncom must be >= 1, got {ncom}")
+        self.ncom = int(ncom)
+        self._previous_holders: Set[int] = set()
+
+    def reset(self) -> None:
+        """Forget channel stickiness (called at the start of every run)."""
+        self._previous_holders.clear()
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        runtimes: Sequence[WorkerRuntime],
+        *,
+        tprog: int,
+        tdata: int,
+    ) -> List[int]:
+        """Pick the workers to serve this slot.
+
+        Parameters
+        ----------
+        runtimes:
+            The per-worker runtime records (all workers; eligibility is
+            decided here).
+        tprog, tdata:
+            Transfer durations, used to decide who still needs communication.
+
+        Returns
+        -------
+        list of worker ids granted a channel this slot (at most ``ncom``).
+        """
+        eligible = [
+            runtime.worker_id
+            for runtime in runtimes
+            if runtime.enrolled
+            and runtime.is_up()
+            and runtime.comm_slots_remaining(tprog, tdata) > 0
+        ]
+        if not eligible:
+            self._previous_holders.clear()
+            return []
+
+        eligible_set = set(eligible)
+        # Sticky channels first (ascending id for determinism), then the rest.
+        keep = sorted(self._previous_holders & eligible_set)
+        rest = sorted(eligible_set - self._previous_holders)
+        granted = (keep + rest)[: self.ncom]
+        self._previous_holders = set(granted)
+        return granted
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        runtimes: Dict[int, WorkerRuntime],
+        granted: Iterable[int],
+        *,
+        tprog: int,
+        tdata: int,
+    ) -> Dict[int, str]:
+        """Advance the transfers of the *granted* workers by one slot.
+
+        Returns a mapping worker id -> ``"program"`` or ``"data"`` describing
+        what was transferred (used by the event log / Gantt rendering).
+        """
+        served: Dict[int, str] = {}
+        for worker_id in granted:
+            runtime = runtimes[worker_id]
+            served[worker_id] = runtime.receive_communication_slot(tprog, tdata)
+        return served

@@ -1,0 +1,458 @@
+"""The time-slot simulation engine.
+
+Implements the execution model of Section III faithfully:
+
+* 3-state workers; DOWN destroys program, data and the iteration's partial
+  computation; RECLAIMED merely suspends;
+* bounded multi-port master: at most ``ncom`` simultaneous transfers;
+* an iteration is a communication phase (program once per enrolment + one
+  data message per assigned task) followed by a computation phase needing
+  ``W = max_q x_q w_q`` slots during which *all* enrolled workers are
+  simultaneously UP;
+* changing the configuration (for any reason) loses the iteration's partial
+  computation; un-enrolled workers keep the program but lose received data;
+* the run completes when the requested number of iterations is done, or is
+  declared failed when the slot cap is hit.
+
+The engine is deliberately scheduler-agnostic and availability-agnostic: the
+scheduler is any :class:`~repro.scheduling.base.Scheduler`, and availability
+either comes from the processors' stochastic models (sampled on the fly with
+a seeded generator) or from a fixed :class:`AvailabilityTrace` (replay).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.cache import AnalysisContext
+from repro.application.application import Application
+from repro.application.configuration import Configuration
+from repro.availability.trace import AvailabilityTrace
+from repro.exceptions import SchedulingError, SimulationError
+from repro.platform.platform import Platform
+from repro.scheduling.base import Observation, Scheduler
+from repro.simulation.comm import CommunicationManager
+from repro.simulation.events import EventKind, EventLog
+from repro.simulation.results import IterationRecord, SimulationResult
+from repro.simulation.state import WorkerRuntime
+from repro.types import DOWN, UP, ProcessorState
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+
+__all__ = ["SimulationEngine", "simulate"]
+
+#: Default makespan cap, matching the paper's 1,000,000-slot limit.
+DEFAULT_MAX_SLOTS = 1_000_000
+
+#: Activity codes recorded per worker per slot when ``record_activity`` is on.
+ACTIVITY_NONE = " "
+ACTIVITY_IDLE = "I"
+ACTIVITY_PROGRAM = "P"
+ACTIVITY_DATA = "D"
+ACTIVITY_COMPUTE = "C"
+
+
+class SimulationEngine:
+    """Simulate one application run under one scheduler.
+
+    Parameters
+    ----------
+    platform, application:
+        The models of Section III.
+    scheduler:
+        The on-line scheduler driving configuration choices.
+    seed:
+        Seed for all stochastic elements of the run (availability sampling
+        and scheduler tie-breaking).  Ignored for availability when *trace*
+        is given.
+    max_slots:
+        Makespan cap; the run is declared failed when it is reached.
+    trace:
+        Optional fixed availability trace to replay instead of sampling from
+        the processors' models.  Must cover at least ``max_slots`` slots or
+        the run fails with :class:`SimulationError` when it runs off the end.
+    analysis:
+        Optional pre-built :class:`AnalysisContext`; sharing one across runs
+        on the same platform (different schedulers / trials) avoids
+        recomputing the Markov machinery.
+    record_events:
+        Keep a structured event log (off by default).
+    record_activity:
+        Keep per-worker per-slot activity and state matrices, enabling Gantt
+        rendering (off by default; memory grows with the makespan).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        application: Application,
+        scheduler: Scheduler,
+        *,
+        seed: SeedLike = None,
+        max_slots: int = DEFAULT_MAX_SLOTS,
+        trace: Optional[AvailabilityTrace] = None,
+        analysis: Optional[AnalysisContext] = None,
+        record_events: bool = False,
+        record_activity: bool = False,
+    ) -> None:
+        if max_slots < 1:
+            raise SimulationError(f"max_slots must be >= 1, got {max_slots}")
+        platform.validate_for_tasks(application.tasks_per_iteration)
+        if trace is not None and trace.num_processors != platform.num_processors:
+            raise SimulationError(
+                f"trace has {trace.num_processors} processors but the platform has "
+                f"{platform.num_processors}"
+            )
+        self.platform = platform
+        self.application = application
+        self.scheduler = scheduler
+        self.max_slots = int(max_slots)
+        self.trace = trace
+        self.analysis = analysis if analysis is not None else AnalysisContext(platform)
+        self.events = EventLog(enabled=record_events)
+        self.record_activity = bool(record_activity)
+
+        root = as_generator(seed)
+        # Independent streams: one per worker for availability, one for the scheduler.
+        streams = spawn_generators(int(root.integers(0, 2**62)), platform.num_processors + 1)
+        self._availability_rngs = streams[:-1]
+        self._scheduler_rng = streams[-1]
+
+        self._comm = CommunicationManager(platform.ncom)
+        self._runtimes: List[WorkerRuntime] = []
+        self._states = np.zeros(platform.num_processors, dtype=np.int8)
+        self.activity_matrix: Optional[np.ndarray] = None
+        self.state_matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Availability driving
+    # ------------------------------------------------------------------
+    def _initialise_states(self) -> None:
+        if self.trace is not None:
+            if self.trace.horizon < 1:
+                raise SimulationError("availability trace is empty")
+            self._states = self.trace.states[:, 0].astype(np.int8)
+            return
+        for worker_id, processor in enumerate(self.platform.processors):
+            model = processor.availability
+            model.reset()
+            state = model.initial_state(self._availability_rngs[worker_id])
+            self._states[worker_id] = int(state)
+
+    def _advance_states(self, slot: int) -> None:
+        if self.trace is not None:
+            if slot >= self.trace.horizon:
+                raise SimulationError(
+                    f"availability trace ends at slot {self.trace.horizon} but the run "
+                    f"reached slot {slot}; provide a longer trace or lower max_slots"
+                )
+            self._states = self.trace.states[:, slot].astype(np.int8)
+            return
+        for worker_id, processor in enumerate(self.platform.processors):
+            current = ProcessorState(int(self._states[worker_id]))
+            nxt = processor.availability.next_state(
+                current, self._availability_rngs[worker_id]
+            )
+            self._states[worker_id] = int(nxt)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the run and return its :class:`SimulationResult`."""
+        platform = self.platform
+        application = self.application
+        tprog, tdata = platform.tprog, platform.tdata
+        num_tasks = application.tasks_per_iteration
+
+        self.scheduler.bind(platform, application, self.analysis, self._scheduler_rng)
+        self._comm.reset()
+        self._runtimes = [WorkerRuntime(worker_id=q) for q in range(platform.num_processors)]
+        runtimes = self._runtimes
+        runtime_by_id = {runtime.worker_id: runtime for runtime in runtimes}
+        self._initialise_states()
+
+        if self.record_activity:
+            self.activity_matrix = np.full(
+                (platform.num_processors, self.max_slots), ACTIVITY_NONE, dtype="<U1"
+            )
+            self.state_matrix = np.zeros(
+                (platform.num_processors, self.max_slots), dtype=np.int8
+            )
+
+        current_config = Configuration.empty()
+        iteration_index = 0
+        iteration_start = 0
+        progress = 0
+        new_iteration = True
+
+        records: List[IterationRecord] = [IterationRecord(index=0, start_slot=0)]
+        total_restarts = 0
+        total_config_changes = 0
+        total_comm_slots = 0
+        total_compute_slots = 0
+        total_idle_slots = 0
+
+        makespan: Optional[int] = None
+        success = False
+
+        for slot in range(self.max_slots):
+            if slot > 0:
+                self._advance_states(slot)
+            states = self._states
+            for runtime in runtimes:
+                runtime.state = ProcessorState(int(states[runtime.worker_id]))
+            if self.record_activity:
+                self.state_matrix[:, slot] = states
+
+            record = records[-1]
+
+            # ---- 1. failures among enrolled workers --------------------
+            failure = False
+            for runtime in runtimes:
+                if runtime.is_down() and (runtime.has_program or runtime.enrolled
+                                          or runtime.program_progress or runtime.data_received
+                                          or runtime.data_progress):
+                    if runtime.enrolled:
+                        failure = True
+                        self.events.record(
+                            slot, EventKind.WORKER_FAILED, worker=runtime.worker_id
+                        )
+                    runtime.on_down()
+            if failure:
+                if progress > 0 or not current_config.is_empty():
+                    total_restarts += 1
+                    record.restarts += 1
+                    self.events.record(
+                        slot, EventKind.ITERATION_RESTARTED, iteration=iteration_index
+                    )
+                progress = 0
+                # Remove DOWN workers from the carried-over configuration.
+                pruned = {
+                    worker: tasks
+                    for worker, tasks in current_config.items()
+                    if not runtime_by_id[worker].is_down()
+                }
+                current_config = Configuration(pruned)
+
+            # ---- 2. scheduler decision ---------------------------------
+            observation = Observation(
+                slot=slot,
+                states=states.copy(),
+                current_configuration=current_config,
+                iteration_index=iteration_index,
+                iteration_elapsed=slot - iteration_start,
+                progress=progress,
+                failure=failure,
+                new_iteration=new_iteration,
+                has_program=frozenset(
+                    runtime.worker_id for runtime in runtimes if runtime.has_program
+                ),
+                data_received={
+                    runtime.worker_id: runtime.data_received
+                    for runtime in runtimes
+                    if runtime.enrolled
+                },
+                comm_remaining={
+                    runtime.worker_id: runtime.comm_slots_remaining(tprog, tdata)
+                    for runtime in runtimes
+                    if runtime.enrolled
+                },
+            )
+            new_config = self.scheduler.select(observation)
+            if new_config is None:
+                new_config = current_config
+            self._validate_selection(new_config, current_config, states, num_tasks)
+            new_iteration = False
+
+            # ---- 3. apply configuration change -------------------------
+            if new_config != current_config:
+                total_config_changes += 1
+                record.configuration_changes += 1
+                self.events.record(
+                    slot,
+                    EventKind.CONFIGURATION_CHANGED,
+                    old=current_config.to_dict(),
+                    new=new_config.to_dict(),
+                )
+                progress = 0  # tight coupling: any reconfiguration loses partial work
+                old_workers = set(current_config.workers)
+                new_workers = set(new_config.workers)
+                for worker in old_workers - new_workers:
+                    runtime_by_id[worker].on_unenroll()
+                for worker in new_workers:
+                    runtime = runtime_by_id[worker]
+                    tasks = new_config.tasks_on(worker)
+                    if worker in old_workers and runtime.enrolled:
+                        runtime.on_reassign(tasks)
+                    else:
+                        runtime.on_enroll(tasks)
+                    runtime.absorb_free_transfers(tprog, tdata)
+                current_config = new_config
+
+            # ---- 4. run the slot ---------------------------------------
+            enrolled_runtimes = [runtime_by_id[w] for w in current_config.workers]
+            feasible = (
+                not current_config.is_empty()
+                and current_config.total_tasks() == num_tasks
+            )
+            if not feasible:
+                total_idle_slots += 1
+                record.idle_slots += 1
+                self.events.record(slot, EventKind.IDLE, reason="no_feasible_configuration")
+            else:
+                comm_needed = any(
+                    runtime.comm_slots_remaining(tprog, tdata) > 0
+                    for runtime in enrolled_runtimes
+                )
+                if comm_needed:
+                    granted = self._comm.allocate(enrolled_runtimes, tprog=tprog, tdata=tdata)
+                    served = self._comm.serve(
+                        runtime_by_id, granted, tprog=tprog, tdata=tdata
+                    )
+                    total_comm_slots += 1
+                    record.communication_slots += 1
+                    if served:
+                        self.events.record(slot, EventKind.COMMUNICATION, served=served)
+                    if self.record_activity:
+                        for runtime in enrolled_runtimes:
+                            kind = served.get(runtime.worker_id)
+                            if kind == "program":
+                                self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_PROGRAM
+                            elif kind == "data":
+                                self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_DATA
+                            else:
+                                self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_IDLE
+                else:
+                    all_up = all(runtime.is_up() for runtime in enrolled_runtimes)
+                    if all_up:
+                        progress += 1
+                        total_compute_slots += 1
+                        record.computation_slots += 1
+                        self.events.record(
+                            slot,
+                            EventKind.COMPUTATION,
+                            progress=progress,
+                            workload=current_config.workload(self.platform),
+                        )
+                        if self.record_activity:
+                            for runtime in enrolled_runtimes:
+                                self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_COMPUTE
+                    else:
+                        total_idle_slots += 1
+                        record.idle_slots += 1
+                        self.events.record(slot, EventKind.IDLE, reason="worker_reclaimed")
+                        if self.record_activity:
+                            for runtime in enrolled_runtimes:
+                                self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_IDLE
+
+                    # ---- iteration completion ---------------------------
+                    if progress >= current_config.workload(self.platform) and all_up:
+                        record.end_slot = slot
+                        self.events.record(
+                            slot, EventKind.ITERATION_COMPLETED, iteration=iteration_index
+                        )
+                        iteration_index += 1
+                        if iteration_index >= application.iterations:
+                            makespan = slot + 1
+                            success = True
+                            self.events.record(slot, EventKind.RUN_COMPLETED, makespan=makespan)
+                            break
+                        # Start the next iteration at the next slot.
+                        iteration_start = slot + 1
+                        progress = 0
+                        new_iteration = True
+                        records.append(
+                            IterationRecord(index=iteration_index, start_slot=slot + 1)
+                        )
+                        for runtime in enrolled_runtimes:
+                            runtime.on_new_iteration()
+                            runtime.absorb_free_transfers(tprog, tdata)
+
+        if not success:
+            self.events.record(self.max_slots - 1, EventKind.RUN_ABORTED, reason="max_slots")
+
+        if self.record_activity and makespan is not None:
+            self.activity_matrix = self.activity_matrix[:, :makespan]
+            self.state_matrix = self.state_matrix[:, :makespan]
+
+        return SimulationResult(
+            scheduler=self.scheduler.name,
+            success=success,
+            makespan=makespan,
+            completed_iterations=iteration_index,
+            requested_iterations=application.iterations,
+            max_slots=self.max_slots,
+            iterations=records,
+            total_restarts=total_restarts,
+            total_configuration_changes=total_config_changes,
+            communication_slots=total_comm_slots,
+            computation_slots=total_compute_slots,
+            idle_slots=total_idle_slots,
+        )
+
+    # ------------------------------------------------------------------
+    def _validate_selection(
+        self,
+        new_config: Configuration,
+        current_config: Configuration,
+        states: np.ndarray,
+        num_tasks: int,
+    ) -> None:
+        """Sanity checks on the scheduler's decision (model rules of Sec. III-C)."""
+        if new_config.is_empty():
+            return
+        if new_config.total_tasks() != num_tasks:
+            raise SchedulingError(
+                f"scheduler {self.scheduler.name!r} returned a configuration with "
+                f"{new_config.total_tasks()} tasks instead of {num_tasks}"
+            )
+        current_workers = set(current_config.workers)
+        for worker, tasks in new_config.items():
+            if worker < 0 or worker >= self.platform.num_processors:
+                raise SchedulingError(
+                    f"scheduler {self.scheduler.name!r} enrolled unknown worker {worker}"
+                )
+            if tasks > self.platform.processor(worker).capacity:
+                raise SchedulingError(
+                    f"scheduler {self.scheduler.name!r} assigned {tasks} tasks to worker "
+                    f"{worker} whose capacity is {self.platform.processor(worker).capacity}"
+                )
+            state = int(states[worker])
+            if state == int(DOWN):
+                raise SchedulingError(
+                    f"scheduler {self.scheduler.name!r} enrolled DOWN worker {worker}"
+                )
+            if worker not in current_workers and state != int(UP):
+                raise SchedulingError(
+                    f"scheduler {self.scheduler.name!r} newly enrolled worker {worker} "
+                    "which is not UP"
+                )
+
+
+def simulate(
+    platform: Platform,
+    application: Application,
+    scheduler: Scheduler,
+    *,
+    seed: SeedLike = None,
+    max_slots: int = DEFAULT_MAX_SLOTS,
+    trace: Optional[AvailabilityTrace] = None,
+    analysis: Optional[AnalysisContext] = None,
+    record_events: bool = False,
+    record_activity: bool = False,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`SimulationEngine`."""
+    engine = SimulationEngine(
+        platform,
+        application,
+        scheduler,
+        seed=seed,
+        max_slots=max_slots,
+        trace=trace,
+        analysis=analysis,
+        record_events=record_events,
+        record_activity=record_activity,
+    )
+    return engine.run()

@@ -1,0 +1,146 @@
+"""Simulation results: per-iteration records and run-level summary.
+
+The paper's quality metric is the *makespan*: the number of time-slots needed
+to complete a fixed number of iterations (10 in the paper's campaign).  Runs
+that exceed the makespan cap are declared failed, mirroring the paper's
+treatment ("we limit the makespan to 1,000,000 seconds and declare that a
+heuristic fails if it reaches this limit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["IterationRecord", "SimulationResult"]
+
+
+@dataclass
+class IterationRecord:
+    """Book-keeping for one completed (or attempted) application iteration."""
+
+    index: int
+    start_slot: int
+    end_slot: Optional[int] = None
+    restarts: int = 0
+    configuration_changes: int = 0
+    communication_slots: int = 0
+    computation_slots: int = 0
+    idle_slots: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.end_slot is not None
+
+    @property
+    def duration(self) -> Optional[int]:
+        """Slots from iteration start to completion (inclusive), or ``None``."""
+        if self.end_slot is None:
+            return None
+        return self.end_slot - self.start_slot + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start_slot": self.start_slot,
+            "end_slot": self.end_slot,
+            "restarts": self.restarts,
+            "configuration_changes": self.configuration_changes,
+            "communication_slots": self.communication_slots,
+            "computation_slots": self.computation_slots,
+            "idle_slots": self.idle_slots,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    #: Name of the scheduler that produced the run.
+    scheduler: str
+    #: Whether the requested number of iterations completed within the cap.
+    success: bool
+    #: Slots needed to complete all iterations (``None`` when ``success`` is False).
+    makespan: Optional[int]
+    #: Number of iterations completed before the run ended.
+    completed_iterations: int
+    #: Number of iterations requested.
+    requested_iterations: int
+    #: The makespan cap that was in force.
+    max_slots: int
+    #: Per-iteration records (includes the unfinished final iteration, if any).
+    iterations: List[IterationRecord] = field(default_factory=list)
+    #: Total iteration restarts caused by worker failures.
+    total_restarts: int = 0
+    #: Total configuration changes (including failure-triggered rebuilds).
+    total_configuration_changes: int = 0
+    #: Slot-level activity totals over the whole run.
+    communication_slots: int = 0
+    computation_slots: int = 0
+    idle_slots: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return not self.success
+
+    def effective_makespan(self, penalty: Optional[int] = None) -> int:
+        """Makespan, substituting *penalty* (default: the cap) for failed runs.
+
+        The experiment metrics need a numeric value even for failed runs when
+        aggregating; the paper simply discards failed runs for %diff but
+        counts them in ``#fails``.
+        """
+        if self.success and self.makespan is not None:
+            return self.makespan
+        return int(penalty if penalty is not None else self.max_slots)
+
+    def mean_iteration_duration(self) -> Optional[float]:
+        durations = [record.duration for record in self.iterations if record.completed]
+        if not durations:
+            return None
+        return float(sum(durations)) / len(durations)
+
+    def as_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "success": self.success,
+            "makespan": self.makespan,
+            "completed_iterations": self.completed_iterations,
+            "requested_iterations": self.requested_iterations,
+            "max_slots": self.max_slots,
+            "total_restarts": self.total_restarts,
+            "total_configuration_changes": self.total_configuration_changes,
+            "communication_slots": self.communication_slots,
+            "computation_slots": self.computation_slots,
+            "idle_slots": self.idle_slots,
+            "iterations": [record.as_dict() for record in self.iterations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        iterations = [
+            IterationRecord(**record) for record in payload.get("iterations", [])
+        ]
+        return cls(
+            scheduler=payload["scheduler"],
+            success=payload["success"],
+            makespan=payload.get("makespan"),
+            completed_iterations=payload["completed_iterations"],
+            requested_iterations=payload["requested_iterations"],
+            max_slots=payload["max_slots"],
+            iterations=iterations,
+            total_restarts=payload.get("total_restarts", 0),
+            total_configuration_changes=payload.get("total_configuration_changes", 0),
+            communication_slots=payload.get("communication_slots", 0),
+            computation_slots=payload.get("computation_slots", 0),
+            idle_slots=payload.get("idle_slots", 0),
+        )
+
+    def describe(self) -> str:
+        status = "ok" if self.success else "FAILED"
+        return (
+            f"{self.scheduler}: {status}, makespan={self.makespan}, "
+            f"iterations={self.completed_iterations}/{self.requested_iterations}, "
+            f"restarts={self.total_restarts}, reconfigs={self.total_configuration_changes}"
+        )

@@ -1,0 +1,173 @@
+"""Per-worker runtime state tracked by the simulation engine.
+
+For every worker the engine keeps, besides the availability state of the
+current slot, the information needed to apply the execution model of
+Section III-C:
+
+* whether the worker currently holds the application program (retained across
+  iterations and un-enrolments, lost on DOWN);
+* the progress of the in-flight program transfer (lost on DOWN and on
+  un-enrolment: "any interrupted communication must be resumed from scratch");
+* the number of complete task-data messages received for the current
+  iteration and enrolment (lost on DOWN and on un-enrolment, reusable when the
+  worker stays enrolled across a failure-triggered reallocation);
+* the progress of the in-flight data-message transfer;
+* the number of tasks currently assigned (``x_q``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+
+__all__ = ["WorkerRuntime"]
+
+
+@dataclass
+class WorkerRuntime:
+    """Mutable runtime record of one worker inside a simulation run."""
+
+    worker_id: int
+    state: ProcessorState = UP
+    enrolled: bool = False
+    assigned_tasks: int = 0
+    has_program: bool = False
+    program_progress: int = 0
+    data_received: int = 0
+    data_progress: int = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_up(self) -> bool:
+        return self.state == UP
+
+    def is_down(self) -> bool:
+        return self.state == DOWN
+
+    def is_reclaimed(self) -> bool:
+        return self.state == RECLAIMED
+
+    def program_slots_remaining(self, tprog: int) -> int:
+        """Slots of program transfer still needed (0 if it holds the program)."""
+        if self.has_program:
+            return 0
+        return max(tprog - self.program_progress, 0)
+
+    def data_slots_remaining(self, tdata: int) -> int:
+        """Slots of task-data transfer still needed for the assigned tasks."""
+        missing_messages = max(self.assigned_tasks - self.data_received, 0)
+        if missing_messages == 0:
+            return 0
+        return missing_messages * tdata - self.data_progress
+
+    def comm_slots_remaining(self, tprog: int, tdata: int) -> int:
+        """Total slots of master communication still needed by this worker."""
+        return self.program_slots_remaining(tprog) + self.data_slots_remaining(tdata)
+
+    def ready_to_compute(self, tprog: int, tdata: int) -> bool:
+        """Whether the worker holds the program and all data for its tasks."""
+        return self.enrolled and self.comm_slots_remaining(tprog, tdata) == 0
+
+    # ------------------------------------------------------------------
+    # Transitions driven by the engine
+    # ------------------------------------------------------------------
+    def on_down(self) -> None:
+        """Apply a DOWN transition: program, data and in-flight transfers are lost."""
+        self.has_program = False
+        self.program_progress = 0
+        self.data_received = 0
+        self.data_progress = 0
+        self.enrolled = False
+        self.assigned_tasks = 0
+
+    def on_unenroll(self) -> None:
+        """Remove the worker from the configuration.
+
+        The program is kept (if complete), but partially received program
+        slots, received data messages and partial data transfers are lost —
+        they must be resent from scratch upon re-enrolment.
+        """
+        self.enrolled = False
+        self.assigned_tasks = 0
+        self.program_progress = 0
+        self.data_received = 0
+        self.data_progress = 0
+
+    def on_enroll(self, tasks: int) -> None:
+        """(Re-)enrol the worker with *tasks* assigned tasks.
+
+        Any previously received data is discarded (a newly enrolled worker
+        must receive all its task data), but a complete program copy is kept.
+        """
+        if tasks <= 0:
+            raise ValueError(f"tasks must be >= 1 to enroll a worker, got {tasks}")
+        self.enrolled = True
+        self.assigned_tasks = int(tasks)
+        self.data_received = 0
+        self.data_progress = 0
+        self.program_progress = 0
+
+    def on_reassign(self, tasks: int) -> None:
+        """Change the task count of a continuously-enrolled worker.
+
+        Received data messages are reusable up to the new task count
+        (Section VI: a worker that has not become DOWN "can reuse that data
+        if the scheduler reassigns tasks to it").
+        """
+        if tasks <= 0:
+            raise ValueError(f"tasks must be >= 1 to reassign a worker, got {tasks}")
+        self.enrolled = True
+        self.assigned_tasks = int(tasks)
+        if self.data_received > tasks:
+            self.data_received = int(tasks)
+            self.data_progress = 0
+
+    def on_new_iteration(self) -> None:
+        """Reset per-iteration data state: every iteration needs fresh task data."""
+        self.data_received = 0
+        self.data_progress = 0
+
+    # ------------------------------------------------------------------
+    # Communication progress
+    # ------------------------------------------------------------------
+    def receive_communication_slot(self, tprog: int, tdata: int) -> str:
+        """Advance this worker's transfer by one slot; return ``"program"`` or ``"data"``.
+
+        The program is always transferred before task data (a worker cannot
+        use data without the program anyway).  Degenerate zero-length
+        transfers (``Tprog == 0`` or ``Tdata == 0``) are completed instantly
+        by the engine before channel allocation and never reach this method.
+        """
+        if self.program_slots_remaining(tprog) > 0:
+            self.program_progress += 1
+            if self.program_progress >= tprog:
+                self.has_program = True
+                self.program_progress = 0
+            return "program"
+        if self.data_slots_remaining(tdata) > 0:
+            self.data_progress += 1
+            if self.data_progress >= tdata:
+                self.data_received += 1
+                self.data_progress = 0
+            return "data"
+        raise RuntimeError(
+            f"worker {self.worker_id} was granted a communication slot but needs none"
+        )
+
+    def absorb_free_transfers(self, tprog: int, tdata: int) -> None:
+        """Complete any zero-duration transfers (``Tprog == 0`` / ``Tdata == 0``).
+
+        Called by the engine right after (re-)enrolment so that degenerate
+        platforms (no communication cost) behave as if messages arrive
+        instantly, matching the off-line model with ``Tprog = Tdata = 0``.
+        """
+        if not self.enrolled:
+            return
+        if tprog == 0:
+            self.has_program = True
+            self.program_progress = 0
+        if tdata == 0:
+            self.data_received = self.assigned_tasks
+            self.data_progress = 0

@@ -1,0 +1,117 @@
+"""Fundamental shared types for the reproduction.
+
+The paper ("Scheduling Tightly-Coupled Applications on Heterogeneous Desktop
+Grids", Casanova et al., HCW 2013) models each processor as being, at every
+discrete time-slot, in one of three states:
+
+``UP``
+    The processor is available and can communicate with the master and
+    compute.
+
+``RECLAIMED``
+    The processor has been temporarily reclaimed by its owner (cycle-stealing
+    scenario).  It keeps its memory and disk state: communications and
+    computations are *suspended*, not lost, and may resume when the processor
+    becomes ``UP`` again.
+
+``DOWN``
+    The processor has crashed.  It loses the application program, all task
+    data, and any partially executed computation.
+
+This module defines the :class:`ProcessorState` enumeration used throughout
+the code base, together with a handful of light-weight type aliases.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+__all__ = [
+    "ProcessorState",
+    "UP",
+    "RECLAIMED",
+    "DOWN",
+    "STATE_INDEX",
+    "STATE_FROM_INDEX",
+    "STATE_FROM_CHAR",
+    "TimeSlot",
+    "WorkerId",
+]
+
+#: Discrete time-slot index (the paper discretises time into slots of
+#: arbitrary, fixed duration).
+TimeSlot = int
+
+#: Index of a worker / processor in a platform (0-based).
+WorkerId = int
+
+
+class ProcessorState(enum.IntEnum):
+    """The 3-state availability model of Section III-B of the paper.
+
+    The integer values are chosen so that availability *matrices* (one row
+    per processor, one column per time-slot) can be stored compactly as
+    ``numpy`` integer arrays: ``UP == 0``, ``RECLAIMED == 1``, ``DOWN == 2``.
+    """
+
+    UP = 0
+    RECLAIMED = 1
+    DOWN = 2
+
+    @property
+    def char(self) -> str:
+        """Single-character code used in traces and Gantt renderings.
+
+        ``"u"`` for UP, ``"r"`` for RECLAIMED, ``"d"`` for DOWN — the same
+        letters the paper uses for the Markov transition probabilities
+        :math:`P^{(q)}_{i,j},\\ i, j \\in \\{u, r, d\\}`.
+        """
+        return _STATE_CHARS[self]
+
+    @classmethod
+    def from_char(cls, char: str) -> "ProcessorState":
+        """Parse a single-character state code (case-insensitive)."""
+        try:
+            return STATE_FROM_CHAR[char.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown processor state character {char!r}; "
+                "expected one of 'u', 'r', 'd'"
+            ) from None
+
+    @classmethod
+    def coerce(cls, value: "StateLike") -> "ProcessorState":
+        """Coerce an int, str or :class:`ProcessorState` into a state."""
+        if isinstance(value, ProcessorState):
+            return value
+        if isinstance(value, str):
+            return cls.from_char(value)
+        return cls(value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Something that can be coerced into a :class:`ProcessorState`.
+StateLike = Union[ProcessorState, int, str]
+
+_STATE_CHARS = {
+    ProcessorState.UP: "u",
+    ProcessorState.RECLAIMED: "r",
+    ProcessorState.DOWN: "d",
+}
+
+#: Convenience module-level aliases, so client code can write ``types.UP``.
+UP = ProcessorState.UP
+RECLAIMED = ProcessorState.RECLAIMED
+DOWN = ProcessorState.DOWN
+
+#: Mapping state -> row/column index in 3x3 transition matrices.
+STATE_INDEX = {UP: 0, RECLAIMED: 1, DOWN: 2}
+
+#: Inverse of :data:`STATE_INDEX`.
+STATE_FROM_INDEX = {index: state for state, index in STATE_INDEX.items()}
+
+#: Mapping single-character code -> state.
+STATE_FROM_CHAR = {"u": UP, "r": RECLAIMED, "d": DOWN}

@@ -1,0 +1,99 @@
+"""Plain-text table rendering.
+
+The experiment harness reports its results in the same tabular form as the
+paper (Tables I and II).  This module renders lists of rows into aligned,
+monospaced text tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(cell: Cell, float_fmt: str) -> str:
+    if cell is None:
+        return ""
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def format_table(
+    rows: Iterable[Sequence[Cell]],
+    headers: Optional[Sequence[str]] = None,
+    *,
+    float_fmt: str = ".2f",
+    align_right: Optional[Sequence[bool]] = None,
+    padding: int = 2,
+) -> str:
+    """Render *rows* (and optional *headers*) as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences.  Cells may be strings, numbers or ``None``
+        (rendered as an empty cell).
+    headers:
+        Optional column headers.
+    float_fmt:
+        ``format()`` spec applied to float cells (default two decimals, like
+        the paper's tables).
+    align_right:
+        Per-column flags; defaults to right-aligning every column except the
+        first (heuristic-name column), matching the paper's layout.
+    padding:
+        Number of spaces between columns.
+    """
+    materialised: List[List[str]] = [
+        [_render_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    if headers is not None:
+        header_row = [str(h) for h in headers]
+    else:
+        header_row = None
+
+    if not materialised and header_row is None:
+        return ""
+
+    n_cols = max(
+        [len(row) for row in materialised] + ([len(header_row)] if header_row else [0])
+    )
+    # Pad ragged rows so alignment never fails on missing trailing cells.
+    for row in materialised:
+        row.extend([""] * (n_cols - len(row)))
+    if header_row is not None:
+        header_row.extend([""] * (n_cols - len(header_row)))
+
+    widths = [0] * n_cols
+    for row in ([header_row] if header_row else []) + materialised:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    if align_right is None:
+        align_flags = [j > 0 for j in range(n_cols)]
+    else:
+        align_flags = list(align_right) + [True] * (n_cols - len(align_right))
+
+    gap = " " * padding
+
+    def render_row(row: Sequence[str]) -> str:
+        cells = []
+        for j, cell in enumerate(row):
+            if align_flags[j]:
+                cells.append(cell.rjust(widths[j]))
+            else:
+                cells.append(cell.ljust(widths[j]))
+        return gap.join(cells).rstrip()
+
+    lines: List[str] = []
+    if header_row is not None:
+        lines.append(render_row(header_row))
+        lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)

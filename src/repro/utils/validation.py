@@ -1,0 +1,92 @@
+"""Small validation helpers shared across the package.
+
+These helpers raise :class:`ValueError`/:class:`TypeError` with uniform,
+informative messages.  Domain-specific validation (platform consistency,
+configuration feasibility, ...) lives next to the corresponding classes and
+raises the richer exceptions of :mod:`repro.exceptions`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_fraction",
+    "check_probability_matrix",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure *value* is a finite, strictly positive real number."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Ensure *value* is a strictly positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Ensure *value* is an integer >= 0."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, allow_zero: bool = True,
+                   allow_one: bool = True) -> float:
+    """Ensure *value* lies in the unit interval ``[0, 1]``.
+
+    ``allow_zero`` / ``allow_one`` make the corresponding bound strict.
+    """
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    low_ok = value > 0 or (allow_zero and value == 0)
+    high_ok = value < 1 or (allow_one and value == 1)
+    if not (low_ok and high_ok):
+        raise ValueError(f"{name} must lie in the unit interval, got {value!r}")
+    return value
+
+
+def check_probability_matrix(matrix: np.ndarray, name: str = "matrix",
+                             *, atol: float = 1e-9,
+                             size: Optional[int] = None) -> np.ndarray:
+    """Validate a (right-)stochastic matrix and return it as ``float64``.
+
+    Every entry must lie in ``[0, 1]`` (within *atol*) and every row must sum
+    to 1 (within *atol*).  Rows are *not* re-normalised: callers that build
+    matrices from user input should normalise explicitly so that rounding is
+    visible and intentional.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be a square 2-D matrix, got shape {matrix.shape}")
+    if size is not None and matrix.shape[0] != size:
+        raise ValueError(
+            f"{name} must be {size}x{size}, got {matrix.shape[0]}x{matrix.shape[1]}"
+        )
+    if np.any(matrix < -atol) or np.any(matrix > 1 + atol):
+        raise ValueError(f"{name} has entries outside [0, 1]")
+    row_sums = matrix.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=atol):
+        raise ValueError(
+            f"{name} rows must sum to 1 (got row sums {row_sums.tolist()})"
+        )
+    return matrix

@@ -1,0 +1,96 @@
+"""Tests for the AnalysisContext caching layer."""
+
+import pytest
+
+from repro.analysis.cache import AnalysisContext
+from repro.analysis.evaluation import evaluate_configuration
+from repro.analysis.group import ExpectationMode
+from repro.application import Configuration
+from repro.availability.generators import paper_transition_matrix
+from repro.availability.markov import MarkovAvailabilityModel
+from repro.platform import Platform, Processor
+
+
+@pytest.fixture
+def platform():
+    stays = [(0.96, 0.9, 0.9), (0.94, 0.92, 0.9), (0.91, 0.9, 0.93), (0.98, 0.95, 0.9)]
+    processors = [
+        Processor(
+            speed=index + 1,
+            capacity=4,
+            availability=MarkovAvailabilityModel(paper_transition_matrix(list(stay))),
+        )
+        for index, stay in enumerate(stays)
+    ]
+    return Platform(processors, ncom=2, tprog=3, tdata=1)
+
+
+class TestAnalysisContext:
+    def test_worker_metadata(self, platform):
+        context = AnalysisContext(platform)
+        assert context.num_workers == 4
+        assert context.worker(2).speed == 3
+        assert context.worker(3).capacity == 4
+
+    def test_evaluate_matches_reference_implementation(self, platform):
+        context = AnalysisContext(platform)
+        config = Configuration({0: 2, 1: 1, 3: 1})
+        cached = context.evaluate(config, has_program=[0], elapsed=4)
+        reference = evaluate_configuration(
+            context.group, platform, config, has_program=[0], elapsed=4
+        )
+        assert cached.success_probability == pytest.approx(reference.success_probability)
+        assert cached.expected_time == pytest.approx(reference.expected_time)
+        assert cached.yield_value == pytest.approx(reference.yield_value)
+
+    def test_evaluate_with_progress_matches_reference(self, platform):
+        context = AnalysisContext(platform)
+        config = Configuration({1: 2, 2: 1})
+        cached = context.evaluate(
+            config, comm_slots={1: 0, 2: 2}, completed_work=1, elapsed=9
+        )
+        reference = evaluate_configuration(
+            context.group, platform, config, comm_slots={1: 0, 2: 2},
+            completed_work=1, elapsed=9,
+        )
+        assert cached.expected_time == pytest.approx(reference.expected_time)
+        assert cached.workload == reference.workload
+
+    def test_communication_cache_hit(self, platform):
+        context = AnalysisContext(platform)
+        first = context.communication({0: 3, 1: 2})
+        second = context.communication({1: 2, 0: 3})
+        assert first is second
+        stats = context.cache_stats()
+        assert stats["communication_keys"] == 1
+
+    def test_single_expected_time_cached_and_consistent(self, platform):
+        context = AnalysisContext(platform)
+        value = context.single_expected_time(0, 5)
+        again = context.single_expected_time(0, 5)
+        assert value == again
+        expected = context.group.quantities((0,)).expected_time(5, context.mode)
+        assert value == pytest.approx(expected)
+        assert context.single_expected_time(0, 0) == 0.0
+
+    def test_no_down_probability_passthrough(self, platform):
+        context = AnalysisContext(platform)
+        assert context.no_down_probability(1, 4) == pytest.approx(
+            context.worker(1).no_down_probability(4)
+        )
+
+    def test_clear_caches(self, platform):
+        context = AnalysisContext(platform)
+        context.evaluate(Configuration({0: 1, 1: 1}))
+        context.single_expected_time(0, 3)
+        assert context.cache_stats()["group_sets"] > 0
+        context.clear_caches()
+        stats = context.cache_stats()
+        assert stats["group_sets"] == 0
+        assert stats["communication_keys"] == 0
+
+    def test_mode_is_used(self, platform):
+        paper = AnalysisContext(platform, mode=ExpectationMode.PAPER)
+        renewal = AnalysisContext(platform, mode=ExpectationMode.RENEWAL)
+        config = Configuration({0: 2, 2: 2})
+        assert renewal.evaluate(config).expected_time <= paper.evaluate(config).expected_time + 1e-9

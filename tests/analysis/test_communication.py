@@ -1,0 +1,95 @@
+"""Tests for the communication-phase estimates of Section V-B."""
+
+import math
+
+import pytest
+
+from repro.analysis.communication import estimate_communication
+from repro.analysis.group import ExpectationMode, GroupAnalysis
+from repro.analysis.single import WorkerAnalysis
+from repro.availability.generators import paper_transition_matrix
+from repro.availability.markov import MarkovAvailabilityModel
+
+
+def make_analysis(stays):
+    workers = [
+        WorkerAnalysis(MarkovAvailabilityModel(paper_transition_matrix(list(stay))))
+        for stay in stays
+    ]
+    return GroupAnalysis(workers, epsilon=1e-9)
+
+
+@pytest.fixture
+def analysis():
+    return make_analysis([(0.95, 0.9, 0.9), (0.92, 0.9, 0.9), (0.97, 0.93, 0.9)])
+
+
+class TestEstimateCommunication:
+    def test_no_communication_needed(self, analysis):
+        estimate = estimate_communication(analysis, {0: 0, 1: 0}, ncom=2)
+        assert estimate.expected_time == 0.0
+        assert estimate.success_probability == 1.0
+        assert estimate.total_slots == 0
+        assert not estimate.bottleneck_master
+
+    def test_empty_mapping(self, analysis):
+        estimate = estimate_communication(analysis, {}, ncom=1)
+        assert estimate.expected_time == 0.0
+        assert estimate.success_probability == 1.0
+
+    def test_single_worker_matches_group_expectation(self, analysis):
+        slots = 6
+        estimate = estimate_communication(analysis, {0: slots}, ncom=2)
+        expected = analysis.quantities((0,)).expected_time(slots)
+        assert estimate.expected_time == pytest.approx(expected)
+
+    def test_per_worker_maximum_below_ncom(self, analysis):
+        estimate = estimate_communication(analysis, {0: 3, 1: 8}, ncom=5)
+        worst = max(
+            analysis.quantities((0,)).expected_time(3),
+            analysis.quantities((1,)).expected_time(8),
+        )
+        assert estimate.expected_time == pytest.approx(worst)
+        assert not estimate.bottleneck_master
+
+    def test_bandwidth_bound_kicks_in_above_ncom(self, analysis):
+        # Three workers share a single channel: the Σ n_q / ncom term dominates.
+        estimate = estimate_communication(analysis, {0: 10, 1: 10, 2: 10}, ncom=1)
+        assert estimate.expected_time >= 30.0
+        assert estimate.bottleneck_master
+        assert estimate.total_slots == 30
+
+    def test_probability_decreases_with_more_workers(self, analysis):
+        one = estimate_communication(analysis, {0: 5}, ncom=5)
+        three = estimate_communication(analysis, {0: 5, 1: 5, 2: 5}, ncom=5)
+        assert three.success_probability < one.success_probability
+
+    def test_workers_with_zero_slots_still_at_risk(self, analysis):
+        alone = estimate_communication(analysis, {0: 5}, ncom=5)
+        with_bystander = estimate_communication(analysis, {0: 5, 1: 0}, ncom=5)
+        assert with_bystander.expected_time == pytest.approx(alone.expected_time)
+        assert with_bystander.success_probability < alone.success_probability
+
+    def test_probability_matches_no_down_product(self, analysis):
+        estimate = estimate_communication(analysis, {0: 4, 1: 2}, ncom=2)
+        duration = int(math.ceil(estimate.expected_time))
+        expected = (
+            analysis.worker(0).no_down_probability(duration)
+            * analysis.worker(1).no_down_probability(duration)
+        )
+        assert estimate.success_probability == pytest.approx(expected)
+
+    def test_negative_slots_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            estimate_communication(analysis, {0: -1}, ncom=1)
+
+    def test_invalid_ncom_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            estimate_communication(analysis, {0: 1}, ncom=0)
+
+    def test_renewal_mode_not_larger_than_paper_mode(self, analysis):
+        paper = estimate_communication(analysis, {0: 6, 1: 4}, ncom=5, mode=ExpectationMode.PAPER)
+        renewal = estimate_communication(
+            analysis, {0: 6, 1: 4}, ncom=5, mode=ExpectationMode.RENEWAL
+        )
+        assert renewal.expected_time <= paper.expected_time + 1e-9

@@ -1,0 +1,160 @@
+"""Tests for the semi-Markov (non-Markovian holding time) availability models."""
+
+import numpy as np
+import pytest
+
+from repro.availability.markov import MarkovAvailabilityModel
+from repro.availability.semi_markov import (
+    DeterministicHolding,
+    GeometricHolding,
+    LogNormalHolding,
+    SemiMarkovAvailabilityModel,
+    WeibullHolding,
+)
+from repro.availability.statistics import TraceStatistics
+from repro.exceptions import InvalidModelError
+from repro.types import DOWN, RECLAIMED, UP
+
+
+def simple_jump_matrix():
+    return np.array(
+        [
+            [0.0, 0.7, 0.3],
+            [0.8, 0.0, 0.2],
+            [1.0, 0.0, 0.0],
+        ]
+    )
+
+
+def make_model(holding=None):
+    holding = holding or {
+        UP: GeometricHolding(0.1),
+        RECLAIMED: GeometricHolding(0.5),
+        DOWN: GeometricHolding(0.25),
+    }
+    return SemiMarkovAvailabilityModel(simple_jump_matrix(), holding)
+
+
+class TestHoldingTimes:
+    def test_geometric_mean(self):
+        assert GeometricHolding(0.25).mean() == pytest.approx(4.0)
+
+    def test_geometric_invalid(self):
+        with pytest.raises(InvalidModelError):
+            GeometricHolding(0.0)
+
+    def test_deterministic(self):
+        holding = DeterministicHolding(7)
+        rng = np.random.default_rng(0)
+        assert holding.sample(rng) == 7
+        assert holding.mean() == 7.0
+
+    def test_deterministic_invalid(self):
+        with pytest.raises(InvalidModelError):
+            DeterministicHolding(0)
+
+    def test_weibull_samples_positive_integers(self):
+        holding = WeibullHolding(shape=0.7, scale=10.0)
+        rng = np.random.default_rng(1)
+        samples = [holding.sample(rng) for _ in range(200)]
+        assert all(isinstance(s, int) and s >= 1 for s in samples)
+
+    def test_weibull_mean_formula(self):
+        import math
+
+        holding = WeibullHolding(shape=1.0, scale=5.0)
+        assert holding.mean() == pytest.approx(5.0)
+
+    def test_lognormal_samples(self):
+        holding = LogNormalHolding(mu=1.0, sigma=0.5)
+        rng = np.random.default_rng(2)
+        samples = [holding.sample(rng) for _ in range(100)]
+        assert min(samples) >= 1
+
+    def test_describe_strings(self):
+        assert "Weibull" in WeibullHolding(0.7, 3).describe()
+        assert "Geometric" in GeometricHolding(0.5).describe()
+
+
+class TestSemiMarkovModel:
+    def test_rejects_nonzero_diagonal(self):
+        matrix = simple_jump_matrix()
+        matrix[0, 0] = 0.1
+        matrix[0, 1] = 0.6
+        with pytest.raises(InvalidModelError):
+            make_model_with_matrix(matrix)
+
+    def test_rejects_missing_holding(self):
+        with pytest.raises(InvalidModelError):
+            SemiMarkovAvailabilityModel(simple_jump_matrix(), {UP: GeometricHolding(0.5)})
+
+    def test_rejects_bad_rows(self):
+        matrix = simple_jump_matrix()
+        matrix[0, 1] = 0.9  # row no longer sums to 1
+        with pytest.raises(InvalidModelError):
+            make_model_with_matrix(matrix)
+
+    def test_trajectory_values(self):
+        model = make_model()
+        trajectory = model.sample_trajectory(500, seed=3)
+        assert set(np.unique(trajectory)).issubset({0, 1, 2})
+
+    def test_holding_times_respected_for_deterministic(self):
+        model = SemiMarkovAvailabilityModel(
+            np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]),
+            {UP: DeterministicHolding(3), RECLAIMED: DeterministicHolding(2),
+             DOWN: DeterministicHolding(1)},
+        )
+        trajectory = model.sample_trajectory(10, seed=0)
+        # Should alternate 3 UP slots then 2 RECLAIMED slots.
+        assert trajectory.tolist() == [0, 0, 0, 1, 1, 0, 0, 0, 1, 1]
+
+    def test_geometric_holding_matches_markov_statistics(self):
+        """With geometric holding times the process is a Markov chain."""
+        model = make_model()
+        fitted = MarkovAvailabilityModel(model.markov_approximation())
+        trajectory = model.sample_trajectory(40_000, seed=5)
+        stats = TraceStatistics.from_sequence(trajectory)
+        assert stats.up_fraction == pytest.approx(fitted.availability(), abs=0.05)
+
+    def test_markov_approximation_is_stochastic(self):
+        model = SemiMarkovAvailabilityModel.desktop_grid()
+        matrix = model.markov_approximation()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert np.all(matrix >= 0)
+
+    def test_markov_approximation_mean_sojourn(self):
+        model = make_model({
+            UP: DeterministicHolding(10),
+            RECLAIMED: DeterministicHolding(2),
+            DOWN: DeterministicHolding(4),
+        })
+        matrix = model.markov_approximation()
+        # Fitted geometric sojourn must match the true mean of 10 slots.
+        assert 1.0 / (1.0 - matrix[0, 0]) == pytest.approx(10.0)
+
+    def test_desktop_grid_preset(self):
+        model = SemiMarkovAvailabilityModel.desktop_grid()
+        trajectory = model.sample_trajectory(2000, seed=9)
+        stats = TraceStatistics.from_sequence(trajectory)
+        # Mostly available, with some churn.
+        assert stats.up_fraction > 0.4
+        assert stats.num_failures >= 1
+
+    def test_desktop_grid_invalid_fraction(self):
+        with pytest.raises(InvalidModelError):
+            SemiMarkovAvailabilityModel.desktop_grid(reclaim_fraction=2.0)
+
+    def test_describe(self):
+        assert "SemiMarkov" in make_model().describe()
+
+
+def make_model_with_matrix(matrix):
+    return SemiMarkovAvailabilityModel(
+        matrix,
+        {
+            UP: GeometricHolding(0.2),
+            RECLAIMED: GeometricHolding(0.5),
+            DOWN: GeometricHolding(0.3),
+        },
+    )

@@ -1,0 +1,104 @@
+"""Tests for empirical availability statistics."""
+
+import numpy as np
+import pytest
+
+from repro.availability.statistics import (
+    TraceStatistics,
+    estimate_markov_matrix,
+    estimate_markov_model,
+    state_intervals,
+    transition_counts,
+)
+from repro.types import DOWN, RECLAIMED, UP
+
+
+class TestTransitionCounts:
+    def test_simple_sequence(self):
+        counts = transition_counts([0, 0, 1, 2, 0])
+        assert counts[0, 0] == 1
+        assert counts[0, 1] == 1
+        assert counts[1, 2] == 1
+        assert counts[2, 0] == 1
+        assert counts.sum() == 4
+
+    def test_accepts_state_chars(self):
+        counts = transition_counts(list("uurd"))
+        assert counts[0, 0] == 1
+        assert counts[1, 2] == 1
+
+    def test_short_sequences(self):
+        assert transition_counts([]).sum() == 0
+        assert transition_counts([1]).sum() == 0
+
+    def test_rejects_bad_codes(self):
+        with pytest.raises(ValueError):
+            transition_counts([0, 7])
+
+
+class TestEstimateMarkovMatrix:
+    def test_rows_are_stochastic(self):
+        matrix = estimate_markov_matrix([0, 0, 1, 0, 2, 2, 0])
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_unobserved_state_is_absorbing(self):
+        matrix = estimate_markov_matrix([0, 0, 0])
+        assert matrix[1].tolist() == [0.0, 1.0, 0.0]
+        assert matrix[2].tolist() == [0.0, 0.0, 1.0]
+
+    def test_prior_smoothing_removes_zeros(self):
+        matrix = estimate_markov_matrix([0, 0, 0, 1, 0], prior=0.5)
+        assert np.all(matrix[0] > 0)
+
+    def test_negative_prior_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_markov_matrix([0, 1], prior=-1)
+
+    def test_estimate_model_round_trip(self):
+        model = estimate_markov_model([0, 0, 1, 1, 0, 2, 0] * 10)
+        assert model.matrix.shape == (3, 3)
+
+
+class TestStateIntervals:
+    def test_runs(self):
+        intervals = state_intervals(list("uuurrduu"))
+        assert intervals[UP] == [3, 2]
+        assert intervals[RECLAIMED] == [2]
+        assert intervals[DOWN] == [1]
+
+    def test_empty(self):
+        intervals = state_intervals([])
+        assert intervals[UP] == [] and intervals[DOWN] == []
+
+    def test_single_run(self):
+        assert state_intervals([0, 0, 0])[UP] == [3]
+
+
+class TestTraceStatistics:
+    def test_fractions_sum_to_one(self):
+        stats = TraceStatistics.from_sequence(list("uuurrdduuu"))
+        assert stats.up_fraction + stats.reclaimed_fraction + stats.down_fraction == pytest.approx(1.0)
+
+    def test_failure_count(self):
+        stats = TraceStatistics.from_sequence(list("uudduudu"))
+        assert stats.num_failures == 2
+
+    def test_failure_count_starting_down(self):
+        stats = TraceStatistics.from_sequence(list("duu"))
+        assert stats.num_failures == 1
+
+    def test_mean_intervals(self):
+        stats = TraceStatistics.from_sequence(list("uuruu"))
+        assert stats.mean_up_interval == pytest.approx(2.0)
+        assert stats.mean_reclaimed_interval == pytest.approx(1.0)
+        assert stats.mean_down_interval == 0.0
+
+    def test_empty_sequence(self):
+        stats = TraceStatistics.from_sequence([])
+        assert stats.length == 0
+        assert stats.up_fraction == 0.0
+
+    def test_as_dict(self):
+        payload = TraceStatistics.from_sequence(list("uuds")).as_dict() if False else \
+            TraceStatistics.from_sequence(list("uud")).as_dict()
+        assert set(payload) >= {"length", "up_fraction", "num_failures", "empirical_matrix"}

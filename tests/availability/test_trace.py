@@ -1,0 +1,127 @@
+"""Tests for availability traces and trace-replay models."""
+
+import numpy as np
+import pytest
+
+from repro.availability.markov import MarkovAvailabilityModel
+from repro.availability.trace import AvailabilityTrace, TraceAvailabilityModel
+from repro.exceptions import InvalidModelError
+from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+
+
+class TestAvailabilityTrace:
+    def test_from_strings(self):
+        trace = AvailabilityTrace(["uurd", "dddd", "uuuu"])
+        assert trace.num_processors == 3
+        assert trace.horizon == 4
+        assert trace.state(0, 2) == RECLAIMED
+        assert trace.state(1, 0) == DOWN
+
+    def test_from_numpy(self):
+        states = np.array([[0, 1, 2], [2, 0, 0]], dtype=np.int8)
+        trace = AvailabilityTrace(states)
+        assert trace.state(1, 1) == UP
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(InvalidModelError):
+            AvailabilityTrace(["uu", "u"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidModelError):
+            AvailabilityTrace([])
+
+    def test_rejects_bad_codes(self):
+        with pytest.raises(InvalidModelError):
+            AvailabilityTrace(np.array([[0, 5]], dtype=np.int8))
+
+    def test_rejects_bad_char(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(["ux"])
+
+    def test_up_matrix(self):
+        trace = AvailabilityTrace(["ud", "uu"])
+        up = trace.up_matrix()
+        assert up.tolist() == [[True, False], [True, True]]
+
+    def test_processors_up_at(self):
+        trace = AvailabilityTrace(["ud", "ru", "uu"])
+        assert trace.processors_up_at(0) == [0, 2]
+        assert trace.processors_up_at(1) == [1, 2]
+
+    def test_slots_all_up(self):
+        trace = AvailabilityTrace(["uudu", "uruu"])
+        assert trace.slots_all_up([0, 1]).tolist() == [0, 3]
+        # Empty set: vacuously all slots.
+        assert trace.slots_all_up([]).tolist() == [0, 1, 2, 3]
+
+    def test_truncated(self):
+        trace = AvailabilityTrace(["uudu"])
+        assert trace.truncated(2).horizon == 2
+        with pytest.raises(ValueError):
+            trace.truncated(10)
+
+    def test_extended(self):
+        a = AvailabilityTrace(["ud"])
+        b = AvailabilityTrace(["ru"])
+        combined = a.extended(b)
+        assert combined.to_strings() == ["udru"]
+
+    def test_extended_mismatched_rejected(self):
+        with pytest.raises(InvalidModelError):
+            AvailabilityTrace(["ud"]).extended(AvailabilityTrace(["ud", "uu"]))
+
+    def test_round_trip_strings_and_dict(self):
+        trace = AvailabilityTrace(["urdu", "dduu"])
+        assert AvailabilityTrace(trace.to_strings()) == trace
+        assert AvailabilityTrace.from_dict(trace.to_dict()) == trace
+
+    def test_row_returns_copy(self):
+        trace = AvailabilityTrace(["uu"])
+        row = trace.row(0)
+        row[0] = 2
+        assert trace.state(0, 0) == UP
+
+    def test_from_models_deterministic(self):
+        models = [MarkovAvailabilityModel.always_up() for _ in range(3)]
+        trace = AvailabilityTrace.from_models(models, horizon=10, seed=1)
+        assert trace.num_processors == 3
+        assert trace.horizon == 10
+        assert np.all(trace.states == int(UP))
+
+    def test_equality(self):
+        assert AvailabilityTrace(["ud"]) == AvailabilityTrace(["ud"])
+        assert AvailabilityTrace(["ud"]) != AvailabilityTrace(["uu"])
+
+
+class TestTraceAvailabilityModel:
+    def test_replays_sequence(self):
+        model = TraceAvailabilityModel("urdu")
+        rng = np.random.default_rng(0)
+        states = [model.initial_state(rng)]
+        for _ in range(3):
+            states.append(model.next_state(states[-1], rng))
+        assert [s.char for s in states] == ["u", "r", "d", "u"]
+
+    def test_wrap_around(self):
+        model = TraceAvailabilityModel("ur", wrap=True)
+        rng = np.random.default_rng(0)
+        seq = model.sample_trajectory(6, seed=0)
+        assert seq.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_no_wrap_repeats_last(self):
+        model = TraceAvailabilityModel("ud", wrap=False)
+        seq = model.sample_trajectory(5, seed=0)
+        assert seq.tolist() == [0, 2, 2, 2, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidModelError):
+            TraceAvailabilityModel("")
+
+    def test_markov_approximation_is_stochastic(self):
+        model = TraceAvailabilityModel("uuurrdduu")
+        matrix = model.markov_approximation()
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_describe_mentions_up_fraction(self):
+        assert "up_fraction" in TraceAvailabilityModel("uu").describe()

@@ -1,0 +1,118 @@
+"""Tests for the scenario grid generation."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import CampaignScale, ExperimentScenario, ScenarioParameters, generate_scenarios
+
+
+class TestScenarioParameters:
+    def test_basic(self):
+        params = ScenarioParameters(m=5, ncom=10, wmin=3)
+        assert params.label() == "m5_ncom10_wmin3"
+        spec = params.platform_spec()
+        assert spec.ncom == 10
+        assert spec.wmin == 3
+        assert spec.tprog == 15
+
+    @pytest.mark.parametrize("kwargs", [
+        {"m": 0, "ncom": 1, "wmin": 1},
+        {"m": 1, "ncom": 0, "wmin": 1},
+        {"m": 1, "ncom": 1, "wmin": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ExperimentError):
+            ScenarioParameters(**kwargs)
+
+
+class TestExperimentScenario:
+    def test_platform_is_deterministic(self):
+        scenario = ExperimentScenario(ScenarioParameters(m=5, ncom=5, wmin=1), 0)
+        a = scenario.build_platform()
+        b = scenario.build_platform()
+        assert a.speeds().tolist() == b.speeds().tolist()
+
+    def test_different_scenarios_have_different_platforms(self):
+        params = ScenarioParameters(m=5, ncom=5, wmin=1)
+        a = ExperimentScenario(params, 0).build_platform()
+        b = ExperimentScenario(params, 1).build_platform()
+        assert a.speeds().tolist() != b.speeds().tolist() or not all(
+            (x.availability.matrix == y.availability.matrix).all()
+            for x, y in zip(a.processors, b.processors)
+        )
+
+    def test_trial_seeds_differ(self):
+        scenario = ExperimentScenario(ScenarioParameters(m=5, ncom=5, wmin=1), 0)
+        assert scenario.trial_seed(0) != scenario.trial_seed(1)
+        assert scenario.trial_seed(0) == scenario.trial_seed(0)
+
+    def test_campaign_label_changes_seeds(self):
+        params = ScenarioParameters(m=5, ncom=5, wmin=1)
+        a = ExperimentScenario(params, 0, campaign="x")
+        b = ExperimentScenario(params, 0, campaign="y")
+        assert a.platform_seed() != b.platform_seed()
+
+    def test_application(self):
+        scenario = ExperimentScenario(ScenarioParameters(m=7, ncom=5, wmin=1), 2)
+        app = scenario.build_application(iterations=4)
+        assert app.tasks_per_iteration == 7
+        assert app.iterations == 4
+
+    def test_platform_matches_parameters(self):
+        scenario = ExperimentScenario(ScenarioParameters(m=5, ncom=20, wmin=2, num_processors=12), 0)
+        platform = scenario.build_platform()
+        assert platform.num_processors == 12
+        assert platform.ncom == 20
+        assert platform.tdata == 2
+        assert platform.tprog == 10
+
+
+class TestCampaignScale:
+    def test_paper_scale(self):
+        scale = CampaignScale.paper()
+        assert scale.ncom_values == (5, 10, 20)
+        assert scale.wmin_values == tuple(range(1, 11))
+        assert scale.num_instances(num_m_values=2) == 6000
+
+    def test_reduced_and_smoke_are_smaller(self):
+        assert CampaignScale.reduced().num_instances() < CampaignScale.paper().num_instances()
+        assert CampaignScale.smoke().num_instances() <= 4
+
+    def test_with_overrides(self):
+        scale = CampaignScale.smoke().with_overrides(trials_per_scenario=3)
+        assert scale.trials_per_scenario == 3
+        assert scale.ncom_values == CampaignScale.smoke().ncom_values
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ncom_values": ()},
+        {"wmin_values": ()},
+        {"scenarios_per_cell": 0},
+        {"trials_per_scenario": 0},
+        {"iterations": 0},
+        {"makespan_cap": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ExperimentError):
+            CampaignScale(**kwargs)
+
+
+class TestGenerateScenarios:
+    def test_grid_size(self):
+        scale = CampaignScale(
+            ncom_values=(5, 10), wmin_values=(1, 2, 3), scenarios_per_cell=4,
+            trials_per_scenario=1,
+        )
+        scenarios = generate_scenarios(scale, m=5)
+        assert len(scenarios) == 2 * 3 * 4
+
+    def test_all_cells_covered(self):
+        scale = CampaignScale(ncom_values=(5, 20), wmin_values=(1, 7), scenarios_per_cell=1,
+                              trials_per_scenario=1)
+        scenarios = generate_scenarios(scale, m=10)
+        cells = {(s.params.ncom, s.params.wmin) for s in scenarios}
+        assert cells == {(5, 1), (5, 7), (20, 1), (20, 7)}
+        assert all(s.params.m == 10 for s in scenarios)
+
+    def test_invalid_m(self):
+        with pytest.raises(ExperimentError):
+            generate_scenarios(CampaignScale.smoke(), m=0)

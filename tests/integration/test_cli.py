@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "figure2", "demo", "offline", "heuristics"):
+            args = parser.parse_args([command] if command in ("heuristics",) else [command])
+            assert args.command == command
+
+    def test_campaign_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table1", "--scale", "smoke", "--trials", "3", "--wmin", "1", "2",
+             "--jobs", "2", "--estimator", "renewal"]
+        )
+        assert args.scale == "smoke"
+        assert args.trials == 3
+        assert args.wmin == [1, 2]
+        assert args.estimator == "renewal"
+
+
+class TestCommands:
+    def test_heuristics_lists_all(self, capsys):
+        assert main(["heuristics"]) == 0
+        out = capsys.readouterr().out
+        assert "RANDOM" in out
+        assert "Y-IE" in out
+        assert len(out.strip().splitlines()) == 17
+
+    def test_offline_command(self, capsys):
+        assert main(["offline", "--left", "5", "--right", "6", "--a", "2", "--b", "2",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "OFF-LINE-COUPLED" in out
+
+    @pytest.mark.slow
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--heuristic", "IE", "--m", "3", "--processors", "6",
+                     "--iterations", "1", "--wmin", "1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "legend" in out  # the Gantt chart was printed
+
+    @pytest.mark.slow
+    def test_table1_smoke(self, capsys, tmp_path):
+        output = tmp_path / "t1.json"
+        code = main([
+            "table1", "--scale", "smoke", "--heuristics", "IE", "RANDOM",
+            "--iterations", "2", "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "RANDOM" in out
+        payload = json.loads(output.read_text())
+        assert payload["label"] == "table1"
+
+    @pytest.mark.slow
+    def test_figure2_smoke(self, capsys):
+        code = main([
+            "figure2", "--scale", "smoke", "--heuristics", "IE", "Y-IE",
+            "--iterations", "2", "--wmin", "1", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wmin" in out

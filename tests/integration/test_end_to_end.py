@@ -1,0 +1,73 @@
+"""End-to-end integration tests through the public API."""
+
+import pytest
+
+from repro import (
+    ALL_HEURISTICS,
+    AnalysisContext,
+    Application,
+    CampaignScale,
+    ExpectationMode,
+    PlatformSpec,
+    create_scheduler,
+    paper_platform,
+    run_campaign,
+    simulate,
+    summarize_results,
+)
+from repro.experiments.figures import figure2_series
+
+pytestmark = pytest.mark.slow
+
+
+class TestSingleRunsThroughPublicAPI:
+    def test_every_heuristic_completes_an_easy_instance(self):
+        platform = paper_platform(
+            PlatformSpec(num_processors=10, ncom=5, wmin=1), num_tasks=5, seed=5
+        )
+        application = Application(tasks_per_iteration=5, iterations=2)
+        analysis = AnalysisContext(platform)
+        makespans = {}
+        for name in ALL_HEURISTICS:
+            result = simulate(
+                platform, application, create_scheduler(name), seed=99,
+                max_slots=30_000, analysis=analysis,
+            )
+            assert result.success, f"{name} failed on an easy instance"
+            makespans[name] = result.makespan
+        # The informed heuristics should generally beat RANDOM.
+        informed_best = min(v for k, v in makespans.items() if k != "RANDOM")
+        assert informed_best <= makespans["RANDOM"]
+
+    def test_renewal_estimator_also_works_end_to_end(self):
+        platform = paper_platform(
+            PlatformSpec(num_processors=8, ncom=4, wmin=1), num_tasks=4, seed=2
+        )
+        application = Application(tasks_per_iteration=4, iterations=2)
+        analysis = AnalysisContext(platform, mode=ExpectationMode.RENEWAL)
+        result = simulate(
+            platform, application, create_scheduler("Y-IE"), seed=3,
+            max_slots=30_000, analysis=analysis,
+        )
+        assert result.success
+
+
+class TestMiniCampaign:
+    def test_smoke_campaign_and_metrics(self):
+        scale = CampaignScale.smoke()
+        campaign = run_campaign(
+            3, heuristics=("IE", "Y-IE", "RANDOM"), scale=scale, label="integration"
+        )
+        summaries = summarize_results(campaign.results)
+        names = [summary.heuristic for summary in summaries]
+        assert set(names) == {"IE", "Y-IE", "RANDOM"}
+        reference = [s for s in summaries if s.heuristic == "IE"][0]
+        assert reference.pct_diff == pytest.approx(0.0)
+        series = figure2_series(campaign.results)
+        assert "Y-IE" in series
+
+    def test_campaign_is_reproducible(self):
+        scale = CampaignScale.smoke()
+        a = run_campaign(3, heuristics=("IE",), scale=scale, label="repro-check")
+        b = run_campaign(3, heuristics=("IE",), scale=scale, label="repro-check")
+        assert [r.makespan for r in a.results] == [r.makespan for r in b.results]

@@ -1,0 +1,77 @@
+"""Tests for off-line bounds and the greedy clairvoyant oracle."""
+
+import numpy as np
+import pytest
+
+from repro.availability.trace import AvailabilityTrace
+from repro.offline import OfflineProblem, greedy_oracle_iterations, upper_bound_iterations
+
+
+def make_problem(rows, m, w, capacity=1):
+    return OfflineProblem(
+        trace=AvailabilityTrace(rows), num_tasks=m, task_slots=w, capacity=capacity
+    )
+
+
+class TestUpperBound:
+    def test_all_up_trace(self):
+        problem = make_problem(["u" * 10, "u" * 10], m=2, w=2)
+        assert upper_bound_iterations(problem) == 5
+
+    def test_zero_when_never_enough_workers(self):
+        problem = make_problem(["uuuu", "dddd"], m=2, w=1)
+        assert upper_bound_iterations(problem) == 0
+
+    def test_unbounded_capacity_bound(self):
+        problem = make_problem(["u" * 8, "u" * 8], m=2, w=2, capacity=None)
+        assert upper_bound_iterations(problem) >= 2
+
+
+class TestGreedyOracle:
+    def test_counts_iterations_on_reliable_trace(self):
+        problem = make_problem(["u" * 12, "u" * 12, "u" * 12], m=3, w=2)
+        count, schedule = greedy_oracle_iterations(problem)
+        assert count == 6
+        assert len(schedule) == 6
+        # Completion slots are strictly increasing.
+        completions = [slot for _, slot in schedule]
+        assert completions == sorted(completions)
+
+    def test_oracle_never_exceeds_upper_bound(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            rows = [
+                "".join(rng.choice(["u", "r", "d"], p=[0.7, 0.15, 0.15], size=30))
+                for _ in range(4)
+            ]
+            problem = make_problem(rows, m=2, w=2)
+            count, _ = greedy_oracle_iterations(problem)
+            assert count <= upper_bound_iterations(problem)
+
+    def test_oracle_schedule_is_feasible(self):
+        rng = np.random.default_rng(1)
+        rows = [
+            "".join(rng.choice(["u", "d"], p=[0.8, 0.2], size=40)) for _ in range(5)
+        ]
+        problem = make_problem(rows, m=3, w=2)
+        count, schedule = greedy_oracle_iterations(problem)
+        up = problem.up_matrix()
+        previous_end = -1
+        for workers, completion in schedule:
+            assert len(workers) == 3
+            # Between the previous completion and this one there must be at
+            # least w slots with all chosen workers UP.
+            window = up[sorted(workers), previous_end + 1: completion + 1]
+            assert np.logical_and.reduce(window, axis=0).sum() >= problem.task_slots
+            previous_end = completion
+
+    def test_infeasible_worker_count(self):
+        problem = make_problem(["uuuu"], m=2, w=1)
+        count, schedule = greedy_oracle_iterations(problem)
+        assert count == 0 and schedule == []
+
+    def test_explicit_worker_count(self):
+        problem = make_problem(["u" * 8, "u" * 8, "u" * 8, "u" * 8], m=4, w=1, capacity=None)
+        count_two, _ = greedy_oracle_iterations(problem, workers_per_iteration=2)
+        count_four, _ = greedy_oracle_iterations(problem, workers_per_iteration=4)
+        assert count_four >= count_two

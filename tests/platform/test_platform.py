@@ -1,0 +1,135 @@
+"""Tests for the Platform model (bounded multi-port master, transfer times)."""
+
+import numpy as np
+import pytest
+
+from repro.availability import MarkovAvailabilityModel, TraceAvailabilityModel
+from repro.exceptions import InvalidPlatformError
+from repro.platform import Platform, Processor
+
+
+def make_processors(count=3, speed=1, capacity=2):
+    return [
+        Processor(speed=speed, capacity=capacity, availability=MarkovAvailabilityModel.always_up())
+        for _ in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_basic(self):
+        platform = Platform(make_processors(3), ncom=2, tprog=5, tdata=1)
+        assert platform.num_processors == 3
+        assert platform.ncom == 2
+        assert platform.tprog == 5
+        assert platform.tdata == 1
+        assert len(platform) == 3
+
+    def test_names_assigned(self):
+        platform = Platform(make_processors(2), ncom=1, tprog=0, tdata=0)
+        assert [p.name for p in platform] == ["P1", "P2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform([], ncom=1, tprog=0, tdata=0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ncom": 0, "tprog": 0, "tdata": 0},
+        {"ncom": 1, "tprog": -1, "tdata": 0},
+        {"ncom": 1, "tprog": 0, "tdata": -2},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(InvalidPlatformError):
+            Platform(make_processors(1), **kwargs)
+
+    def test_from_bandwidth(self):
+        platform = Platform.from_bandwidth(
+            make_processors(4),
+            master_bandwidth=100.0,
+            worker_bandwidth=10.0,
+            program_size=55.0,
+            data_size=10.0,
+        )
+        assert platform.ncom == 10
+        assert platform.tprog == 6  # ceil(55 / 10)
+        assert platform.tdata == 1
+
+    def test_from_bandwidth_worker_exceeds_master(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform.from_bandwidth(
+                make_processors(1),
+                master_bandwidth=5.0,
+                worker_bandwidth=10.0,
+                program_size=1.0,
+                data_size=1.0,
+            )
+
+    def test_from_bandwidth_zero_sizes(self):
+        platform = Platform.from_bandwidth(
+            make_processors(1),
+            master_bandwidth=10.0,
+            worker_bandwidth=10.0,
+            program_size=0.0,
+            data_size=0.0,
+        )
+        assert platform.tprog == 0 and platform.tdata == 0
+
+
+class TestAccessors:
+    def test_speeds_and_capacities(self):
+        processors = [
+            Processor(speed=s, capacity=c, availability=MarkovAvailabilityModel.always_up())
+            for s, c in [(1, 1), (2, 3), (5, 2)]
+        ]
+        platform = Platform(processors, ncom=1, tprog=0, tdata=0)
+        assert platform.speeds().tolist() == [1, 2, 5]
+        assert platform.capacities().tolist() == [1, 3, 2]
+        assert platform.total_capacity() == 6
+
+    def test_can_execute_and_validate(self):
+        platform = Platform(make_processors(2, capacity=2), ncom=1, tprog=0, tdata=0)
+        assert platform.can_execute(4)
+        assert not platform.can_execute(5)
+        platform.validate_for_tasks(4)
+        with pytest.raises(InvalidPlatformError):
+            platform.validate_for_tasks(5)
+
+    def test_communication_slots(self):
+        platform = Platform(make_processors(1), ncom=1, tprog=5, tdata=2)
+        assert platform.communication_slots(3, needs_program=True) == 11
+        assert platform.communication_slots(3, needs_program=False) == 6
+        assert platform.communication_slots(0, needs_program=False) == 0
+        with pytest.raises(ValueError):
+            platform.communication_slots(-1, needs_program=True)
+
+    def test_markov_matrices(self):
+        platform = Platform(make_processors(2), ncom=1, tprog=0, tdata=0)
+        matrices = platform.markov_matrices()
+        assert len(matrices) == 2
+        assert matrices[0].shape == (3, 3)
+
+    def test_markov_models_from_trace_availability(self):
+        trace_proc = Processor(
+            speed=1, capacity=1, availability=TraceAvailabilityModel("uuur" * 10)
+        )
+        platform = Platform([trace_proc], ncom=1, tprog=0, tdata=0)
+        models = platform.markov_models()
+        assert isinstance(models[0], MarkovAvailabilityModel)
+
+
+class TestSerialisation:
+    def test_round_trip_markov(self):
+        platform = Platform(make_processors(2, speed=3), ncom=4, tprog=2, tdata=1)
+        clone = Platform.from_dict(platform.to_dict())
+        assert clone.num_processors == 2
+        assert clone.ncom == 4
+        assert clone.processor(0).speed == 3
+
+    def test_round_trip_trace(self):
+        proc = Processor(speed=1, capacity=1, availability=TraceAvailabilityModel("uud"))
+        platform = Platform([proc], ncom=1, tprog=0, tdata=0)
+        clone = Platform.from_dict(platform.to_dict())
+        assert isinstance(clone.processor(0).availability, TraceAvailabilityModel)
+
+    def test_describe(self):
+        platform = Platform(make_processors(2), ncom=1, tprog=0, tdata=0)
+        assert "p=2" in platform.describe()

@@ -1,0 +1,54 @@
+"""Tests for the Processor description."""
+
+import pytest
+
+from repro.availability import MarkovAvailabilityModel
+from repro.exceptions import InvalidPlatformError
+from repro.platform import Processor
+
+
+@pytest.fixture
+def availability():
+    return MarkovAvailabilityModel.always_up()
+
+
+class TestProcessor:
+    def test_basic_construction(self, availability):
+        proc = Processor(speed=3, capacity=2, availability=availability, name="P1")
+        assert proc.speed == 3
+        assert proc.capacity == 2
+        assert proc.name == "P1"
+
+    @pytest.mark.parametrize("speed", [0, -1, 1.5, True])
+    def test_invalid_speed(self, availability, speed):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speed=speed, capacity=1, availability=availability)
+
+    @pytest.mark.parametrize("capacity", [0, -2, 2.5, False])
+    def test_invalid_capacity(self, availability, capacity):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speed=1, capacity=capacity, availability=availability)
+
+    def test_invalid_availability(self):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speed=1, capacity=1, availability="not a model")
+
+    def test_task_slots(self, availability):
+        proc = Processor(speed=4, capacity=3, availability=availability)
+        assert proc.task_slots(0) == 0
+        assert proc.task_slots(2) == 8
+
+    def test_task_slots_negative(self, availability):
+        with pytest.raises(ValueError):
+            Processor(speed=1, capacity=1, availability=availability).task_slots(-1)
+
+    def test_with_name(self, availability):
+        proc = Processor(speed=1, capacity=1, availability=availability)
+        named = proc.with_name("fast")
+        assert named.name == "fast"
+        assert proc.name is None  # original untouched (frozen dataclass)
+
+    def test_describe(self, availability):
+        proc = Processor(speed=2, capacity=1, availability=availability, name="Px")
+        text = proc.describe()
+        assert "Px" in text and "w=2" in text

@@ -1,0 +1,63 @@
+"""Tests for the heuristic registry."""
+
+import pytest
+
+from repro.scheduling import (
+    ALL_HEURISTICS,
+    PASSIVE_HEURISTICS,
+    PROACTIVE_HEURISTICS,
+    create_scheduler,
+)
+from repro.scheduling.passive import PassiveHeuristic
+from repro.scheduling.proactive import ProactiveHeuristic
+from repro.scheduling.random_heuristic import RandomScheduler
+from repro.scheduling.registry import TABLE2_HEURISTICS, available_heuristics
+
+
+class TestRegistry:
+    def test_seventeen_heuristics(self):
+        assert len(ALL_HEURISTICS) == 17
+        assert len(PASSIVE_HEURISTICS) == 4
+        assert len(PROACTIVE_HEURISTICS) == 12
+        assert "RANDOM" in ALL_HEURISTICS
+
+    def test_proactive_names_match_paper(self):
+        expected = {
+            f"{criterion}-{heuristic}"
+            for criterion in ("P", "E", "Y")
+            for heuristic in ("IP", "IE", "IY", "IAY")
+        }
+        assert set(PROACTIVE_HEURISTICS) == expected
+
+    def test_table2_heuristics_are_known(self):
+        assert set(TABLE2_HEURISTICS).issubset(set(ALL_HEURISTICS))
+        assert "IE" in TABLE2_HEURISTICS
+
+    def test_create_random(self):
+        assert isinstance(create_scheduler("random"), RandomScheduler)
+
+    @pytest.mark.parametrize("name", ["IP", "IE", "IY", "IAY"])
+    def test_create_passive(self, name):
+        scheduler = create_scheduler(name.lower())
+        assert isinstance(scheduler, PassiveHeuristic)
+        assert scheduler.name == name
+
+    @pytest.mark.parametrize("name", ["Y-IE", "P-IP", "E-IAY"])
+    def test_create_proactive(self, name):
+        scheduler = create_scheduler(name)
+        assert isinstance(scheduler, ProactiveHeuristic)
+        assert scheduler.name == name
+        assert scheduler.criterion.name == name.split("-")[0]
+        assert scheduler.passive.name == name.split("-", 1)[1]
+
+    def test_every_registered_name_instantiates(self):
+        for name in ALL_HEURISTICS:
+            assert create_scheduler(name).name == name
+
+    @pytest.mark.parametrize("name", ["", "XX", "Z-IE", "Y-", "AY-IE", "Y_IE"])
+    def test_unknown_names_rejected(self, name):
+        with pytest.raises(ValueError):
+            create_scheduler(name)
+
+    def test_available_heuristics(self):
+        assert available_heuristics() == list(ALL_HEURISTICS)

@@ -1,0 +1,83 @@
+"""Tests for the bounded multi-port communication manager."""
+
+import pytest
+
+from repro.simulation.comm import CommunicationManager
+from repro.simulation.state import WorkerRuntime
+from repro.types import DOWN, RECLAIMED, UP
+
+
+def make_runtime(worker_id, tasks=1, state=UP, has_program=False):
+    runtime = WorkerRuntime(worker_id=worker_id, state=state, has_program=has_program)
+    runtime.on_enroll(tasks)
+    return runtime
+
+
+class TestAllocate:
+    def test_respects_ncom(self):
+        manager = CommunicationManager(2)
+        runtimes = [make_runtime(i) for i in range(4)]
+        granted = manager.allocate(runtimes, tprog=2, tdata=1)
+        assert granted == [0, 1]
+
+    def test_skips_non_up_workers(self):
+        manager = CommunicationManager(3)
+        runtimes = [
+            make_runtime(0, state=UP),
+            make_runtime(1, state=RECLAIMED),
+            make_runtime(2, state=DOWN),
+            make_runtime(3, state=UP),
+        ]
+        granted = manager.allocate(runtimes, tprog=1, tdata=1)
+        assert granted == [0, 3]
+
+    def test_skips_workers_without_needs(self):
+        manager = CommunicationManager(4)
+        done = make_runtime(0, has_program=True)
+        done.data_received = done.assigned_tasks
+        pending = make_runtime(1)
+        granted = manager.allocate([done, pending], tprog=2, tdata=1)
+        assert granted == [1]
+
+    def test_skips_unenrolled(self):
+        manager = CommunicationManager(2)
+        idle = WorkerRuntime(worker_id=0, state=UP)
+        pending = make_runtime(1)
+        assert manager.allocate([idle, pending], tprog=1, tdata=1) == [1]
+
+    def test_sticky_channels(self):
+        manager = CommunicationManager(2)
+        runtimes = [make_runtime(i, tasks=2) for i in range(3)]
+        first = manager.allocate(runtimes, tprog=2, tdata=1)
+        assert first == [0, 1]
+        # Worker 0 finishes all its communication; worker 2 should get the free
+        # channel while worker 1 keeps its own (stickiness).
+        runtimes[0].has_program = True
+        runtimes[0].data_received = 2
+        second = manager.allocate(runtimes, tprog=2, tdata=1)
+        assert second == [1, 2]
+
+    def test_empty_when_no_one_eligible(self):
+        manager = CommunicationManager(2)
+        assert manager.allocate([], tprog=1, tdata=1) == []
+
+    def test_reset_clears_stickiness(self):
+        manager = CommunicationManager(1)
+        runtimes = [make_runtime(0, tasks=2), make_runtime(1, tasks=2)]
+        assert manager.allocate(runtimes, tprog=1, tdata=1) == [0]
+        manager.reset()
+        assert manager.allocate(list(reversed(runtimes)), tprog=1, tdata=1) == [0]
+
+    def test_invalid_ncom(self):
+        with pytest.raises(ValueError):
+            CommunicationManager(0)
+
+
+class TestServe:
+    def test_serve_advances_transfers(self):
+        manager = CommunicationManager(2)
+        runtimes = {0: make_runtime(0), 1: make_runtime(1, has_program=True)}
+        served = manager.serve(runtimes, [0, 1], tprog=2, tdata=1)
+        assert served == {0: "program", 1: "data"}
+        assert runtimes[0].program_progress == 1
+        assert runtimes[1].data_received == 1

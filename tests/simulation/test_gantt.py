@@ -1,0 +1,65 @@
+"""Tests for the ASCII Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.application import Application, Configuration
+from repro.availability import MarkovAvailabilityModel
+from repro.platform import Platform, Processor
+from repro.scheduling import create_scheduler
+from repro.simulation import SimulationEngine, render_gantt
+from repro.types import DOWN, RECLAIMED, UP
+
+
+class TestRenderGantt:
+    def test_basic_rendering(self):
+        activity = np.array([["P", "D", "C", "C"], ["I", "P", "C", "C"]])
+        states = np.array([[0, 0, 0, 0], [0, 0, 1, 2]])
+        text = render_gantt(activity, states)
+        lines = text.splitlines()
+        assert lines[1].startswith("P1")
+        assert "PDCC" in lines[1].replace(" ", "")
+        # Worker 2: reclaimed slot rendered as the middle dot, down as '#'.
+        assert "·" in lines[2]
+        assert "#" in lines[2]
+        assert "legend" in lines[-1]
+
+    def test_window_selection(self):
+        activity = np.full((1, 10), "C")
+        states = np.zeros((1, 10), dtype=int)
+        text = render_gantt(activity, states, start=2, end=5)
+        worker_line = text.splitlines()[1]
+        assert worker_line.count("C") == 3
+
+    def test_invalid_window(self):
+        activity = np.full((1, 3), "C")
+        states = np.zeros((1, 3), dtype=int)
+        with pytest.raises(ValueError):
+            render_gantt(activity, states, start=5, end=2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            render_gantt(np.full((1, 3), "C"), np.zeros((2, 3), dtype=int))
+
+    def test_custom_names(self):
+        activity = np.full((2, 2), "C")
+        states = np.zeros((2, 2), dtype=int)
+        text = render_gantt(activity, states, worker_names=["alpha", "beta"])
+        assert "alpha" in text and "beta" in text
+
+    def test_end_to_end_with_engine(self):
+        processors = [
+            Processor(speed=i, capacity=5, availability=MarkovAvailabilityModel.always_up())
+            for i in range(1, 4)
+        ]
+        platform = Platform(processors, ncom=1, tprog=1, tdata=1)
+        application = Application(tasks_per_iteration=3, iterations=1)
+        engine = SimulationEngine(
+            platform, application, create_scheduler("IE"), seed=0, max_slots=100,
+            record_activity=True,
+        )
+        result = engine.run()
+        assert result.success
+        text = render_gantt(engine.activity_matrix, engine.state_matrix)
+        assert "P1" in text
+        assert "C" in text  # some computation happened

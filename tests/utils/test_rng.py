@@ -1,0 +1,76 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators, spawn_seeds, stable_hash_seed
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=5)
+        b = as_generator(42).integers(0, 1_000_000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_existing_generator_is_returned_unchanged(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_seeds_count(self):
+        seeds = spawn_seeds(1, 5)
+        assert len(seeds) == 5
+
+    def test_spawn_seeds_are_independent_streams(self):
+        gens = spawn_generators(1, 3)
+        draws = [g.integers(0, 2**32, size=4).tolist() for g in gens]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_is_deterministic(self):
+        a = [g.integers(0, 1000) for g in spawn_generators(9, 4)]
+        b = [g.integers(0, 1000) for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_spawn_rejects_generator_input(self):
+        with pytest.raises(TypeError):
+            spawn_seeds(np.random.default_rng(0), 2)
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_spawn_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+
+class TestStableHashSeed:
+    def test_deterministic(self):
+        assert stable_hash_seed("a", 1, 2.5) == stable_hash_seed("a", 1, 2.5)
+
+    def test_different_parts_differ(self):
+        assert stable_hash_seed("a", 1) != stable_hash_seed("a", 2)
+
+    def test_type_sensitivity(self):
+        # The string "1" and the integer 1 must hash differently.
+        assert stable_hash_seed("x", "1") != stable_hash_seed("x", 1)
+
+    def test_range(self):
+        value = stable_hash_seed("campaign", 5, 7)
+        assert 0 <= value < 2**63
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stable_hash_seed()
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash_seed(object())

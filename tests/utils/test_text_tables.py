@@ -1,0 +1,38 @@
+"""Tests for repro.utils.tables (text table formatting)."""
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            [["IE", 0, 0.0], ["Y-IE", 2, -11.82]], headers=["Heuristic", "#fails", "%diff"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Heuristic")
+        assert "-----" in lines[1]
+        assert "Y-IE" in lines[3]
+        assert "-11.82" in lines[3]
+
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_none_cells_render_empty(self):
+        text = format_table([["a", None]])
+        assert text.rstrip().endswith("a")
+
+    def test_ragged_rows_are_padded(self):
+        text = format_table([["a", 1, 2], ["b"]])
+        assert len(text.splitlines()) == 2
+
+    def test_float_format_applied(self):
+        text = format_table([["x", 1.23456]], float_fmt=".3f")
+        assert "1.235" in text
+
+    def test_headers_only(self):
+        text = format_table([], headers=["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_custom_alignment(self):
+        text = format_table([["left", "right"]], align_right=[False, True])
+        assert text.startswith("left")
