@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.availability.markov import MarkovAvailabilityModel
-from repro.availability.model import AvailabilityModel
+from repro.availability.model import AvailabilityModel, scan_transition_maps
 from repro.exceptions import InvalidModelError
 from repro.types import DOWN, RECLAIMED, UP, ProcessorState
 from repro.utils.validation import check_probability_matrix
@@ -180,6 +180,38 @@ class DiurnalAvailabilityModel(AvailabilityModel):
         if draw < thresholds[1]:
             return RECLAIMED
         return DOWN
+
+    def sample_block(
+        self,
+        start_slot: int,
+        horizon: int,
+        rng: np.random.Generator,
+        *,
+        current: ProcessorState,
+    ) -> np.ndarray:
+        """Vectorised block sampling with per-slot phase matrices.
+
+        The transition into slot *t* is governed by the phase in force at
+        slot ``t - 1`` (matching :meth:`next_state`, whose clock lags the
+        produced slot by one).  Absolute slot indices are used, so the
+        internal clock is re-synchronised to ``start_slot + horizon - 1``
+        and mixed block/slot-by-slot driving stays consistent.
+        """
+        if start_slot < 1:
+            raise ValueError(f"start_slot must be >= 1, got {start_slot}")
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        if horizon == 0:
+            return np.empty(0, dtype=np.int8)
+        clocks = (np.arange(start_slot - 1, start_slot - 1 + horizon) + self._offset) % self._cycle
+        phase_indices = self._phase_of_slot[clocks]
+        cumulatives = np.stack(self._cumulative)[phase_indices]  # (horizon, 3, 3)
+        draws = rng.random(horizon)[:, None]
+        # maps[t, i] = next state from i under draw t and the slot's phase.
+        maps = (draws >= cumulatives[:, :, 0]).astype(np.int8)
+        maps += draws >= cumulatives[:, :, 1]
+        self._clock = start_slot - 1 + horizon
+        return scan_transition_maps(maps, int(current))
 
     def markov_approximation(self) -> np.ndarray:
         """Duration-weighted average of the phase matrices (homogeneous fit)."""

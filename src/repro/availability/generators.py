@@ -19,7 +19,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.availability.markov import MarkovAvailabilityModel
+from repro.availability.model import AvailabilityModel
 from repro.exceptions import InvalidModelError
+from repro.types import ProcessorState
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -27,6 +29,8 @@ __all__ = [
     "random_markov_model",
     "random_markov_models",
     "reliability_spread_models",
+    "sample_initial_states",
+    "sample_state_block",
 ]
 
 
@@ -122,3 +126,49 @@ def reliability_spread_models(
         models.append(MarkovAvailabilityModel(matrix))
     rng.shuffle(models)  # avoid correlating reliability with processor index
     return models
+
+
+# ----------------------------------------------------------------------
+# Batch sampling across a platform's worth of models
+# ----------------------------------------------------------------------
+def sample_initial_states(
+    models: Sequence[AvailabilityModel],
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Reset every model and draw the slot-0 state column (``int8``, one per model).
+
+    Consumes each model's generator exactly like
+    :meth:`~repro.availability.model.AvailabilityModel.initial_state` does,
+    so trajectories continued with :func:`sample_state_block` replay the
+    realisation a simulation run with the same streams would see.
+    """
+    if len(models) != len(rngs):
+        raise ValueError(f"got {len(models)} models but {len(rngs)} generators")
+    column = np.empty(len(models), dtype=np.int8)
+    for index, (model, rng) in enumerate(zip(models, rngs)):
+        model.reset()
+        column[index] = int(model.initial_state(rng))
+    return column
+
+
+def sample_state_block(
+    models: Sequence[AvailabilityModel],
+    start_slot: int,
+    horizon: int,
+    rngs: Sequence[np.random.Generator],
+    current: np.ndarray,
+) -> np.ndarray:
+    """Sample an ``(len(models), horizon)`` state block for slots ``[start, start + horizon)``.
+
+    *current* is the state column at ``start_slot - 1``.  Each model consumes
+    only its own generator, so the block decomposition (chunk size, number of
+    calls) has no effect on the realisation.
+    """
+    if len(models) != len(rngs):
+        raise ValueError(f"got {len(models)} models but {len(rngs)} generators")
+    block = np.empty((len(models), horizon), dtype=np.int8)
+    for index, (model, rng) in enumerate(zip(models, rngs)):
+        block[index] = model.sample_block(
+            start_slot, horizon, rng, current=ProcessorState(int(current[index]))
+        )
+    return block

@@ -28,7 +28,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import InvalidModelError
-from repro.availability.model import AvailabilityModel
+from repro.availability.model import AvailabilityModel, scan_transition_maps
 from repro.types import DOWN, RECLAIMED, UP, STATE_INDEX, ProcessorState
 from repro.utils.validation import check_probability_matrix
 
@@ -205,6 +205,38 @@ class MarkovAvailabilityModel(AvailabilityModel):
         if draw < thresholds[1]:
             return RECLAIMED
         return DOWN
+
+    def sample_block(
+        self,
+        start_slot: int,
+        horizon: int,
+        rng: np.random.Generator,
+        *,
+        current: ProcessorState,
+    ) -> np.ndarray:
+        """Vectorised block sampling via cumulative-probability indexing.
+
+        One uniform draw per slot (the same draws :meth:`next_state` would
+        consume) defines, for each slot, a transition *map* over the three
+        states: ``map[i]`` is the state reached from state *i* under that
+        draw, obtained by comparing the draw against the cumulative row of
+        each state.  The trajectory is then the running composition of these
+        maps applied to *current*, computed with a logarithmic number of
+        vectorised passes (Hillis–Steele scan over map composition) instead
+        of a Python loop over slots.
+        """
+        if start_slot < 1:
+            raise ValueError(f"start_slot must be >= 1, got {start_slot}")
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        if horizon == 0:
+            return np.empty(0, dtype=np.int8)
+        draws = rng.random(horizon)[:, None]
+        cumulative = self._cumulative
+        # maps[t, i] = next state from i under draw t (0, 1 or 2).
+        maps = (draws >= cumulative[None, :, 0]).astype(np.int8)
+        maps += draws >= cumulative[None, :, 1]
+        return scan_transition_maps(maps, int(current))
 
     # ------------------------------------------------------------------
     # Derived probabilistic quantities

@@ -3,11 +3,21 @@
 The simulator drives availability models through a tiny protocol:
 
 * :meth:`AvailabilityModel.initial_state` — draw the state at time-slot 0;
+* :meth:`AvailabilityModel.sample_block` — draw the states of a whole block
+  of consecutive slots at once (the simulator's hot path; vectorised by the
+  concrete models);
 * :meth:`AvailabilityModel.next_state` — draw the state at ``t + 1`` given
   the state at ``t`` (models may keep internal memory, e.g. semi-Markov
-  holding times);
+  holding times); kept as the single-slot compatibility primitive that the
+  default :meth:`sample_block` falls back to;
 * :meth:`AvailabilityModel.reset` — clear any internal memory so that a new
   trajectory can be sampled.
+
+Every concrete ``sample_block`` implementation is *stream-equivalent* to the
+corresponding sequence of ``next_state`` calls: it consumes the generator in
+exactly the same order, so a fixed seed produces bit-identical trajectories
+whichever driver is used.  The test suite pins this property down for every
+model shipped here.
 
 Schedulers that rely on the analytical results of Section V additionally need
 a 3x3 Markov transition matrix.  Models that are genuinely Markovian return
@@ -26,7 +36,55 @@ import numpy as np
 from repro.types import ProcessorState
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["AvailabilityModel"]
+__all__ = ["AvailabilityModel", "scan_transition_maps"]
+
+#: Internal chunk size of :func:`scan_transition_maps`; keeps the scan's
+#: O(n log n) composition cost at O(n log chunk) for long horizons.
+_SCAN_CHUNK = 4096
+
+# A map {0, 1, 2} -> {0, 1, 2} is encoded as m(0) + 3·m(1) + 9·m(2), i.e. one
+# of 27 codes.  _DECODE[c, i] applies map c to state i; _COMPOSE[a, b] is the
+# code of "apply b, then a".  Composing codes through one small lookup table
+# is much faster than composing (n, 3) map matrices with gathers.
+_DECODE = np.array(
+    [[(code // power) % 3 for power in (1, 3, 9)] for code in range(27)], dtype=np.int8
+)
+_COMPOSE = np.array(
+    [[int(_DECODE[a][_DECODE[b]] @ np.array([1, 3, 9])) for b in range(27)] for a in range(27)],
+    dtype=np.int16,
+)
+
+
+def scan_transition_maps(maps: np.ndarray, current: int) -> np.ndarray:
+    """Apply a sequence of per-slot transition maps to an initial state.
+
+    ``maps[t, i]`` is the state reached from state *i* by the transition of
+    slot *t*; the result is the state trajectory ``s_t = maps[t][s_{t-1}]``
+    with ``s_{-1} = current``.  Instead of a Python loop over slots, each map
+    is packed into one of 27 codes and the codes are prefix-composed with a
+    Hillis–Steele scan (map composition is associative) through the
+    :data:`_COMPOSE` lookup table, processed in chunks so the work stays
+    quasi-linear in the horizon.
+
+    Shared by the Markov and diurnal models, whose block samplers both
+    reduce to "one cumulative-threshold map per slot".
+    """
+    horizon = maps.shape[0]
+    codes = maps.astype(np.int16) @ np.array([1, 3, 9], dtype=np.int16)
+    states = np.empty(horizon, dtype=np.int8)
+    state = int(current)
+    for chunk_start in range(0, horizon, _SCAN_CHUNK):
+        chunk = codes[chunk_start: chunk_start + _SCAN_CHUNK]
+        length = chunk.shape[0]
+        offset = 1
+        while offset < length:
+            chunk[offset:] = _COMPOSE[chunk[offset:], chunk[:-offset]]
+            offset *= 2
+        trajectory = _DECODE[chunk, state]
+        states[chunk_start: chunk_start + length] = trajectory
+        if length:
+            state = int(trajectory[-1])
+    return states
 
 
 class AvailabilityModel(abc.ABC):
@@ -44,6 +102,50 @@ class AvailabilityModel(abc.ABC):
 
     def reset(self) -> None:
         """Clear per-trajectory internal memory (no-op for memoryless models)."""
+
+    def sample_block(
+        self,
+        start_slot: int,
+        horizon: int,
+        rng: np.random.Generator,
+        *,
+        current: ProcessorState,
+    ) -> np.ndarray:
+        """Draw the states of slots ``[start_slot, start_slot + horizon)`` at once.
+
+        Parameters
+        ----------
+        start_slot:
+            Absolute index of the first slot to sample (>= 1; slot 0 comes
+            from :meth:`initial_state`).  Models with an internal clock
+            (e.g. diurnal phases) use it to locate themselves in time.
+        horizon:
+            Number of slots to sample (>= 0).
+        rng:
+            The generator to consume.  The draws are taken in exactly the
+            same order as *horizon* successive :meth:`next_state` calls, so
+            block-sampling and slot-by-slot sampling of the same stream
+            yield identical trajectories.
+        current:
+            The state at slot ``start_slot - 1``.
+
+        Returns
+        -------
+        ``int8`` array of *horizon* state codes.
+
+        The base implementation simply loops over :meth:`next_state`;
+        concrete models override it with vectorised samplers.
+        """
+        if start_slot < 1:
+            raise ValueError(f"start_slot must be >= 1, got {start_slot}")
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        states = np.empty(horizon, dtype=np.int8)
+        state = current
+        for offset in range(horizon):
+            state = self.next_state(state, rng)
+            states[offset] = int(state)
+        return states
 
     @abc.abstractmethod
     def markov_approximation(self) -> np.ndarray:
@@ -86,9 +188,7 @@ class AvailabilityModel(abc.ABC):
             return states
         current = initial if initial is not None else self.initial_state(rng)
         states[0] = int(current)
-        for t in range(1, length):
-            current = self.next_state(current, rng)
-            states[t] = int(current)
+        states[1:] = self.sample_block(1, length - 1, rng, current=current)
         return states
 
     def describe(self) -> str:

@@ -84,6 +84,19 @@ class AvailabilityTrace:
         """The full state vector :math:`S_q` of one processor."""
         return self._states[worker].copy()
 
+    def block(self, start: int, stop: int) -> np.ndarray:
+        """The ``(p, stop - start)`` state block for slots ``[start, stop)``.
+
+        This is the chunked accessor used by the simulation engine: unlike
+        :attr:`states` it copies only the requested slice, never the whole
+        matrix.
+        """
+        if start < 0 or stop < start or stop > self.horizon:
+            raise ValueError(
+                f"need 0 <= start <= stop <= {self.horizon}, got [{start}, {stop})"
+            )
+        return self._states[:, start:stop].copy()
+
     def up_matrix(self) -> np.ndarray:
         """Boolean matrix ``up[q, t]`` — True where the processor is UP."""
         return self._states == int(UP)
@@ -207,6 +220,29 @@ class TraceAvailabilityModel(AvailabilityModel):
             else:
                 self._cursor = self._sequence.size - 1
         return ProcessorState(int(self._sequence[self._cursor]))
+
+    def sample_block(
+        self,
+        start_slot: int,
+        horizon: int,
+        rng: np.random.Generator,
+        *,
+        current: ProcessorState,
+    ) -> np.ndarray:
+        """Replay *horizon* slots of the sequence at once (no randomness)."""
+        if start_slot < 1:
+            raise ValueError(f"start_slot must be >= 1, got {start_slot}")
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        size = self._sequence.size
+        indices = self._cursor + 1 + np.arange(horizon)
+        if self._wrap:
+            indices %= size
+        else:
+            indices = np.minimum(indices, size - 1)
+        if horizon:
+            self._cursor = int(indices[-1])
+        return self._sequence[indices]
 
     def markov_approximation(self) -> np.ndarray:
         if self._fitted is None:

@@ -92,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, default_m, default_heuristics, help_text in (
         ("table1", 5, ALL_HEURISTICS, "reproduce Table I (m=5, all heuristics)"),
         ("table2", 10, TABLE2_HEURISTICS, "reproduce Table II (m=10, best heuristics)"),
-        ("figure2", 10, TABLE2_HEURISTICS, "reproduce Figure 2 (%diff vs wmin, m=10)"),
+        ("figure2", 10, TABLE2_HEURISTICS, "reproduce Figure 2 (%%diff vs wmin, m=10)"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_campaign_arguments(sub)

@@ -1,7 +1,7 @@
 """Running instances, scenarios and whole campaigns.
 
 The unit of work is the *instance*: one (scenario, trial, heuristic) triple.
-Two properties of the runner are important for faithfulness and efficiency:
+Three properties of the runner are important for faithfulness and efficiency:
 
 * **Paired availability realisations** — for a given (scenario, trial), every
   heuristic sees exactly the same availability realisation: the engine
@@ -9,13 +9,20 @@ Two properties of the runner are important for faithfulness and efficiency:
   trial seed, independently of the scheduler's own stream.  This matches the
   paper's per-trial comparison of heuristics and sharply reduces the variance
   of %diff/%wins at small trial counts.
+* **Shared trace banks** — :func:`run_scenario` materialises the per-trial
+  availability realisation *once* through the models' vectorised batch
+  samplers (:class:`TraceBank`) and replays it for every heuristic, instead
+  of re-sampling the identical chains per heuristic.  The bank derives its
+  streams through the same :func:`~repro.utils.rng.derive_run_streams`
+  recipe as the engine, so replayed runs are bit-identical to directly
+  sampled ones.
 * **Shared analysis** — all heuristics and trials of a scenario share one
   :class:`AnalysisContext` (the Theorem 5.1 quantities depend only on the
   platform), which is what makes the proactive heuristics affordable.
 
 Campaigns can fan out over processes (``n_jobs > 1``); each process receives
-self-contained scenario descriptions and rebuilds platforms locally, so no
-large objects cross process boundaries.
+self-contained scenario descriptions and rebuilds platforms (and their trace
+banks) locally, so no large objects cross process boundaries.
 """
 
 from __future__ import annotations
@@ -25,10 +32,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.cache import AnalysisContext
 from repro.analysis.group import ExpectationMode
+from repro.availability.generators import sample_initial_states, sample_state_block
 from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import CampaignScale, ExperimentScenario, generate_scenarios
+from repro.platform.platform import Platform
 from repro.scheduling.registry import (
     ALL_HEURISTICS,
     EXTENSION_HEURISTIC_NAMES,
@@ -36,8 +47,16 @@ from repro.scheduling.registry import (
 )
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.results import SimulationResult
+from repro.utils.rng import derive_run_streams
 
-__all__ = ["InstanceResult", "CampaignResult", "run_instance", "run_scenario", "run_campaign"]
+__all__ = [
+    "InstanceResult",
+    "CampaignResult",
+    "TraceBank",
+    "run_instance",
+    "run_scenario",
+    "run_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -134,6 +153,96 @@ class CampaignResult:
 
 
 # ----------------------------------------------------------------------
+# Shared availability realisations
+# ----------------------------------------------------------------------
+class _BankTrace:
+    """One lazily grown availability realisation, replayable by the engine.
+
+    Implements the engine's trace protocol (``num_processors``, ``horizon``,
+    ``block``).  States are materialised on demand in vectorised chunks from
+    the platform's models, using exactly the stream-derivation and sampling
+    order of a directly seeded :class:`SimulationEngine` run — so replaying
+    this trace is bit-identical to sampling on the fly, while costing the
+    sampling only once per (scenario, trial) instead of once per heuristic.
+
+    The trajectory continues from the models' internal memory (semi-Markov
+    sojourns, diurnal clocks) as it grows, so a bank trace must be fully
+    consumed before the same model objects are used to sample anything else.
+    """
+
+    def __init__(self, platform: Platform, seed: int, horizon: int, chunk: int = 4096):
+        if horizon < 1:
+            raise ExperimentError(f"trace bank horizon must be >= 1, got {horizon}")
+        self._models = [processor.availability for processor in platform.processors]
+        self._rngs, _ = derive_run_streams(seed, platform.num_processors)
+        self._horizon = int(horizon)
+        self._chunk = int(chunk)
+        self._buffer = np.empty((platform.num_processors, 0), dtype=np.int8)
+        self._filled = 0
+
+    @property
+    def num_processors(self) -> int:
+        return len(self._models)
+
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    def block(self, start: int, stop: int) -> np.ndarray:
+        """States for slots ``[start, stop)`` (sampling more chunks as needed)."""
+        if not (0 <= start <= stop <= self._horizon):
+            raise ExperimentError(
+                f"requested block [{start}, {stop}) outside bank horizon {self._horizon}"
+            )
+        self._ensure(stop)
+        return self._buffer[:, start:stop].copy()
+
+    def _ensure(self, upto: int) -> None:
+        if upto <= self._filled:
+            return
+        if self._buffer.shape[1] < upto:
+            capacity = max(self._chunk, self._buffer.shape[1])
+            while capacity < upto:
+                capacity *= 2
+            capacity = min(capacity, self._horizon)
+            grown = np.empty((self.num_processors, capacity), dtype=np.int8)
+            grown[:, : self._filled] = self._buffer[:, : self._filled]
+            self._buffer = grown
+        if self._filled == 0:
+            self._buffer[:, 0] = sample_initial_states(self._models, self._rngs)
+            self._filled = 1
+        capacity = self._buffer.shape[1]
+        while self._filled < upto:
+            length = min(self._chunk, self._horizon - self._filled, capacity - self._filled)
+            self._buffer[:, self._filled: self._filled + length] = sample_state_block(
+                self._models,
+                self._filled,
+                length,
+                self._rngs,
+                self._buffer[:, self._filled - 1],
+            )
+            self._filled += length
+
+
+class TraceBank:
+    """Factory for the shared per-(scenario, trial) availability realisations.
+
+    One bank serves one platform; :meth:`trace_for` hands out the lazily
+    materialised realisation of a trial seed.  Traces are not cached here —
+    the scenario runner keeps each trial's trace alive exactly as long as
+    its heuristics are being replayed, bounding memory at one realisation.
+    """
+
+    def __init__(self, platform: Platform, horizon: int, chunk: int = 4096):
+        self.platform = platform
+        self.horizon = int(horizon)
+        self.chunk = int(chunk)
+
+    def trace_for(self, seed: int) -> _BankTrace:
+        return _BankTrace(self.platform, seed, self.horizon, self.chunk)
+
+
+# ----------------------------------------------------------------------
 # Single instance / scenario execution
 # ----------------------------------------------------------------------
 def run_instance(
@@ -144,12 +253,16 @@ def run_instance(
     scale: Optional[CampaignScale] = None,
     analysis: Optional[AnalysisContext] = None,
     platform=None,
+    trace=None,
     mode: ExpectationMode = ExpectationMode.PAPER,
 ) -> InstanceResult:
     """Run one (scenario, trial, heuristic) instance.
 
-    *platform* and *analysis* may be supplied to share work across calls;
-    when omitted they are rebuilt from the scenario (deterministically).
+    *platform*, *analysis* and *trace* may be supplied to share work across
+    calls; when omitted they are rebuilt from the scenario
+    (deterministically).  *trace* is the trial's shared availability
+    realisation (see :class:`TraceBank`); passing it skips re-sampling the
+    availability chains without changing the result.
     """
     scale = scale or CampaignScale.reduced()
     if platform is None:
@@ -164,6 +277,7 @@ def run_instance(
         scheduler,
         seed=scenario.trial_seed(trial),
         max_slots=scale.makespan_cap,
+        trace=trace,
         analysis=analysis,
     )
     start = time.perf_counter()
@@ -178,13 +292,24 @@ def run_scenario(
     *,
     scale: Optional[CampaignScale] = None,
     mode: ExpectationMode = ExpectationMode.PAPER,
+    share_availability: bool = True,
 ) -> List[InstanceResult]:
-    """Run all trials of all *heuristics* on one scenario (shared platform/analysis)."""
+    """Run all trials of all *heuristics* on one scenario.
+
+    Platform and analysis context are built once and shared.  With
+    *share_availability* (the default) each trial's availability realisation
+    is materialised once through the :class:`TraceBank` batch sampler and
+    replayed for every heuristic — the paired comparison the paper relies
+    on, without re-sampling identical chains per heuristic.  Results are
+    bit-identical either way.
+    """
     scale = scale or CampaignScale.reduced()
     platform = scenario.build_platform()
     analysis = AnalysisContext(platform, mode=mode)
+    bank = TraceBank(platform, horizon=scale.makespan_cap) if share_availability else None
     results: List[InstanceResult] = []
     for trial in range(scale.trials_per_scenario):
+        trace = bank.trace_for(scenario.trial_seed(trial)) if bank is not None else None
         for heuristic in heuristics:
             results.append(
                 run_instance(
@@ -194,6 +319,7 @@ def run_scenario(
                     scale=scale,
                     analysis=analysis,
                     platform=platform,
+                    trace=trace,
                     mode=mode,
                 )
             )

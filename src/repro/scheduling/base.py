@@ -91,6 +91,16 @@ class Scheduler(abc.ABC):
     #: Human-readable identifier (e.g. ``"IE"``, ``"Y-IE"``, ``"RANDOM"``).
     name: str = "scheduler"
 
+    #: Declarative contract: a scheduler sets this to True to promise that
+    #: :meth:`select` returns ``observation.current_configuration`` unchanged
+    #: (and draws nothing from its generator) on every slot where
+    #: ``observation.needs_new_configuration()`` is false.  The simulation
+    #: engine exploits the promise to skip the observation round-trip and to
+    #: fast-forward through uneventful computation slots; the results are
+    #: bit-identical either way.  Schedulers that may reconfigure
+    #: spontaneously (e.g. the proactive heuristics) must leave it False.
+    passive_between_rebuilds: bool = False
+
     def __init__(self) -> None:
         self.platform: Optional[Platform] = None
         self.application: Optional[Application] = None

@@ -74,6 +74,7 @@ class FastestWorkersScheduler(Scheduler):
     """Enrol the fastest UP workers, one task each, ignoring reliability."""
 
     name = "FAST"
+    passive_between_rebuilds = True
 
     def select(self, observation: Observation) -> Configuration:
         self._require_bound()
@@ -99,6 +100,8 @@ class ThresholdScheduler(Scheduler):
         Minimum long-run availability (stationary probability of UP under the
         processor's Markov approximation) required to be considered.
     """
+
+    passive_between_rebuilds = True
 
     def __init__(self, threshold: float = 0.5) -> None:
         super().__init__()
@@ -151,6 +154,7 @@ class StickyScheduler(Scheduler):
     """
 
     name = "STICKY"
+    passive_between_rebuilds = True
 
     def select(self, observation: Observation) -> Configuration:
         self._require_bound()

@@ -40,6 +40,8 @@ PASSIVE_CRITERION_BY_NAME = {
 class PassiveHeuristic(Scheduler):
     """A passive heuristic defined by its incremental selection criterion."""
 
+    passive_between_rebuilds = True
+
     def __init__(self, criterion: Criterion, name: Optional[str] = None) -> None:
         super().__init__()
         self.criterion = criterion

@@ -22,6 +22,7 @@ class RandomScheduler(Scheduler):
     """Uniform random task placement on UP workers."""
 
     name = "RANDOM"
+    passive_between_rebuilds = True
 
     def select(self, observation: Observation) -> Configuration:
         self._require_bound()

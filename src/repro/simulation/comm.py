@@ -100,3 +100,76 @@ class CommunicationManager:
             runtime = runtimes[worker_id]
             served[worker_id] = runtime.receive_communication_slot(tprog, tdata)
         return served
+
+    # ------------------------------------------------------------------
+    def drain(
+        self,
+        enrolled_runtimes: Sequence[WorkerRuntime],
+        span: int,
+        *,
+        tprog: int,
+        tdata: int,
+    ) -> int:
+        """Fast-forward up to *span* communication slots with frozen states.
+
+        Event-driven equivalent of calling :meth:`allocate` + :meth:`serve`
+        once per slot while no worker changes availability state: under the
+        sticky policy the granted set only changes when a transfer
+        completes, so each grant interval is applied in one batch through
+        :meth:`WorkerRuntime.advance_communication`.  Returns the number of
+        slots consumed — stopping at the first slot that is no longer a
+        communication slot (all transfers done) or at *span* — and leaves
+        the sticky-holder set exactly as the slot-by-slot calls would have.
+
+        This is the one other place besides :meth:`allocate` that encodes
+        the channel-allocation policy; an alternative policy must replace
+        both (or simply not offer a drain, at the cost of per-slot
+        fast-forwarding in the engine).
+        """
+        if span <= 0:
+            return 0
+        active: Dict[int, int] = {}
+        stalled_remaining = 0
+        for runtime in enrolled_runtimes:
+            remaining = runtime.comm_slots_remaining(tprog, tdata)
+            if remaining > 0:
+                if runtime.is_up():
+                    active[runtime.worker_id] = remaining
+                else:
+                    stalled_remaining += remaining
+        runtime_by_id = {r.worker_id: r for r in enrolled_runtimes}
+        previous = self._previous_holders
+        granted = sorted(w for w in active if w in previous)
+        granted += sorted(w for w in active if w not in previous)
+        granted = granted[: self.ncom]
+        waiting = sorted(w for w in active if w not in granted)
+        consumed = 0
+        final_granted = None
+        while consumed < span and active:
+            step = min(active[w] for w in granted)
+            if step > span - consumed:
+                step = span - consumed
+            for w in granted:
+                runtime_by_id[w].advance_communication(step, tprog, tdata)
+                active[w] -= step
+            consumed += step
+            # The sticky set after these slots is the grant set *they* used,
+            # not the refilled one computed for the next interval.
+            final_granted = granted
+            finished = [w for w in granted if active[w] == 0]
+            if finished:
+                for w in finished:
+                    del active[w]
+                granted = [w for w in granted if w in active]
+                while waiting and len(granted) < self.ncom:
+                    granted.append(waiting.pop(0))
+        if final_granted is not None:
+            self._previous_holders = set(final_granted)
+        if not active and stalled_remaining > 0 and consumed < span:
+            # Only RECLAIMED workers still owe transfers: every remaining
+            # frozen slot is a stalled comm slot with no eligible worker,
+            # which the slot-by-slot policy answers with an empty grant
+            # (and a cleared sticky set).
+            self._previous_holders = set()
+            consumed = span
+        return consumed

@@ -16,8 +16,33 @@ Implements the execution model of Section III faithfully:
 
 The engine is deliberately scheduler-agnostic and availability-agnostic: the
 scheduler is any :class:`~repro.scheduling.base.Scheduler`, and availability
-either comes from the processors' stochastic models (sampled on the fly with
-a seeded generator) or from a fixed :class:`AvailabilityTrace` (replay).
+either comes from the processors' stochastic models or from a fixed
+:class:`AvailabilityTrace` (replay).
+
+Performance model
+-----------------
+Availability is consumed in *blocks*: worker states are prefetched into an
+``(m, block_size)`` ``int8`` matrix through the models'
+:meth:`~repro.availability.model.AvailabilityModel.sample_block` vectorised
+samplers (or by slicing the replay trace).  Because every worker owns an
+independent generator stream, block sampling consumes exactly the same draws
+as the historical slot-by-slot sampling, so fixed seeds reproduce the same
+trajectories bit for bit; ``sampler="perslot"`` keeps the legacy
+``next_state`` driver around for differential testing.
+
+Two further optimisations exploit the declared behaviour of schedulers whose
+:attr:`~repro.scheduling.base.Scheduler.passive_between_rebuilds` flag is
+set (they return the carried-over configuration whenever
+``Observation.needs_new_configuration()`` is false):
+
+* the per-slot :class:`Observation`/``select`` round-trip is skipped on
+  slots where the contract pins the decision;
+* during the computation phase the engine scans the prefetched block for the
+  first slot at which a *relevant* worker changes state and fast-forwards
+  the intervening uneventful slots in one step.
+
+Both short-cuts are exact: they change neither the trajectory nor any
+counter of the run (golden-seed tests pin this down).
 """
 
 from __future__ import annotations
@@ -29,6 +54,7 @@ import numpy as np
 from repro.analysis.cache import AnalysisContext
 from repro.application.application import Application
 from repro.application.configuration import Configuration
+from repro.availability.model import AvailabilityModel
 from repro.availability.trace import AvailabilityTrace
 from repro.exceptions import SchedulingError, SimulationError
 from repro.platform.platform import Platform
@@ -37,13 +63,16 @@ from repro.simulation.comm import CommunicationManager
 from repro.simulation.events import EventKind, EventLog
 from repro.simulation.results import IterationRecord, SimulationResult
 from repro.simulation.state import WorkerRuntime
-from repro.types import DOWN, UP, ProcessorState
-from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+from repro.utils.rng import SeedLike, derive_run_streams
 
 __all__ = ["SimulationEngine", "simulate"]
 
 #: Default makespan cap, matching the paper's 1,000,000-slot limit.
 DEFAULT_MAX_SLOTS = 1_000_000
+
+#: Default number of slots prefetched per availability block.
+DEFAULT_BLOCK_SIZE = 4096
 
 #: Activity codes recorded per worker per slot when ``record_activity`` is on.
 ACTIVITY_NONE = " "
@@ -51,6 +80,14 @@ ACTIVITY_IDLE = "I"
 ACTIVITY_PROGRAM = "P"
 ACTIVITY_DATA = "D"
 ACTIVITY_COMPUTE = "C"
+
+#: Cheap int -> singleton lookup for the three processor states.
+_STATE_OF_CODE = (UP, RECLAIMED, DOWN)
+_DOWN_CODE = int(DOWN)
+
+#: Idle (reclaimed) stretches are fast-forwarded at most this many slots per
+#: scan so the column comparison stays O(scan limit), not O(block size²).
+_IDLE_SCAN_LIMIT = 256
 
 
 class SimulationEngine:
@@ -69,13 +106,25 @@ class SimulationEngine:
     max_slots:
         Makespan cap; the run is declared failed when it is reached.
     trace:
-        Optional fixed availability trace to replay instead of sampling from
-        the processors' models.  Must cover at least ``max_slots`` slots or
-        the run fails with :class:`SimulationError` when it runs off the end.
+        Optional fixed availability source to replay instead of sampling
+        from the processors' models: an :class:`AvailabilityTrace` or any
+        object exposing ``num_processors``, ``horizon`` and
+        ``block(start, stop)``.  Must cover at least ``max_slots`` slots or
+        the run fails with :class:`SimulationError` when it runs off the
+        end.
     analysis:
         Optional pre-built :class:`AnalysisContext`; sharing one across runs
         on the same platform (different schedulers / trials) avoids
         recomputing the Markov machinery.
+    block_size:
+        Number of slots of worker states prefetched per availability block.
+    sampler:
+        ``"block"`` (default) drives the models through their vectorised
+        :meth:`sample_block`; ``"perslot"`` retains the legacy
+        ``next_state``-per-slot driver.  Both produce identical
+        trajectories for a given seed (the models' block samplers are
+        stream-equivalent by contract); the switch exists for differential
+        tests and benchmarks.
     record_events:
         Keep a structured event log (off by default).
     record_activity:
@@ -93,11 +142,19 @@ class SimulationEngine:
         max_slots: int = DEFAULT_MAX_SLOTS,
         trace: Optional[AvailabilityTrace] = None,
         analysis: Optional[AnalysisContext] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        sampler: str = "block",
         record_events: bool = False,
         record_activity: bool = False,
     ) -> None:
         if max_slots < 1:
             raise SimulationError(f"max_slots must be >= 1, got {max_slots}")
+        if block_size < 1:
+            raise SimulationError(f"block_size must be >= 1, got {block_size}")
+        if sampler not in ("block", "perslot"):
+            raise SimulationError(
+                f"sampler must be 'block' or 'perslot', got {sampler!r}"
+            )
         platform.validate_for_tasks(application.tasks_per_iteration)
         if trace is not None and trace.num_processors != platform.num_processors:
             raise SimulationError(
@@ -109,52 +166,122 @@ class SimulationEngine:
         self.scheduler = scheduler
         self.max_slots = int(max_slots)
         self.trace = trace
+        self.block_size = int(block_size)
+        self.sampler = sampler
         self.analysis = analysis if analysis is not None else AnalysisContext(platform)
         self.events = EventLog(enabled=record_events)
         self.record_activity = bool(record_activity)
 
-        root = as_generator(seed)
-        # Independent streams: one per worker for availability, one for the scheduler.
-        streams = spawn_generators(int(root.integers(0, 2**62)), platform.num_processors + 1)
-        self._availability_rngs = streams[:-1]
-        self._scheduler_rng = streams[-1]
+        # Independent streams: one per worker for availability, one for the
+        # scheduler.  The recipe lives in utils.rng so the experiment layer
+        # can rebuild the exact availability realisation of a seed.
+        self._availability_rngs, self._scheduler_rng = derive_run_streams(
+            seed, platform.num_processors
+        )
 
         self._comm = CommunicationManager(platform.ncom)
         self._runtimes: List[WorkerRuntime] = []
-        self._states = np.zeros(platform.num_processors, dtype=np.int8)
+        self._block: Optional[np.ndarray] = None
+        self._block_start = 0
+        self._block_len = 0
+        # Per-block companions, computed once per prefetch so the per-slot
+        # loop does O(1) lookups instead of O(m) array scans:
+        # _block_down[j]  — does column j contain a DOWN worker?
+        # _block_same[j]  — is column j identical to column j - 1?
+        # _block_changes  — sorted positions j with _block_same[j] False.
+        self._block_down: Optional[np.ndarray] = None
+        self._block_same: Optional[np.ndarray] = None
+        self._block_changes: Optional[np.ndarray] = None
         self.activity_matrix: Optional[np.ndarray] = None
         self.state_matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
-    # Availability driving
+    # Availability driving (chunked prefetch)
     # ------------------------------------------------------------------
-    def _initialise_states(self) -> None:
-        if self.trace is not None:
-            if self.trace.horizon < 1:
-                raise SimulationError("availability trace is empty")
-            self._states = self.trace.states[:, 0].astype(np.int8)
-            return
-        for worker_id, processor in enumerate(self.platform.processors):
-            model = processor.availability
-            model.reset()
-            state = model.initial_state(self._availability_rngs[worker_id])
-            self._states[worker_id] = int(state)
+    def _states_at(self, slot: int) -> np.ndarray:
+        """The state column of *slot*, prefetching the next block if needed."""
+        offset = slot - self._block_start
+        if self._block is None or offset >= self._block_len:
+            self._fetch_block(slot)
+            offset = slot - self._block_start
+        return self._block[:, offset]
 
-    def _advance_states(self, slot: int) -> None:
+    def _fetch_block(self, start: int) -> None:
+        """Materialise worker states for slots ``[start, start + block)``."""
         if self.trace is not None:
-            if slot >= self.trace.horizon:
+            horizon = self.trace.horizon
+            if horizon < 1:
+                raise SimulationError("availability trace is empty")
+            if start >= horizon:
                 raise SimulationError(
-                    f"availability trace ends at slot {self.trace.horizon} but the run "
-                    f"reached slot {slot}; provide a longer trace or lower max_slots"
+                    f"availability trace ends at slot {horizon} but the run "
+                    f"reached slot {start}; provide a longer trace or lower max_slots"
                 )
-            self._states = self.trace.states[:, slot].astype(np.int8)
-            return
-        for worker_id, processor in enumerate(self.platform.processors):
-            current = ProcessorState(int(self._states[worker_id]))
-            nxt = processor.availability.next_state(
-                current, self._availability_rngs[worker_id]
-            )
-            self._states[worker_id] = int(nxt)
+            length = min(self.block_size, horizon - start, self.max_slots - start)
+            block = np.asarray(self.trace.block(start, start + length), dtype=np.int8)
+            if block.shape != (self.platform.num_processors, length):
+                raise SimulationError(
+                    f"availability source returned a block of shape {block.shape}, "
+                    f"expected {(self.platform.num_processors, length)}"
+                )
+        else:
+            if self._block is not None and start != self._block_start + self._block_len:
+                raise SimulationError(
+                    "model-driven availability must be consumed sequentially "
+                    f"(asked for slot {start}, expected "
+                    f"{self._block_start + self._block_len})"
+                )
+            length = min(self.block_size, self.max_slots - start)
+            block = np.empty((self.platform.num_processors, length), dtype=np.int8)
+            if start == 0:
+                for worker_id, processor in enumerate(self.platform.processors):
+                    model = processor.availability
+                    model.reset()
+                    rng = self._availability_rngs[worker_id]
+                    state = model.initial_state(rng)
+                    block[worker_id, 0] = int(state)
+                    if length > 1:
+                        block[worker_id, 1:] = self._sample_worker(
+                            model, 1, length - 1, rng, state
+                        )
+            else:
+                previous = self._block[:, -1]
+                for worker_id, processor in enumerate(self.platform.processors):
+                    block[worker_id] = self._sample_worker(
+                        processor.availability,
+                        start,
+                        length,
+                        self._availability_rngs[worker_id],
+                        ProcessorState(int(previous[worker_id])),
+                    )
+        last_column = None if self._block is None else self._block[:, -1]
+        self._block = block
+        self._block_start = start
+        self._block_len = length
+        self._block_down = (block == _DOWN_CODE).any(axis=0)
+        same = np.empty(length, dtype=bool)
+        same[0] = last_column is not None and bool(np.array_equal(block[:, 0], last_column))
+        if length > 1:
+            same[1:] = ~(block[:, 1:] != block[:, :-1]).any(axis=0)
+        self._block_same = same
+        self._block_changes = np.flatnonzero(~same)
+
+    def _frozen_run(self, offset: int) -> int:
+        """Slots after block-relative *offset* whose column equals column *offset*."""
+        changes = self._block_changes
+        index = int(np.searchsorted(changes, offset, side="right"))
+        next_change = int(changes[index]) if index < changes.size else self._block_len
+        return next_change - offset - 1
+
+    def _sample_worker(self, model, start_slot, horizon, rng, current) -> np.ndarray:
+        if self.sampler == "block":
+            return model.sample_block(start_slot, horizon, rng, current=current)
+        # Legacy driver: the base class's slot-by-slot next_state loop,
+        # invoked unbound so model overrides cannot shadow the reference
+        # semantics the "perslot" mode exists to compare against.
+        return AvailabilityModel.sample_block(
+            model, start_slot, horizon, rng, current=current
+        )
 
     # ------------------------------------------------------------------
     # Main loop
@@ -171,7 +298,9 @@ class SimulationEngine:
         self._runtimes = [WorkerRuntime(worker_id=q) for q in range(platform.num_processors)]
         runtimes = self._runtimes
         runtime_by_id = {runtime.worker_id: runtime for runtime in runtimes}
-        self._initialise_states()
+        self._block = None
+        self._block_start = 0
+        self._block_len = 0
 
         if self.record_activity:
             self.activity_matrix = np.full(
@@ -181,7 +310,15 @@ class SimulationEngine:
                 (platform.num_processors, self.max_slots), dtype=np.int8
             )
 
+        # Schedulers that declare the passive contract let the engine pin
+        # their decision on uneventful slots; fast-forwarding additionally
+        # requires that no per-slot record (events/activity) is kept.
+        contract = bool(getattr(self.scheduler, "passive_between_rebuilds", False))
+        can_fast_forward = contract and not self.events.enabled and not self.record_activity
+
         current_config = Configuration.empty()
+        enrolled_runtimes: List[WorkerRuntime] = []
+        enrolled_ids = np.empty(0, dtype=np.intp)
         iteration_index = 0
         iteration_start = 0
         progress = 0
@@ -196,13 +333,19 @@ class SimulationEngine:
 
         makespan: Optional[int] = None
         success = False
+        # True whenever the previously *processed* slot's column is not the
+        # one at ``rel - 1`` (start of run, or after an enrolled-only
+        # fast-forward), so the per-column change shortcut must not be used.
+        states_dirty = True
 
-        for slot in range(self.max_slots):
-            if slot > 0:
-                self._advance_states(slot)
-            states = self._states
-            for runtime in runtimes:
-                runtime.state = ProcessorState(int(states[runtime.worker_id]))
+        slot = 0
+        while slot < self.max_slots:
+            states = self._states_at(slot)
+            rel = slot - self._block_start
+            if states_dirty or not self._block_same[rel]:
+                for runtime in runtimes:
+                    runtime.state = _STATE_OF_CODE[states[runtime.worker_id]]
+                states_dirty = False
             if self.record_activity:
                 self.state_matrix[:, slot] = states
 
@@ -210,16 +353,18 @@ class SimulationEngine:
 
             # ---- 1. failures among enrolled workers --------------------
             failure = False
-            for runtime in runtimes:
-                if runtime.is_down() and (runtime.has_program or runtime.enrolled
-                                          or runtime.program_progress or runtime.data_received
-                                          or runtime.data_progress):
-                    if runtime.enrolled:
-                        failure = True
-                        self.events.record(
-                            slot, EventKind.WORKER_FAILED, worker=runtime.worker_id
-                        )
-                    runtime.on_down()
+            if self._block_down[rel]:
+                for worker_id in (states == _DOWN_CODE).nonzero()[0]:
+                    runtime = runtimes[worker_id]
+                    if (runtime.has_program or runtime.enrolled
+                            or runtime.program_progress or runtime.data_received
+                            or runtime.data_progress):
+                        if runtime.enrolled:
+                            failure = True
+                            self.events.record(
+                                slot, EventKind.WORKER_FAILED, worker=runtime.worker_id
+                            )
+                        runtime.on_down()
             if failure:
                 if progress > 0 or not current_config.is_empty():
                     total_restarts += 1
@@ -235,35 +380,45 @@ class SimulationEngine:
                     if not runtime_by_id[worker].is_down()
                 }
                 current_config = Configuration(pruned)
+                enrolled_runtimes = [runtime_by_id[w] for w in current_config.workers]
+                enrolled_ids = np.fromiter(
+                    current_config.workers, dtype=np.intp, count=len(enrolled_runtimes)
+                )
 
             # ---- 2. scheduler decision ---------------------------------
-            observation = Observation(
-                slot=slot,
-                states=states.copy(),
-                current_configuration=current_config,
-                iteration_index=iteration_index,
-                iteration_elapsed=slot - iteration_start,
-                progress=progress,
-                failure=failure,
-                new_iteration=new_iteration,
-                has_program=frozenset(
-                    runtime.worker_id for runtime in runtimes if runtime.has_program
-                ),
-                data_received={
-                    runtime.worker_id: runtime.data_received
-                    for runtime in runtimes
-                    if runtime.enrolled
-                },
-                comm_remaining={
-                    runtime.worker_id: runtime.comm_slots_remaining(tprog, tdata)
-                    for runtime in runtimes
-                    if runtime.enrolled
-                },
-            )
-            new_config = self.scheduler.select(observation)
-            if new_config is None:
+            # Contract schedulers return the carried-over configuration on
+            # every slot where needs_new_configuration() is false; skip the
+            # observation round-trip there.
+            if contract and not (new_iteration or failure or current_config.is_empty()):
                 new_config = current_config
-            self._validate_selection(new_config, current_config, states, num_tasks)
+            else:
+                observation = Observation(
+                    slot=slot,
+                    states=states.copy(),
+                    current_configuration=current_config,
+                    iteration_index=iteration_index,
+                    iteration_elapsed=slot - iteration_start,
+                    progress=progress,
+                    failure=failure,
+                    new_iteration=new_iteration,
+                    has_program=frozenset(
+                        runtime.worker_id for runtime in runtimes if runtime.has_program
+                    ),
+                    data_received={
+                        runtime.worker_id: runtime.data_received
+                        for runtime in runtimes
+                        if runtime.enrolled
+                    },
+                    comm_remaining={
+                        runtime.worker_id: runtime.comm_slots_remaining(tprog, tdata)
+                        for runtime in runtimes
+                        if runtime.enrolled
+                    },
+                )
+                new_config = self.scheduler.select(observation)
+                if new_config is None:
+                    new_config = current_config
+                self._validate_selection(new_config, current_config, states, num_tasks)
             new_iteration = False
 
             # ---- 3. apply configuration change -------------------------
@@ -290,9 +445,12 @@ class SimulationEngine:
                         runtime.on_enroll(tasks)
                     runtime.absorb_free_transfers(tprog, tdata)
                 current_config = new_config
+                enrolled_runtimes = [runtime_by_id[w] for w in current_config.workers]
+                enrolled_ids = np.fromiter(
+                    current_config.workers, dtype=np.intp, count=len(enrolled_runtimes)
+                )
 
             # ---- 4. run the slot ---------------------------------------
-            enrolled_runtimes = [runtime_by_id[w] for w in current_config.workers]
             feasible = (
                 not current_config.is_empty()
                 and current_config.total_tasks() == num_tasks
@@ -302,11 +460,10 @@ class SimulationEngine:
                 record.idle_slots += 1
                 self.events.record(slot, EventKind.IDLE, reason="no_feasible_configuration")
             else:
-                comm_needed = any(
-                    runtime.comm_slots_remaining(tprog, tdata) > 0
-                    for runtime in enrolled_runtimes
-                )
-                if comm_needed:
+                comm_remaining = 0
+                for runtime in enrolled_runtimes:
+                    comm_remaining += runtime.comm_slots_remaining(tprog, tdata)
+                if comm_remaining:
                     granted = self._comm.allocate(enrolled_runtimes, tprog=tprog, tdata=tdata)
                     served = self._comm.serve(
                         runtime_by_id, granted, tprog=tprog, tdata=tdata
@@ -324,7 +481,30 @@ class SimulationEngine:
                                 self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_DATA
                             else:
                                 self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_IDLE
+                    if can_fast_forward and not failure:
+                        # ---- fast-forward the communication phase -------
+                        # While no *relevant* worker changes state the slot
+                        # structure is fixed: every slot is a comm slot
+                        # until the transfers complete, and the sticky
+                        # channel allocation only changes when a transfer
+                        # finishes.  Drain whole grant intervals event by
+                        # event.  The scan window is bounded by the work
+                        # actually left (plus one slot of slack for stalls).
+                        span, _ = self._scan_uneventful(
+                            rel, enrolled_ids,
+                            min(comm_remaining + 1, _IDLE_SCAN_LIMIT),
+                        )
+                        consumed = self._comm.drain(
+                            enrolled_runtimes, span, tprog=tprog, tdata=tdata
+                        )
+                        if consumed:
+                            self._apply_offline_failures(rel, consumed, runtimes)
+                            total_comm_slots += consumed
+                            record.communication_slots += consumed
+                            slot += consumed
+                            states_dirty = True
                 else:
+                    workload = current_config.workload(platform)
                     all_up = all(runtime.is_up() for runtime in enrolled_runtimes)
                     if all_up:
                         progress += 1
@@ -334,7 +514,7 @@ class SimulationEngine:
                             slot,
                             EventKind.COMPUTATION,
                             progress=progress,
-                            workload=current_config.workload(self.platform),
+                            workload=workload,
                         )
                         if self.record_activity:
                             for runtime in enrolled_runtimes:
@@ -348,7 +528,7 @@ class SimulationEngine:
                                 self.activity_matrix[runtime.worker_id, slot] = ACTIVITY_IDLE
 
                     # ---- iteration completion ---------------------------
-                    if progress >= current_config.workload(self.platform) and all_up:
+                    if progress >= workload and all_up:
                         record.end_slot = slot
                         self.events.record(
                             slot, EventKind.ITERATION_COMPLETED, iteration=iteration_index
@@ -369,6 +549,25 @@ class SimulationEngine:
                         for runtime in enrolled_runtimes:
                             runtime.on_new_iteration()
                             runtime.absorb_free_transfers(tprog, tdata)
+                    elif can_fast_forward and not failure:
+                        # ---- fast-forward uneventful compute/idle slots --
+                        advance, clean = self._scan_uneventful(
+                            rel,
+                            enrolled_ids,
+                            workload - progress if all_up else _IDLE_SCAN_LIMIT,
+                        )
+                        if advance > 0:
+                            self._apply_offline_failures(rel, advance, runtimes)
+                            if all_up:
+                                progress += advance
+                                total_compute_slots += advance
+                                record.computation_slots += advance
+                            else:
+                                total_idle_slots += advance
+                                record.idle_slots += advance
+                            slot += advance
+                            states_dirty = not clean
+            slot += 1
 
         if not success:
             self.events.record(self.max_slots - 1, EventKind.RUN_ABORTED, reason="max_slots")
@@ -391,6 +590,76 @@ class SimulationEngine:
             computation_slots=total_compute_slots,
             idle_slots=total_idle_slots,
         )
+
+    # ------------------------------------------------------------------
+    def _scan_uneventful(
+        self,
+        rel: int,
+        enrolled_ids: np.ndarray,
+        limit: int,
+    ) -> tuple:
+        """Slots after block-relative *rel* that provably replay this slot's outcome.
+
+        A subsequent slot is uneventful as long as every *enrolled* worker
+        holds exactly its current state: under the passive-scheduler
+        contract nothing else in the engine can change on such a slot, so
+        its bookkeeping is a pure repetition of the current slot's.
+        (Non-enrolled program holders crashing inside the window are handled
+        separately by :meth:`_apply_offline_failures` — they do not stop the
+        fast-forward.)
+
+        Returns ``(advance, clean)`` where *clean* says whether the skipped
+        slots all carried a column identical to the current one (so the
+        engine's column-change shortcut stays valid after the jump).
+
+        The scan never crosses the prefetched block boundary and is capped
+        at *limit* slots (the completing slot of an iteration, which has
+        extra bookkeeping, is always left to the per-slot path; idle
+        stretches are re-scanned every :data:`_IDLE_SCAN_LIMIT` slots).
+        """
+        span = min(self._block_len - rel - 1, limit - 1)
+        if span <= 0:
+            return 0, True
+        # Fast path: the whole-platform column is frozen for long enough.
+        frozen = self._frozen_run(rel)
+        if frozen >= span:
+            return span, True
+        block = self._block
+        column = block[:, rel]
+        window = block[:, rel + 1: rel + 1 + span]
+        uneventful = np.all(
+            window[enrolled_ids] == column[enrolled_ids, None], axis=0
+        )
+        eventful = np.flatnonzero(~uneventful)
+        advance = int(eventful[0]) if eventful.size else int(uneventful.size)
+        return advance, advance <= frozen
+
+    def _apply_offline_failures(
+        self, rel: int, advance: int, runtimes: Sequence[WorkerRuntime]
+    ) -> None:
+        """Apply DOWN transitions of non-enrolled program holders in a batch.
+
+        Fast-forwarded windows only pin the states of *enrolled* workers.  A
+        non-enrolled worker can still carry runtime state — exactly when it
+        holds the program (un-enrolment and DOWN both wipe partial transfers
+        and received data) — and losing it to a DOWN transition inside the
+        window must be reflected.  Since such a worker takes no part in the
+        window's slots, applying its ``on_down`` after the jump is
+        equivalent to applying it at the precise slot.
+        """
+        holders = [
+            runtime
+            for runtime in runtimes
+            if runtime.has_program and not runtime.enrolled
+        ]
+        if not holders:
+            return
+        window = self._block[:, rel + 1: rel + 1 + advance]
+        rows = window[[runtime.worker_id for runtime in holders]]
+        went_down = (rows == _DOWN_CODE).any(axis=1)
+        for runtime, down in zip(holders, went_down):
+            if down:
+                runtime.on_down()
 
     # ------------------------------------------------------------------
     def _validate_selection(
@@ -440,6 +709,8 @@ def simulate(
     max_slots: int = DEFAULT_MAX_SLOTS,
     trace: Optional[AvailabilityTrace] = None,
     analysis: Optional[AnalysisContext] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    sampler: str = "block",
     record_events: bool = False,
     record_activity: bool = False,
 ) -> SimulationResult:
@@ -452,6 +723,8 @@ def simulate(
         max_slots=max_slots,
         trace=trace,
         analysis=analysis,
+        block_size=block_size,
+        sampler=sampler,
         record_events=record_events,
         record_activity=record_activity,
     )

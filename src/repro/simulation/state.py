@@ -63,8 +63,22 @@ class WorkerRuntime:
         return missing_messages * tdata - self.data_progress
 
     def comm_slots_remaining(self, tprog: int, tdata: int) -> int:
-        """Total slots of master communication still needed by this worker."""
-        return self.program_slots_remaining(tprog) + self.data_slots_remaining(tdata)
+        """Total slots of master communication still needed by this worker.
+
+        Flattened (rather than delegating to the two ``*_slots_remaining``
+        helpers) because the simulation engine calls this on every
+        communication slot for every enrolled worker.
+        """
+        if self.has_program:
+            program = 0
+        else:
+            program = tprog - self.program_progress
+            if program < 0:
+                program = 0
+        missing = self.assigned_tasks - self.data_received
+        if missing <= 0:
+            return program
+        return program + missing * tdata - self.data_progress
 
     def ready_to_compute(self, tprog: int, tdata: int) -> bool:
         """Whether the worker holds the program and all data for its tasks."""
@@ -155,6 +169,30 @@ class WorkerRuntime:
         raise RuntimeError(
             f"worker {self.worker_id} was granted a communication slot but needs none"
         )
+
+    def advance_communication(self, units: int, tprog: int, tdata: int) -> None:
+        """Apply *units* consecutive communication slots to this worker at once.
+
+        Exactly equivalent to *units* successive
+        :meth:`receive_communication_slot` calls (program first, then data
+        messages), collapsed into O(1) arithmetic so the engine's
+        communication fast-forward can batch a whole grant interval.
+        *units* must not exceed :meth:`comm_slots_remaining`.
+        """
+        if units <= 0:
+            return
+        program = self.program_slots_remaining(tprog)
+        if program > 0:
+            take = units if units < program else program
+            self.program_progress += take
+            units -= take
+            if self.program_progress >= tprog:
+                self.has_program = True
+                self.program_progress = 0
+        if units > 0:
+            total = self.data_progress + units
+            self.data_received += total // tdata
+            self.data_progress = total % tdata
 
     def absorb_free_transfers(self, tprog: int, tdata: int) -> None:
         """Complete any zero-duration transfers (``Tprog == 0`` / ``Tdata == 0``).

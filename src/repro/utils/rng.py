@@ -20,6 +20,7 @@ import numpy as np
 __all__ = [
     "SeedLike",
     "as_generator",
+    "derive_run_streams",
     "spawn_generators",
     "spawn_seeds",
     "stable_hash_seed",
@@ -65,6 +66,21 @@ def spawn_seeds(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
 def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Spawn *count* independent generators derived from *seed*."""
     return [np.random.default_rng(child) for child in spawn_seeds(seed, count)]
+
+
+def derive_run_streams(seed: SeedLike, num_workers: int):
+    """Derive the per-run generator streams of a simulation run.
+
+    Returns ``(availability_streams, scheduler_stream)``: one independent
+    generator per worker plus one for the scheduler, all derived
+    deterministically from *seed*.  This recipe is shared by the simulation
+    engine and the experiment trace bank — anything that needs to reproduce
+    the exact availability realisation of a run for a given seed must derive
+    its streams through this function.
+    """
+    root = as_generator(seed)
+    streams = spawn_generators(int(root.integers(0, 2**62)), num_workers + 1)
+    return streams[:-1], streams[-1]
 
 
 def stable_hash_seed(*parts: Union[str, int, float]) -> int:

@@ -1,0 +1,190 @@
+"""Stream-equivalence tests for the vectorised ``sample_block`` samplers.
+
+Every availability model must produce, for a given generator state, exactly
+the same trajectory through :meth:`sample_block` as through repeated
+:meth:`next_state` calls — that contract is what lets the simulation engine
+prefetch worker states in blocks without changing any fixed-seed result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.availability.diurnal import DiurnalAvailabilityModel
+from repro.availability.generators import (
+    paper_transition_matrix,
+    sample_initial_states,
+    sample_state_block,
+)
+from repro.availability.markov import MarkovAvailabilityModel
+from repro.availability.model import AvailabilityModel
+from repro.availability.semi_markov import SemiMarkovAvailabilityModel
+from repro.availability.trace import TraceAvailabilityModel
+from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+
+
+def sequential_states(model, rng, length, current):
+    """Reference trajectory: *length* successive next_state calls."""
+    states = np.empty(length, dtype=np.int8)
+    for index in range(length):
+        current = model.next_state(current, rng)
+        states[index] = int(current)
+    return states
+
+
+def make_markov():
+    return MarkovAvailabilityModel(paper_transition_matrix([0.95, 0.92, 0.90]))
+
+
+def make_semi_markov():
+    return SemiMarkovAvailabilityModel.desktop_grid(mean_up=25.0)
+
+
+def make_diurnal():
+    return DiurnalAvailabilityModel.office_hours(phase_offset=13)
+
+
+def make_trace():
+    return TraceAvailabilityModel("uurdduruddruuudr", wrap=True)
+
+
+MODEL_FACTORIES = {
+    "markov": make_markov,
+    "semi_markov": make_semi_markov,
+    "diurnal": make_diurnal,
+    "trace": make_trace,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(MODEL_FACTORIES))
+def test_sample_block_matches_next_state(kind):
+    factory = MODEL_FACTORIES[kind]
+    reference_model, block_model = factory(), factory()
+    reference_rng, block_rng = np.random.default_rng(42), np.random.default_rng(42)
+
+    reference_model.reset()
+    initial_ref = reference_model.initial_state(reference_rng)
+    block_model.reset()
+    initial_blk = block_model.initial_state(block_rng)
+    assert initial_ref == initial_blk
+
+    expected = sequential_states(reference_model, reference_rng, 4000, initial_ref)
+    actual = block_model.sample_block(1, 4000, block_rng, current=initial_blk)
+    assert actual.dtype == np.int8
+    assert np.array_equal(expected, actual)
+
+
+@pytest.mark.parametrize("kind", sorted(MODEL_FACTORIES))
+@pytest.mark.parametrize("split", [1, 7, 997])
+def test_sample_block_split_invariance(kind, split):
+    """Cutting the horizon into blocks must not change the trajectory."""
+    factory = MODEL_FACTORIES[kind]
+    whole_model, split_model = factory(), factory()
+    whole_rng, split_rng = np.random.default_rng(7), np.random.default_rng(7)
+
+    whole_model.reset()
+    current = whole_model.initial_state(whole_rng)
+    split_model.reset()
+    split_model.initial_state(split_rng)
+
+    length = 3000
+    whole = whole_model.sample_block(1, length, whole_rng, current=current)
+
+    pieces = []
+    start, state = 1, current
+    while start <= length:
+        horizon = min(split, length - start + 1)
+        piece = split_model.sample_block(start, horizon, split_rng, current=state)
+        pieces.append(piece)
+        state = ProcessorState(int(piece[-1]))
+        start += horizon
+    assert np.array_equal(whole, np.concatenate(pieces))
+
+
+@pytest.mark.parametrize("kind", ["semi_markov", "diurnal", "trace"])
+def test_block_then_slotwise_continuation(kind):
+    """Internal memory (sojourns, clocks, cursors) must survive a block."""
+    factory = MODEL_FACTORIES[kind]
+    reference_model, mixed_model = factory(), factory()
+    reference_rng, mixed_rng = np.random.default_rng(3), np.random.default_rng(3)
+
+    reference_model.reset()
+    current_ref = reference_model.initial_state(reference_rng)
+    mixed_model.reset()
+    current_mix = mixed_model.initial_state(mixed_rng)
+
+    expected = sequential_states(reference_model, reference_rng, 500, current_ref)
+    block = mixed_model.sample_block(1, 300, mixed_rng, current=current_mix)
+    tail = sequential_states(
+        mixed_model, mixed_rng, 200, ProcessorState(int(block[-1]))
+    )
+    assert np.array_equal(expected, np.concatenate([block, tail]))
+
+
+def test_trace_model_no_wrap_block():
+    model = TraceAvailabilityModel("uurdd", wrap=False)
+    rng = np.random.default_rng(0)
+    model.reset()
+    current = model.initial_state(rng)
+    block = model.sample_block(1, 9, rng, current=current)
+    # u u r d d then the final state repeats forever.
+    assert list(block) == [int(UP), int(RECLAIMED), int(DOWN), int(DOWN),
+                           int(DOWN), int(DOWN), int(DOWN), int(DOWN), int(DOWN)]
+
+
+def test_default_sample_block_falls_back_to_next_state():
+    """Models that do not override sample_block still behave correctly."""
+
+    class CyclingModel(AvailabilityModel):
+        def initial_state(self, rng):
+            return UP
+
+        def next_state(self, current, rng):
+            return ProcessorState((int(current) + 1) % 3)
+
+        def markov_approximation(self):
+            return np.full((3, 3), 1.0 / 3.0)
+
+    model = CyclingModel()
+    block = model.sample_block(1, 6, np.random.default_rng(0), current=UP)
+    assert list(block) == [1, 2, 0, 1, 2, 0]
+
+
+def test_sample_block_validates_arguments():
+    model = make_markov()
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        model.sample_block(0, 5, rng, current=UP)
+    with pytest.raises(ValueError):
+        model.sample_block(1, -1, rng, current=UP)
+    assert model.sample_block(1, 0, rng, current=UP).size == 0
+
+
+def test_sample_trajectory_unchanged_by_vectorisation():
+    """sample_trajectory consumes streams exactly as the historical loop did."""
+    model = make_markov()
+    trajectory = model.sample_trajectory(2000, seed=77)
+    # Reference: explicit loop over next_state with the same derived stream.
+    rng = np.random.default_rng(77)
+    model.reset()
+    current = model.initial_state(rng)
+    expected = np.empty(2000, dtype=np.int8)
+    expected[0] = int(current)
+    expected[1:] = sequential_states(model, rng, 1999, current)
+    assert np.array_equal(trajectory, expected)
+
+
+def test_platform_batch_helpers_match_engine_order():
+    """sample_initial_states + sample_state_block replay per-model streams."""
+    models = [make_markov(), make_semi_markov(), make_diurnal()]
+    reference = [make_markov(), make_semi_markov(), make_diurnal()]
+    rngs = [np.random.default_rng(seed) for seed in (1, 2, 3)]
+    ref_rngs = [np.random.default_rng(seed) for seed in (1, 2, 3)]
+
+    column = sample_initial_states(models, rngs)
+    block = sample_state_block(models, 1, 400, rngs, column)
+    for index, (model, rng) in enumerate(zip(reference, ref_rngs)):
+        model.reset()
+        current = model.initial_state(rng)
+        assert int(column[index]) == int(current)
+        expected = sequential_states(model, rng, 400, current)
+        assert np.array_equal(block[index], expected)

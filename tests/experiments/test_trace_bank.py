@@ -1,0 +1,85 @@
+"""Tests for the shared per-(scenario, trial) availability trace bank."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import TraceBank, run_instance, run_scenario
+from repro.experiments.scenarios import CampaignScale, ExperimentScenario, ScenarioParameters
+from repro.utils.rng import derive_run_streams
+
+
+def make_scenario(num_processors=10):
+    params = ScenarioParameters(m=5, ncom=5, wmin=2, num_processors=num_processors)
+    return ExperimentScenario(params=params, scenario_index=0, campaign="bank-tests")
+
+
+def test_bank_trace_matches_direct_sampling():
+    """The bank replays exactly what the engine would sample for the seed."""
+    scenario = make_scenario()
+    platform = scenario.build_platform()
+    seed = scenario.trial_seed(0)
+    bank = TraceBank(platform, horizon=600, chunk=64)
+    trace = bank.trace_for(seed)
+    assert trace.num_processors == platform.num_processors
+    assert trace.horizon == 600
+
+    # Reference: per-worker streams consumed model by model, slot by slot.
+    rngs, _ = derive_run_streams(seed, platform.num_processors)
+    reference = np.empty((platform.num_processors, 600), dtype=np.int8)
+    for worker, (processor, rng) in enumerate(zip(platform.processors, rngs)):
+        model = processor.availability
+        model.reset()
+        current = model.initial_state(rng)
+        reference[worker, 0] = int(current)
+        for slot in range(1, 600):
+            current = model.next_state(current, rng)
+            reference[worker, slot] = int(current)
+
+    # Request blocks out of order sizes to exercise the lazy growth.
+    assert np.array_equal(trace.block(0, 5), reference[:, 0:5])
+    assert np.array_equal(trace.block(5, 130), reference[:, 5:130])
+    assert np.array_equal(trace.block(130, 600), reference[:, 130:600])
+    # Re-reads hit the materialised buffer and stay identical.
+    assert np.array_equal(trace.block(0, 600), reference)
+
+
+def test_bank_trace_rejects_out_of_range_blocks():
+    scenario = make_scenario()
+    bank = TraceBank(scenario.build_platform(), horizon=100)
+    trace = bank.trace_for(scenario.trial_seed(0))
+    with pytest.raises(ExperimentError):
+        trace.block(0, 101)
+    with pytest.raises(ExperimentError):
+        trace.block(-1, 10)
+
+
+def test_run_instance_with_bank_trace_is_bit_identical():
+    scenario = make_scenario()
+    platform = scenario.build_platform()
+    scale = CampaignScale.smoke()
+    bank = TraceBank(platform, horizon=scale.makespan_cap)
+    for heuristic in ("RANDOM", "IE", "Y-IE"):
+        direct = run_instance(scenario, heuristic, 0, scale=scale, platform=platform)
+        replayed = run_instance(
+            scenario, heuristic, 0, scale=scale, platform=platform,
+            trace=bank.trace_for(scenario.trial_seed(0)),
+        )
+        direct_dict, replay_dict = direct.as_dict(), replayed.as_dict()
+        direct_dict.pop("wall_time_seconds")
+        replay_dict.pop("wall_time_seconds")
+        assert direct_dict == replay_dict, heuristic
+
+
+def test_run_scenario_shared_availability_is_bit_identical():
+    scenario = make_scenario()
+    scale = CampaignScale.smoke().with_overrides(trials_per_scenario=2, num_processors=10)
+    heuristics = ("RANDOM", "IE")
+    shared = run_scenario(scenario, heuristics, scale=scale, share_availability=True)
+    unshared = run_scenario(scenario, heuristics, scale=scale, share_availability=False)
+    assert len(shared) == len(unshared) == 4
+    for a, b in zip(shared, unshared):
+        a_dict, b_dict = a.as_dict(), b.as_dict()
+        a_dict.pop("wall_time_seconds")
+        b_dict.pop("wall_time_seconds")
+        assert a_dict == b_dict
