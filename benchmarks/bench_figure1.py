@@ -9,8 +9,6 @@ Gantt chart; it also measures the engine cost of such a micro-instance.
 """
 
 from __future__ import annotations
-
-import numpy as np
 import pytest
 
 from _config import write_result

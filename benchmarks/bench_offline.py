@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from _config import write_result
-from repro.availability import AvailabilityTrace, MarkovAvailabilityModel
+from repro.availability import AvailabilityTrace
 from repro.availability.generators import random_markov_models
 from repro.offline import (
     ENCDInstance,

@@ -190,7 +190,22 @@ def test_throughput_report(benchmark, tmp_path):
 
 
 if __name__ == "__main__":
-    full_report = measure_throughput()
-    output = write_report(full_report)
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Measure simulator throughput")
+    parser.add_argument(
+        "--output", default=None,
+        help="write the JSON report here instead of the tracked baseline file",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=THROUGHPUT_SLOTS,
+        help=f"slots per measured run (default {THROUGHPUT_SLOTS})",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N repeats (default 3)")
+    cli_args = parser.parse_args()
+    if cli_args.output is None and cli_args.slots != THROUGHPUT_SLOTS:
+        parser.error("reduced sweeps must pass --output so the tracked baseline is not overwritten")
+    full_report = measure_throughput(cli_args.slots, cli_args.repeats)
+    output = write_report(full_report, Path(cli_args.output) if cli_args.output else None)
     print(json.dumps(full_report, indent=2))
     print(f"\nwritten to {output}")

@@ -1,0 +1,145 @@
+"""CI benchmark-regression gate for the simulation engine.
+
+Compares a fresh ``bench_simulator.py`` throughput report against the
+committed baseline (``benchmarks/results/BENCH_simulator.json``) and exits
+non-zero if slots/sec dropped by more than the allowed fraction (default
+25%) on any (heuristic, mode) pair present in both reports.
+
+Typical CI usage (two steps, so the measurement is reusable as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_simulator.py --output bench_current.json
+    PYTHONPATH=src python benchmarks/check_regression.py --current bench_current.json
+
+Run without ``--current`` to measure in-process (``--slots``/``--repeats``
+control the sweep size).  ``--max-drop`` takes a fraction, e.g. ``0.25``.
+
+The gate compares like with like — the per-(heuristic, mode) slots/sec of
+the same workload — so it catches engine regressions.  It cannot distinguish
+a slow runner from a slow engine; if CI hardware changes class, refresh the
+baseline by committing a new ``BENCH_simulator.json`` from that hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_BASELINE = Path(__file__).parent / "results" / "BENCH_simulator.json"
+DEFAULT_MAX_DROP = 0.25
+
+
+def _throughputs(report: dict) -> Dict[Tuple[str, str], float]:
+    """Map (heuristic, mode) -> slots/sec from a bench_simulator report."""
+    if report.get("benchmark") != "simulator_throughput":
+        raise ValueError(f"not a simulator throughput report: {report.get('benchmark')!r}")
+    return {
+        (run["heuristic"], run["mode"]): float(run["slots_per_second"])
+        for run in report.get("runs", [])
+    }
+
+
+def compare_reports(
+    baseline: dict, current: dict, *, max_drop: float = DEFAULT_MAX_DROP
+) -> Tuple[List[str], List[str]]:
+    """Return ``(failures, lines)`` comparing *current* against *baseline*.
+
+    ``failures`` lists every (heuristic, mode) pair whose throughput dropped
+    by more than ``max_drop`` (a fraction); ``lines`` is the full
+    human-readable comparison table.
+    """
+    if not (0.0 < max_drop < 1.0):
+        raise ValueError(f"max_drop must be a fraction in (0, 1), got {max_drop}")
+    base = _throughputs(baseline)
+    fresh = _throughputs(current)
+    common = sorted(set(base) & set(fresh))
+    if not common:
+        raise ValueError("baseline and current reports share no (heuristic, mode) pairs")
+    failures: List[str] = []
+    lines: List[str] = [
+        f"{'heuristic':<10} {'mode':<8} {'baseline':>12} {'current':>12} {'change':>8}"
+    ]
+    for heuristic, mode in common:
+        reference = base[(heuristic, mode)]
+        measured = fresh[(heuristic, mode)]
+        change = (measured - reference) / reference
+        verdict = ""
+        if change < -max_drop:
+            verdict = "  REGRESSION"
+            failures.append(
+                f"{heuristic}/{mode}: {measured:.0f} slots/sec is "
+                f"{-100 * change:.1f}% below baseline {reference:.0f}"
+            )
+        lines.append(
+            f"{heuristic:<10} {mode:<8} {reference:>12.1f} {measured:>12.1f} "
+            f"{100 * change:>+7.1f}%{verdict}"
+        )
+    return failures, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help=f"committed baseline report (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--current", default=None,
+        help="fresh report to check; omit to measure in-process",
+    )
+    parser.add_argument(
+        "--max-drop", type=float, default=DEFAULT_MAX_DROP,
+        help=f"maximum tolerated fractional slowdown (default {DEFAULT_MAX_DROP})",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=None,
+        help="slots per run when measuring in-process (default: the full workload)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repeats when measuring in-process (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read baseline {args.baseline}: {error}", file=sys.stderr)
+        return 2
+
+    if args.current is not None:
+        try:
+            current = json.loads(Path(args.current).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read current report {args.current}: {error}", file=sys.stderr)
+            return 2
+    else:
+        sys.path.insert(0, str(Path(__file__).parent))
+        from bench_simulator import THROUGHPUT_SLOTS, measure_throughput
+
+        current = measure_throughput(args.slots or THROUGHPUT_SLOTS, args.repeats)
+
+    try:
+        failures, lines = compare_reports(baseline, current, max_drop=args.max_drop)
+    except ValueError as error:
+        print(f"cannot compare reports: {error}", file=sys.stderr)
+        return 2
+
+    print("\n".join(lines))
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} throughput regression(s) beyond "
+            f"{100 * args.max_drop:.0f}%:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no (heuristic, mode) pair dropped more than {100 * args.max_drop:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ plus a few parameterised variants used by the extension experiments.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -24,7 +24,7 @@ import numpy as np
 from repro.availability.model import AvailabilityModel
 from repro.availability.statistics import estimate_markov_matrix
 from repro.exceptions import InvalidModelError
-from repro.types import DOWN, RECLAIMED, UP, ProcessorState, StateLike
+from repro.types import UP, ProcessorState, StateLike
 
 __all__ = ["AvailabilityTrace", "TraceAvailabilityModel"]
 

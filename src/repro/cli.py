@@ -5,29 +5,44 @@ Commands
 ``table1``    Reproduce Table I (m = 5, all 17 heuristics).
 ``table2``    Reproduce Table II (m = 10, best 8 heuristics).
 ``figure2``   Reproduce the Figure 2 series (%diff vs wmin, m = 10).
+``campaign``  Run a declarative campaign from a spec file or named built-in,
+              optionally against a persistent result store (resume) and as
+              one shard of a multi-machine run.
+``merge``     Combine shard stores into one store and report on it.
 ``demo``      Simulate one instance under one heuristic and print a Gantt chart.
 ``offline``   Solve a random small off-line instance exactly (Theorem 4.1 artefacts).
 ``heuristics``  List the available heuristic names.
 
-Every experiment command accepts ``--scale {smoke,reduced,paper}`` plus
+Every table/figure command accepts ``--scale {smoke,reduced,paper}`` plus
 individual overrides (``--scenarios``, ``--trials``, ``--wmin``, ``--ncom``,
 ``--cap``, ``--iterations``), ``--jobs`` for multi-process execution and
 ``--output`` to persist the raw campaign results as JSON.
+
+``campaign`` is the resumable path: ``repro campaign --spec sweep.toml
+--store runs/sweep`` records every finished (scenario, trial, heuristic)
+cell durably, skips completed cells on restart, and with ``--shard i/N``
+deterministically partitions the work so N machines can split one campaign
+(recombine with ``repro merge``).
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.group import ExpectationMode
+from repro.exceptions import ExperimentError
 from repro.experiments.figures import figure2_series, format_figure2
-from repro.experiments.io import save_campaign
+from repro.experiments.io import save_campaign, save_results
 from repro.experiments.metrics import summarize_results
-from repro.experiments.runner import run_campaign
+from repro.experiments.report import format_store_status
+from repro.experiments.runner import CellProgress, run_campaign, run_campaign_spec
 from repro.experiments.scenarios import CampaignScale
-from repro.experiments.tables import format_summaries
+from repro.experiments.spec import BUILTIN_SPEC_NAMES, builtin_spec, load_spec
+from repro.experiments.store import ResultStore, merge_stores, store_status
+from repro.experiments.tables import format_spec_report, format_summaries
 from repro.scheduling.registry import ALL_HEURISTICS, TABLE2_HEURISTICS, create_scheduler
 from repro.utils.tables import format_table
 
@@ -98,6 +113,62 @@ def build_parser() -> argparse.ArgumentParser:
         _add_campaign_arguments(sub)
         sub.set_defaults(default_m=default_m, default_heuristics=default_heuristics)
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a declarative campaign (spec file or built-in) with resume/sharding",
+    )
+    source = campaign.add_mutually_exclusive_group()
+    source.add_argument("--spec", default=None, help="campaign spec file (TOML or JSON)")
+    source.add_argument(
+        "--builtin", default=None, help=f"named built-in spec ({', '.join(BUILTIN_SPEC_NAMES)})"
+    )
+    source.add_argument(
+        "--list-builtins", action="store_true", help="list built-in spec names and exit"
+    )
+    campaign.add_argument(
+        "--store", default=None,
+        help="campaign directory for the persistent result store (enables resume)",
+    )
+    campaign.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default=None,
+        help="result store backend (default: jsonl for new stores, "
+        "existing backend on resume)",
+    )
+    campaign.add_argument(
+        "--shard", default="1/1", metavar="I/N",
+        help="run only shard I of N (deterministic cell partition, default 1/1)",
+    )
+    campaign.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    campaign.add_argument(
+        "--max-cells", type=int, default=None,
+        help="stop after this many newly-run cells (smoke tests / simulated interrupts)",
+    )
+    campaign.add_argument(
+        "--status", action="store_true",
+        help="print the store's completion status and exit (requires --store)",
+    )
+    campaign.add_argument(
+        "--report", choices=("tables", "none"), default="tables",
+        help="print Table-I-style summaries after the run (default: tables)",
+    )
+    campaign.add_argument(
+        "--output", default=None, help="write the raw shard results to this JSON file"
+    )
+
+    merge = subparsers.add_parser(
+        "merge", help="merge shard result stores into one store"
+    )
+    merge.add_argument("stores", nargs="+", help="shard store directories to merge")
+    merge.add_argument("--output", required=True, help="destination store directory")
+    merge.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default=None,
+        help="destination backend (default: backend of the first source)",
+    )
+    merge.add_argument(
+        "--report", choices=("tables", "none"), default="tables",
+        help="print Table-I-style summaries of the merged store (default: tables)",
+    )
+
     demo = subparsers.add_parser("demo", help="simulate one instance and print a Gantt chart")
     demo.add_argument("--heuristic", default="Y-IE", help="heuristic name (default Y-IE)")
     demo.add_argument("--m", type=int, default=5, help="tasks per iteration")
@@ -150,6 +221,103 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         summaries = summarize_results(campaign.results)
         title = "Table I (m = 5)" if args.command == "table1" else "Table II (m = 10)"
         print(format_summaries(summaries, title=f"{title} — {scale.num_instances()} instances"))
+    return 0
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise ExperimentError(f"--shard must look like I/N (e.g. 2/4), got {text!r}")
+    return int(match.group(1)), int(match.group(2))
+
+
+def _cmd_campaign_spec(args: argparse.Namespace) -> int:
+    if args.list_builtins:
+        for name in BUILTIN_SPEC_NAMES:
+            spec = builtin_spec(name)
+            print(f"{name}: {spec.num_cells()} cells "
+                  f"(m={list(spec.m_values)}, {len(spec.heuristics)} heuristics)")
+        return 0
+    if args.spec:
+        spec = load_spec(args.spec)
+    elif args.builtin:
+        spec = builtin_spec(args.builtin)
+    else:
+        print("campaign: one of --spec, --builtin or --list-builtins is required",
+              file=sys.stderr)
+        return 2
+    shard = _parse_shard(args.shard)
+
+    if args.status:
+        if not args.store:
+            print("campaign: --status requires --store", file=sys.stderr)
+            return 2
+        # A read-only query: open the existing store (no directory creation).
+        store = ResultStore.open(args.store)
+        if store.spec.spec_hash() != spec.spec_hash():
+            print(
+                f"campaign: store {args.store} belongs to a different campaign "
+                f"(spec hash mismatch)",
+                file=sys.stderr,
+            )
+            store.close()
+            return 2
+        print(format_store_status(store_status(store)))
+        store.close()
+        return 0
+
+    store = None
+    if args.store:
+        store = ResultStore.create(args.store, spec, backend=args.backend)
+
+    def cell_progress(event: CellProgress) -> None:
+        if event.skipped:
+            print(
+                f"  resuming: {event.done}/{event.total} cells already in store",
+                file=sys.stderr, flush=True,
+            )
+        else:
+            print(
+                f"  [{event.done}/{event.total}] {event.scenario} "
+                f"trial {event.trial} {event.heuristic}",
+                file=sys.stderr, flush=True,
+            )
+
+    try:
+        results = run_campaign_spec(
+            spec,
+            store=store,
+            shard=shard,
+            n_jobs=args.jobs,
+            max_cells=args.max_cells,
+            cell_progress=cell_progress,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    if args.output:
+        path = save_results(results, args.output, label=spec.name)
+        print(f"raw results written to {path}", file=sys.stderr)
+    if args.report == "tables":
+        if shard != (1, 1):
+            print(
+                "shard results are partial; run `repro merge` over all shards "
+                "for comparable tables",
+                file=sys.stderr,
+            )
+        else:
+            print(format_spec_report(results, spec))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    store = merge_stores(args.stores, args.output, backend=args.backend)
+    status = store_status(store)
+    print(format_store_status(status))
+    if args.report == "tables":
+        print()
+        print(format_spec_report(store.results(), store.spec))
+    store.close()
     return 0
 
 
@@ -213,6 +381,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command in ("table1", "table2", "figure2"):
         return _cmd_campaign(args)
+    if args.command in ("campaign", "merge"):
+        handler = _cmd_campaign_spec if args.command == "campaign" else _cmd_merge
+        try:
+            return handler(args)
+        except ExperimentError as error:
+            print(f"{args.command}: {error}", file=sys.stderr)
+            return 2
     if args.command == "demo":
         return _cmd_demo(args)
     if args.command == "offline":

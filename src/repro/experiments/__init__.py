@@ -7,47 +7,93 @@ each executed under all 17 heuristics.  The harness reproduces that grid (or
 a configurable subset — see :class:`CampaignScale`), computes the paper's
 metrics (#fails, %diff, %wins, %wins30, stdv against the IE reference) and
 rebuilds Table I, Table II and the Figure 2 series.
+
+Beyond the paper's grid, campaigns can be *declarative*: a
+:class:`CampaignSpec` (TOML/JSON file or named built-in) describes grid
+ranges over ``m``/``ncom``/``wmin``/``num_processors``, the availability
+substrate (Markov, semi-Markov, diurnal, trace) and the heuristic subset.
+Spec campaigns run against a persistent :class:`ResultStore` (JSONL or
+sqlite), so interrupted runs resume exactly where they stopped, and the
+deterministic cell enumeration can be sharded across machines
+(``--shard i/N``) and recombined with :func:`merge_stores`.
 """
 
 from repro.experiments.figures import figure2_series, format_figure2
-from repro.experiments.io import load_campaign, save_campaign
-from repro.experiments.metrics import HeuristicSummary, summarize_results
-from repro.experiments.report import PaperComparison, compare_with_paper, format_comparison
+from repro.experiments.io import load_campaign, load_results, save_campaign, save_results
+from repro.experiments.metrics import (
+    HeuristicSummary,
+    filter_results,
+    summarize_results,
+)
+from repro.experiments.report import (
+    PaperComparison,
+    compare_with_paper,
+    format_comparison,
+    format_store_status,
+)
 from repro.experiments.runner import (
     CampaignResult,
+    CellProgress,
     InstanceResult,
     run_campaign,
+    run_campaign_spec,
     run_instance,
     run_scenario,
 )
 from repro.experiments.scenarios import (
+    AvailabilitySpec,
     CampaignScale,
     ExperimentScenario,
     ScenarioParameters,
     generate_scenarios,
 )
-from repro.experiments.tables import build_table, format_table1, format_table2
+from repro.experiments.spec import (
+    BUILTIN_SPEC_NAMES,
+    CampaignCell,
+    CampaignSpec,
+    builtin_spec,
+    load_spec,
+)
+from repro.experiments.store import ResultStore, StoreStatus, merge_stores, store_status
+from repro.experiments.tables import build_table, format_spec_report, format_table1, format_table2
 
 __all__ = [
     "CampaignScale",
     "ScenarioParameters",
     "ExperimentScenario",
+    "AvailabilitySpec",
     "generate_scenarios",
     "InstanceResult",
     "CampaignResult",
+    "CellProgress",
     "run_instance",
     "run_scenario",
     "run_campaign",
+    "run_campaign_spec",
+    "CampaignSpec",
+    "CampaignCell",
+    "BUILTIN_SPEC_NAMES",
+    "builtin_spec",
+    "load_spec",
+    "ResultStore",
+    "StoreStatus",
+    "merge_stores",
+    "store_status",
     "HeuristicSummary",
     "summarize_results",
+    "filter_results",
     "PaperComparison",
     "compare_with_paper",
     "format_comparison",
+    "format_store_status",
     "build_table",
+    "format_spec_report",
     "format_table1",
     "format_table2",
     "figure2_series",
     "format_figure2",
     "save_campaign",
     "load_campaign",
+    "save_results",
+    "load_results",
 ]

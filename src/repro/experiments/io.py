@@ -10,15 +10,19 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import List, Sequence, Union
 
 from repro.exceptions import ExperimentError
 from repro.experiments.runner import CampaignResult, InstanceResult
 from repro.experiments.scenarios import CampaignScale
 
-__all__ = ["save_campaign", "load_campaign"]
+__all__ = ["save_campaign", "load_campaign", "save_results", "load_results"]
 
 FORMAT_VERSION = 1
+
+#: Raw result-list payloads (spec campaigns, where a single ``m`` /
+#: :class:`CampaignScale` header does not apply).
+RESULTS_FORMAT_VERSION = 1
 
 
 def save_campaign(campaign: CampaignResult, path: Union[str, Path]) -> Path:
@@ -75,3 +79,36 @@ def load_campaign(path: Union[str, Path]) -> CampaignResult:
     )
     campaign.extend(InstanceResult.from_dict(entry) for entry in payload["results"])
     return campaign
+
+
+def save_results(
+    results: Sequence[InstanceResult], path: Union[str, Path], *, label: str = "campaign"
+) -> Path:
+    """Write a raw list of instance results (spec campaigns) as JSON.
+
+    Unlike :func:`save_campaign` this makes no single-``m`` assumption: the
+    payload is just the labelled record list, suitable for multi-``m``
+    spec-driven campaigns and for feeding external tooling.
+    """
+    path = Path(path)
+    payload = {
+        "format_version": RESULTS_FORMAT_VERSION,
+        "kind": "results",
+        "label": label,
+        "results": [result.as_dict() for result in results],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> List[InstanceResult]:
+    """Load a raw result list previously written by :func:`save_results`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot load results from {path}: {error}") from error
+    if payload.get("kind") != "results" or payload.get("format_version") != RESULTS_FORMAT_VERSION:
+        raise ExperimentError(f"{path} is not a raw results payload")
+    return [InstanceResult.from_dict(entry) for entry in payload["results"]]

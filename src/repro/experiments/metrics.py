@@ -24,14 +24,14 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ExperimentError
 from repro.experiments.runner import InstanceResult
 
-__all__ = ["HeuristicSummary", "summarize_results", "relative_difference"]
+__all__ = ["HeuristicSummary", "summarize_results", "relative_difference", "filter_results"]
 
 #: The reference heuristic of the paper's tables.
 DEFAULT_REFERENCE = "IE"
@@ -78,6 +78,39 @@ class HeuristicSummary:
             "num_scenarios": self.num_scenarios,
             "num_trials": self.num_trials,
         }
+
+
+def filter_results(
+    results: Iterable[InstanceResult],
+    *,
+    m: Optional[int] = None,
+    ncom: Optional[int] = None,
+    wmin: Optional[int] = None,
+    num_processors: Optional[int] = None,
+    heuristics: Optional[Sequence[str]] = None,
+) -> List[InstanceResult]:
+    """Select one slice of a (possibly multi-``m``, multi-platform) result set.
+
+    Spec-driven campaigns sweep grids wider than a single paper table; the
+    comparison metrics are only meaningful within one ``(m, num_processors)``
+    slice (the legacy scenario keys do not separate platform sizes), so
+    reports filter before summarising.
+    """
+    wanted = {name.upper() for name in heuristics} if heuristics is not None else None
+    selected: List[InstanceResult] = []
+    for result in results:
+        if m is not None and result.m != m:
+            continue
+        if ncom is not None and result.ncom != ncom:
+            continue
+        if wmin is not None and result.wmin != wmin:
+            continue
+        if num_processors is not None and result.num_processors != num_processors:
+            continue
+        if wanted is not None and result.heuristic not in wanted:
+            continue
+        selected.append(result)
+    return selected
 
 
 def _group_by_heuristic(results: Iterable[InstanceResult]) -> Dict[str, List[InstanceResult]]:
@@ -170,5 +203,7 @@ def summarize_results(
             )
         )
 
-    summaries.sort(key=lambda s: (s.pct_diff is None, s.pct_diff if s.pct_diff is not None else math.inf))
+    summaries.sort(
+        key=lambda s: (s.pct_diff is None, s.pct_diff if s.pct_diff is not None else math.inf)
+    )
     return summaries

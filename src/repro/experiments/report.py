@@ -26,9 +26,15 @@ import numpy as np
 from scipy import stats
 
 from repro.experiments.metrics import HeuristicSummary
+from repro.experiments.store import StoreStatus
 from repro.utils.tables import format_table
 
-__all__ = ["PaperComparison", "compare_with_paper", "format_comparison"]
+__all__ = [
+    "PaperComparison",
+    "compare_with_paper",
+    "format_comparison",
+    "format_store_status",
+]
 
 
 @dataclass(frozen=True)
@@ -110,6 +116,23 @@ def compare_with_paper(
         paper_winners=paper_winners,
         diffs=diffs,
     )
+
+
+def format_store_status(status: StoreStatus) -> str:
+    """Human-readable completion report of a campaign result store."""
+    percent = 100.0 * status.completed / status.total_cells if status.total_cells else 0.0
+    lines = [
+        f"Campaign {status.spec_name!r} (spec {status.spec_hash[:12]}, "
+        f"{status.backend} store at {status.directory})",
+        f"  cells: {status.completed}/{status.total_cells} complete "
+        f"({percent:.1f}%), {status.remaining} remaining",
+    ]
+    rows = [
+        [heuristic, done, total, f"{100.0 * done / total:.1f}%" if total else "n/a"]
+        for heuristic, done, total in status.by_heuristic
+    ]
+    lines.append(format_table(rows, headers=["heuristic", "done", "total", "%"]))
+    return "\n".join(lines)
 
 
 def format_comparison(comparison: PaperComparison) -> str:

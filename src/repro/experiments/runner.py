@@ -39,6 +39,7 @@ from repro.analysis.group import ExpectationMode
 from repro.availability.generators import sample_initial_states, sample_state_block
 from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import CampaignScale, ExperimentScenario, generate_scenarios
+from repro.experiments.spec import CampaignCell, CampaignSpec
 from repro.platform.platform import Platform
 from repro.scheduling.registry import (
     ALL_HEURISTICS,
@@ -52,10 +53,12 @@ from repro.utils.rng import derive_run_streams
 __all__ = [
     "InstanceResult",
     "CampaignResult",
+    "CellProgress",
     "TraceBank",
     "run_instance",
     "run_scenario",
     "run_campaign",
+    "run_campaign_spec",
 ]
 
 
@@ -75,6 +78,10 @@ class InstanceResult:
     total_restarts: int
     total_configuration_changes: int
     wall_time_seconds: float = 0.0
+    #: Platform size of the scenario (the paper's grid is always 20; spec
+    #: campaigns may sweep it).  Not part of the legacy scenario/instance
+    #: keys — reports group by it explicitly instead.
+    num_processors: int = 20
 
     # ------------------------------------------------------------------
     def scenario_key(self) -> Tuple[int, int, int, int]:
@@ -99,6 +106,7 @@ class InstanceResult:
             "total_restarts": self.total_restarts,
             "total_configuration_changes": self.total_configuration_changes,
             "wall_time_seconds": self.wall_time_seconds,
+            "num_processors": self.num_processors,
         }
 
     @classmethod
@@ -126,6 +134,7 @@ class InstanceResult:
             total_restarts=result.total_restarts,
             total_configuration_changes=result.total_configuration_changes,
             wall_time_seconds=wall_time,
+            num_processors=scenario.params.num_processors,
         )
 
 
@@ -150,6 +159,24 @@ class CampaignResult:
 
     def extend(self, results: Iterable[InstanceResult]) -> None:
         self.results.extend(results)
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """Per-cell completion report for campaign progress callbacks.
+
+    ``done``/``total`` count cells of the running process's share of the
+    campaign (its shard), including cells skipped because the result store
+    already held them — so a resumed run reports accurate remaining-work
+    totals instead of restarting the count from zero.
+    """
+
+    done: int
+    total: int
+    scenario: str
+    trial: int
+    heuristic: str
+    skipped: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +320,7 @@ def run_scenario(
     scale: Optional[CampaignScale] = None,
     mode: ExpectationMode = ExpectationMode.PAPER,
     share_availability: bool = True,
+    on_result: Optional[Callable[[InstanceResult], None]] = None,
 ) -> List[InstanceResult]:
     """Run all trials of all *heuristics* on one scenario.
 
@@ -301,28 +329,68 @@ def run_scenario(
     is materialised once through the :class:`TraceBank` batch sampler and
     replayed for every heuristic — the paired comparison the paper relies
     on, without re-sampling identical chains per heuristic.  Results are
-    bit-identical either way.
+    bit-identical either way.  *on_result* is invoked after every finished
+    instance (per-cell progress reporting).
     """
     scale = scale or CampaignScale.reduced()
+    work = [
+        (trial, heuristic)
+        for trial in range(scale.trials_per_scenario)
+        for heuristic in heuristics
+    ]
+    return _run_scenario_work(
+        scenario,
+        work,
+        scale=scale,
+        mode=mode,
+        share_availability=share_availability,
+        on_result=on_result,
+    )
+
+
+def _run_scenario_work(
+    scenario: ExperimentScenario,
+    work: Sequence[Tuple[int, str]],
+    *,
+    scale: CampaignScale,
+    mode: ExpectationMode = ExpectationMode.PAPER,
+    share_availability: bool = True,
+    on_result: Optional[Callable[[InstanceResult], None]] = None,
+) -> List[InstanceResult]:
+    """Run an ordered subset of one scenario's (trial, heuristic) pairs.
+
+    The subset runner is what makes resume cheap: a partially-complete
+    scenario re-runs only its missing cells, while the per-trial trace-bank
+    replay keeps every result bit-identical to a full run (the realisation
+    depends only on the trial seed, never on which heuristics consume it).
+    """
     platform = scenario.build_platform()
     analysis = AnalysisContext(platform, mode=mode)
     bank = TraceBank(platform, horizon=scale.makespan_cap) if share_availability else None
     results: List[InstanceResult] = []
-    for trial in range(scale.trials_per_scenario):
+    trial_order: List[int] = []
+    by_trial: Dict[int, List[str]] = {}
+    for trial, heuristic in work:
+        if trial not in by_trial:
+            trial_order.append(trial)
+            by_trial[trial] = []
+        by_trial[trial].append(heuristic)
+    for trial in trial_order:
         trace = bank.trace_for(scenario.trial_seed(trial)) if bank is not None else None
-        for heuristic in heuristics:
-            results.append(
-                run_instance(
-                    scenario,
-                    heuristic,
-                    trial,
-                    scale=scale,
-                    analysis=analysis,
-                    platform=platform,
-                    trace=trace,
-                    mode=mode,
-                )
+        for heuristic in by_trial[trial]:
+            result = run_instance(
+                scenario,
+                heuristic,
+                trial,
+                scale=scale,
+                analysis=analysis,
+                platform=platform,
+                trace=trace,
+                mode=mode,
             )
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
     return results
 
 
@@ -332,15 +400,35 @@ def run_scenario(
 def _run_scenario_payload(payload: dict) -> List[dict]:
     """Process-pool entry point: rebuild the scenario locally and run it."""
     scenario = ExperimentScenario(
-        params=payload["params"], scenario_index=payload["scenario_index"], campaign=payload["campaign"]
+        params=payload["params"],
+        scenario_index=payload["scenario_index"],
+        campaign=payload["campaign"],
+        availability=payload.get("availability"),
     )
-    results = run_scenario(
+    results = _run_scenario_work(
         scenario,
-        payload["heuristics"],
+        payload["work"],
         scale=payload["scale"],
         mode=ExpectationMode(payload["mode"]),
     )
     return [result.as_dict() for result in results]
+
+
+def _scenario_payload(
+    scenario: ExperimentScenario,
+    work: Sequence[Tuple[int, str]],
+    scale: CampaignScale,
+    mode: ExpectationMode,
+) -> dict:
+    return {
+        "params": scenario.params,
+        "scenario_index": scenario.scenario_index,
+        "campaign": scenario.campaign,
+        "availability": scenario.availability,
+        "work": list(work),
+        "scale": scale,
+        "mode": mode.value,
+    }
 
 
 def run_campaign(
@@ -352,6 +440,7 @@ def run_campaign(
     n_jobs: int = 1,
     mode: ExpectationMode = ExpectationMode.PAPER,
     progress: Optional[Callable[[int, int], None]] = None,
+    cell_progress: Optional[Callable[[CellProgress], None]] = None,
 ) -> CampaignResult:
     """Run a full campaign for one value of ``m`` (Table I: m=5, Table II: m=10).
 
@@ -370,7 +459,10 @@ def run_campaign(
     mode:
         Estimator variant used by the heuristics (paper formula vs renewal).
     progress:
-        Optional callback ``(done_scenarios, total_scenarios)``.
+        Optional coarse callback ``(done_scenarios, total_scenarios)``.
+    cell_progress:
+        Optional fine-grained callback receiving one :class:`CellProgress`
+        per finished (scenario, trial, heuristic) cell.
     """
     scale = scale or CampaignScale.reduced()
     recognised = set(ALL_HEURISTICS) | set(EXTENSION_HEURISTIC_NAMES)
@@ -382,29 +474,197 @@ def run_campaign(
     campaign = CampaignResult(label=label, m=m, heuristics=heuristics, scale=scale)
 
     total = len(scenarios)
+    cells_per_scenario = scale.trials_per_scenario * len(heuristics)
+    total_cells = total * cells_per_scenario
+    done_cells = 0
+
+    def emit_cell(scenario: ExperimentScenario, result: InstanceResult) -> None:
+        nonlocal done_cells
+        done_cells += 1
+        if cell_progress is not None:
+            cell_progress(
+                CellProgress(
+                    done=done_cells,
+                    total=total_cells,
+                    scenario=scenario.label(),
+                    trial=result.trial_index,
+                    heuristic=result.heuristic,
+                )
+            )
+
     if n_jobs <= 1:
         for index, scenario in enumerate(scenarios):
-            campaign.extend(run_scenario(scenario, heuristics, scale=scale, mode=mode))
+            campaign.extend(
+                run_scenario(
+                    scenario,
+                    heuristics,
+                    scale=scale,
+                    mode=mode,
+                    on_result=lambda result, scenario=scenario: emit_cell(scenario, result),
+                )
+            )
             if progress is not None:
                 progress(index + 1, total)
         return campaign
 
-    payloads = [
-        {
-            "params": scenario.params,
-            "scenario_index": scenario.scenario_index,
-            "campaign": scenario.campaign,
-            "heuristics": heuristics,
-            "scale": scale,
-            "mode": mode.value,
-        }
-        for scenario in scenarios
+    work = [
+        (trial, heuristic)
+        for trial in range(scale.trials_per_scenario)
+        for heuristic in heuristics
     ]
+    payloads = [_scenario_payload(scenario, work, scale, mode) for scenario in scenarios]
     done = 0
     with ProcessPoolExecutor(max_workers=n_jobs) as executor:
-        for chunk in executor.map(_run_scenario_payload, payloads):
-            campaign.extend(InstanceResult.from_dict(entry) for entry in chunk)
+        for scenario, chunk in zip(scenarios, executor.map(_run_scenario_payload, payloads)):
+            for entry in chunk:
+                result = InstanceResult.from_dict(entry)
+                campaign.results.append(result)
+                emit_cell(scenario, result)
             done += 1
             if progress is not None:
                 progress(done, total)
     return campaign
+
+
+# ----------------------------------------------------------------------
+# Spec-driven campaigns: resumable, shardable, store-backed
+# ----------------------------------------------------------------------
+def run_campaign_spec(
+    spec: CampaignSpec,
+    *,
+    store=None,
+    shard: Tuple[int, int] = (1, 1),
+    n_jobs: int = 1,
+    max_cells: Optional[int] = None,
+    cell_progress: Optional[Callable[[CellProgress], None]] = None,
+) -> List[InstanceResult]:
+    """Run (or resume) the campaign described by a :class:`CampaignSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The declarative campaign description (grid, availability substrate,
+        heuristics, repetitions).
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`.  Cells whose
+        index is already recorded are skipped (resume); every newly finished
+        cell is appended durably.  With ``n_jobs <= 1`` a kill loses at most
+        the cell in flight; with ``n_jobs > 1`` results reach the store as
+        whole scenario chunks return (in submission order), so a kill can
+        lose the chunks still in flight — resume re-runs exactly those.
+    shard:
+        ``(i, N)`` — run only the i-th of N deterministic, disjoint,
+        jointly-complete cell partitions (1-based).  Shards of the same spec
+        may run on independent machines and be recombined with
+        :func:`~repro.experiments.store.merge_stores`.
+    n_jobs:
+        Worker processes (1 = in-process).  Parallelism fans out whole
+        scenarios; the store is only ever written by the parent process.
+    max_cells:
+        Stop after this many newly-run cells (used by smoke tests to
+        simulate an interrupted campaign deterministically).
+    cell_progress:
+        Per-cell callback; ``done``/``total`` cover this shard including
+        store-skipped cells, so resumed runs report true remaining work.
+
+    Returns the shard's results in canonical cell order — previously stored
+    cells included, so a resumed single-shard campaign returns the complete
+    result set.
+    """
+    mode = ExpectationMode(spec.estimator)
+    mine = spec.shard_cells(*shard)
+    completed = store.completed_cells() if store is not None else set()
+    skipped = [cell for cell in mine if cell.index in completed]
+    todo = [cell for cell in mine if cell.index not in completed]
+    if max_cells is not None:
+        if max_cells < 0:
+            raise ExperimentError(f"max_cells must be >= 0, got {max_cells}")
+        todo = todo[:max_cells]
+    total = len(mine)
+    done = len(skipped)
+
+    if skipped and cell_progress is not None:
+        # One summary event for the resumed prefix; replaying every stored
+        # cell through the callback would be noise.
+        last = skipped[-1]
+        cell_progress(
+            CellProgress(
+                done=done,
+                total=total,
+                scenario=last.scenario.label(),
+                trial=last.trial,
+                heuristic=last.heuristic,
+                skipped=True,
+            )
+        )
+
+    def emit(cell: CampaignCell, result: InstanceResult) -> None:
+        nonlocal done
+        done += 1
+        if store is not None:
+            store.append(cell, result)
+        if cell_progress is not None:
+            cell_progress(
+                CellProgress(
+                    done=done,
+                    total=total,
+                    scenario=cell.scenario.label(),
+                    trial=cell.trial,
+                    heuristic=cell.heuristic,
+                )
+            )
+
+    # Group contiguous cells by scenario so platform/analysis/trace-bank
+    # construction is shared exactly as in run_scenario.
+    groups: List[Tuple[ExperimentScenario, List[CampaignCell]]] = []
+    for cell in todo:
+        if groups and groups[-1][0] == cell.scenario:
+            groups[-1][1].append(cell)
+        else:
+            groups.append((cell.scenario, [cell]))
+
+    fresh: Dict[int, InstanceResult] = {}
+    if n_jobs <= 1:
+        for scenario, cells in groups:
+            scale = spec.scale_for(scenario.params.num_processors)
+            work = [(cell.trial, cell.heuristic) for cell in cells]
+            results = _run_scenario_work(
+                scenario,
+                work,
+                scale=scale,
+                mode=mode,
+                on_result=None,
+            )
+            for cell, result in zip(cells, results):
+                fresh[cell.index] = result
+                emit(cell, result)
+    else:
+        payloads = [
+            _scenario_payload(
+                scenario,
+                [(cell.trial, cell.heuristic) for cell in cells],
+                spec.scale_for(scenario.params.num_processors),
+                mode,
+            )
+            for scenario, cells in groups
+        ]
+        with ProcessPoolExecutor(max_workers=n_jobs) as executor:
+            for (scenario, cells), chunk in zip(
+                groups, executor.map(_run_scenario_payload, payloads)
+            ):
+                for cell, entry in zip(cells, chunk):
+                    result = InstanceResult.from_dict(entry)
+                    fresh[cell.index] = result
+                    emit(cell, result)
+
+    ordered: List[InstanceResult] = []
+    if store is not None:
+        stored = store.results_by_cell()
+        for cell in mine:
+            if cell.index in fresh:
+                ordered.append(fresh[cell.index])
+            elif cell.index in stored:
+                ordered.append(stored[cell.index])
+    else:
+        ordered = [fresh[cell.index] for cell in mine if cell.index in fresh]
+    return ordered

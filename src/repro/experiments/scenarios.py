@@ -17,21 +17,109 @@ isolation and reproduce the in-campaign realisation exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, List, Sequence, Tuple
+import functools
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Mapping, Optional, List, Tuple, Union
+
+import numpy as np
 
 from repro.application.application import Application
+from repro.availability.diurnal import DiurnalAvailabilityModel
+from repro.availability.semi_markov import SemiMarkovAvailabilityModel
+from repro.availability.trace import AvailabilityTrace, TraceAvailabilityModel
 from repro.exceptions import ExperimentError
-from repro.platform.builders import PlatformSpec, paper_platform
+from repro.platform.builders import PlatformSpec, availability_platform, paper_platform
 from repro.platform.platform import Platform
 from repro.utils.rng import stable_hash_seed
 
 __all__ = [
+    "AvailabilitySpec",
     "ScenarioParameters",
     "ExperimentScenario",
     "CampaignScale",
     "generate_scenarios",
 ]
+
+#: Availability substrates a scenario can request.
+AVAILABILITY_KINDS = ("markov", "semi-markov", "diurnal", "trace")
+
+#: Parameter values: a scalar (used as-is), a two-element range (drawn
+#: uniformly per processor), or a string (paths, labels).
+ParamValue = Union[int, float, str, bool, Tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class AvailabilitySpec:
+    """Declarative choice of availability substrate for a scenario.
+
+    ``kind`` selects the model family; ``parameters`` holds the family's
+    knobs as a sorted tuple of ``(name, value)`` pairs so the spec is
+    hashable and canonically serialisable.  Numeric two-element ranges are
+    drawn uniformly *per processor* from the scenario's platform seed, which
+    keeps every platform deterministic in ``(campaign, scenario)`` exactly
+    like the paper's Markov grid.
+
+    The default (Markov, paper parameters) reproduces Section VII-A
+    bit-for-bit: :meth:`ExperimentScenario.build_platform` routes it through
+    the unchanged :func:`~repro.platform.builders.paper_platform` path.
+    """
+
+    kind: str = "markov"
+    parameters: Tuple[Tuple[str, ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in AVAILABILITY_KINDS:
+            raise ExperimentError(
+                f"unknown availability kind {self.kind!r}; expected one of {AVAILABILITY_KINDS}"
+            )
+        normalised = []
+        for name, value in sorted(self.parameters):
+            if isinstance(value, list):
+                value = tuple(value)
+            if isinstance(value, tuple):
+                if len(value) != 2 or not all(isinstance(v, (int, float)) for v in value):
+                    raise ExperimentError(
+                        f"availability parameter {name!r}: "
+                        f"ranges must be two numbers, got {value!r}"
+                    )
+                value = (float(value[0]), float(value[1]))
+            elif not isinstance(value, (int, float, str, bool)):
+                raise ExperimentError(
+                    f"availability parameter {name!r} has unsupported type {type(value).__name__}"
+                )
+            normalised.append((str(name), value))
+        object.__setattr__(self, "parameters", tuple(normalised))
+        if self.kind == "trace" and self.get("path") is None:
+            raise ExperimentError("availability kind 'trace' requires a 'path' parameter")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, payload: Mapping) -> "AvailabilitySpec":
+        """Build from a spec-file mapping such as ``{"kind": "markov", ...}``."""
+        data = dict(payload)
+        kind = str(data.pop("kind", "markov"))
+        return cls(kind=kind, parameters=tuple(data.items()))
+
+    def get(self, name: str, default: Optional[ParamValue] = None) -> Optional[ParamValue]:
+        for key, value in self.parameters:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> dict:
+        payload = {"kind": self.kind}
+        for name, value in self.parameters:
+            payload[name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AvailabilitySpec":
+        return cls.from_mapping(payload)
+
+    def is_default_markov(self) -> bool:
+        return self.kind == "markov" and not self.parameters
 
 
 @dataclass(frozen=True)
@@ -60,11 +148,17 @@ class ScenarioParameters:
 
 @dataclass(frozen=True)
 class ExperimentScenario:
-    """One random platform instantiation for a grid cell."""
+    """One random platform instantiation for a grid cell.
+
+    ``availability`` selects the availability substrate; ``None`` (the
+    default) is the paper's Markov recipe and keeps every seed and platform
+    bit-identical to the pre-spec harness.
+    """
 
     params: ScenarioParameters
     scenario_index: int
     campaign: str = "campaign"
+    availability: Optional[AvailabilitySpec] = None
 
     # ------------------------------------------------------------------
     def platform_seed(self) -> int:
@@ -77,10 +171,15 @@ class ExperimentScenario:
 
     def build_platform(self) -> Platform:
         """Materialise the scenario's platform (deterministic in the seed)."""
-        return paper_platform(
-            self.params.platform_spec(),
-            num_tasks=self.params.m,
-            seed=self.platform_seed(),
+        spec = self.availability
+        if spec is None or spec.is_default_markov():
+            return paper_platform(
+                self.params.platform_spec(),
+                num_tasks=self.params.m,
+                seed=self.platform_seed(),
+            )
+        return _build_availability_platform(
+            self.params, spec, num_tasks=self.params.m, seed=self.platform_seed()
         )
 
     def build_application(self, iterations: int = 10) -> Application:
@@ -169,11 +268,117 @@ class CampaignScale:
         )
 
 
+# ----------------------------------------------------------------------
+# Availability substrates beyond the paper's Markov recipe
+# ----------------------------------------------------------------------
+def _draw(rng: np.random.Generator, value: ParamValue, name: str) -> float:
+    """Resolve a spec parameter: scalar as-is, two-element range drawn uniformly."""
+    if isinstance(value, tuple):
+        return float(rng.uniform(value[0], value[1]))
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    raise ExperimentError(f"availability parameter {name!r} must be numeric, got {value!r}")
+
+
+@functools.lru_cache(maxsize=8)
+def _load_trace(path: str) -> AvailabilityTrace:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot load availability trace from {path}: {error}") from error
+    return AvailabilityTrace.from_dict(payload)
+
+
+def _build_availability_platform(
+    params: ScenarioParameters,
+    spec: AvailabilitySpec,
+    *,
+    num_tasks: int,
+    seed: int,
+) -> Platform:
+    """Platform with paper speeds but a non-default availability substrate."""
+    platform_spec = params.platform_spec()
+
+    if spec.kind == "markov":
+
+        def scalar(name: str, default: float) -> float:
+            value = spec.get(name, default)
+            if isinstance(value, tuple):
+                raise ExperimentError(
+                    f"markov availability parameter {name!r} is a scalar — "
+                    f"[stay_low, stay_high] is already the per-processor range "
+                    f"(got {list(value)!r})"
+                )
+            return float(value)
+
+        platform_spec = replace(
+            platform_spec,
+            stay_low=scalar("stay_low", platform_spec.stay_low),
+            stay_high=scalar("stay_high", platform_spec.stay_high),
+        )
+        return paper_platform(platform_spec, num_tasks=num_tasks, seed=seed)
+
+    if spec.kind == "semi-markov":
+
+        def factory(rng, count):
+            return [
+                SemiMarkovAvailabilityModel.desktop_grid(
+                    up_shape=_draw(rng, spec.get("up_shape", (0.5, 0.8)), "up_shape"),
+                    mean_up=_draw(rng, spec.get("mean_up", (25.0, 60.0)), "mean_up"),
+                    mean_reclaimed=_draw(
+                        rng, spec.get("mean_reclaimed", (2.0, 6.0)), "mean_reclaimed"
+                    ),
+                    mean_down=_draw(rng, spec.get("mean_down", (10.0, 30.0)), "mean_down"),
+                    reclaim_fraction=_draw(
+                        rng, spec.get("reclaim_fraction", (0.6, 0.85)), "reclaim_fraction"
+                    ),
+                )
+                for _ in range(count)
+            ]
+
+    elif spec.kind == "diurnal":
+
+        def factory(rng, count):
+            day_length = int(_draw(rng, spec.get("day_length", 96), "day_length"))
+            return [
+                DiurnalAvailabilityModel.office_hours(
+                    day_length=day_length,
+                    office_fraction=_draw(
+                        rng, spec.get("office_fraction", 0.4), "office_fraction"
+                    ),
+                    night_stay_up=_draw(rng, spec.get("night_stay_up", 0.995), "night_stay_up"),
+                    office_stay_up=_draw(
+                        rng, spec.get("office_stay_up", (0.88, 0.95)), "office_stay_up"
+                    ),
+                    phase_offset=int(rng.integers(0, day_length)),
+                )
+                for _ in range(count)
+            ]
+
+    elif spec.kind == "trace":
+        trace = _load_trace(str(spec.get("path")))
+        wrap = bool(spec.get("wrap", True))
+
+        def factory(rng, count):
+            return [
+                TraceAvailabilityModel(trace.row(index % trace.num_processors), wrap=wrap)
+                for index in range(count)
+            ]
+
+    else:  # pragma: no cover - guarded by AvailabilitySpec.__post_init__
+        raise ExperimentError(f"unknown availability kind {spec.kind!r}")
+
+    return availability_platform(
+        platform_spec, num_tasks=num_tasks, seed=seed, model_factory=factory
+    )
+
+
 def generate_scenarios(
     scale: CampaignScale,
     m: int,
     *,
     campaign: str = "campaign",
+    availability: Optional[AvailabilitySpec] = None,
 ) -> List[ExperimentScenario]:
     """All scenarios of the grid for a given ``m`` (Table I uses m=5, Table II m=10)."""
     if m < 1:
@@ -186,6 +391,11 @@ def generate_scenarios(
             )
             for index in range(scale.scenarios_per_cell):
                 scenarios.append(
-                    ExperimentScenario(params=params, scenario_index=index, campaign=campaign)
+                    ExperimentScenario(
+                        params=params,
+                        scenario_index=index,
+                        campaign=campaign,
+                        availability=availability,
+                    )
                 )
     return scenarios

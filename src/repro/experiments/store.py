@@ -1,0 +1,384 @@
+"""Persistent campaign result stores.
+
+A store is a directory holding one record per completed campaign *cell*
+(``(scenario, trial, heuristic)`` triple, identified by its index in the
+spec's canonical enumeration plus the deterministic instance key).  Records
+are appended durably as cells finish, so
+
+* a killed campaign resumes exactly where it stopped (``run_campaign_spec``
+  skips cells already present), and
+* independent shards can be merged (:func:`merge_stores`) into one store
+  that feeds the existing metrics/tables/figures pipeline.
+
+Two backends share the same record format:
+
+* ``jsonl`` (default) — ``results.jsonl``, one canonical JSON object per
+  line.  Appends are flushed per cell; a trailing half-written line (the
+  signature of a kill mid-write) is ignored on open.
+* ``sqlite`` — ``results.sqlite`` with one row per cell, committed per
+  append.
+
+Every store carries a ``manifest.json`` with the full spec snapshot and its
+content hash; resuming or merging with a different spec is refused, which is
+what makes "same campaign" checkable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import InstanceResult
+from repro.experiments.spec import CampaignCell, CampaignSpec
+from repro.utils.serialization import canonical_json, jsonl_line
+
+__all__ = ["ResultStore", "StoreStatus", "merge_stores", "store_status"]
+
+STORE_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+BACKENDS = ("jsonl", "sqlite")
+
+#: Record fields that are measurements of the run, not of the result; they
+#: are ignored when checking records for equivalence (resume / merge).
+VOLATILE_FIELDS = ("wall_time_seconds",)
+
+
+def _record_payload(cell: CampaignCell, result: InstanceResult) -> dict:
+    payload = result.as_dict()
+    payload["cell"] = cell.index
+    return payload
+
+
+def _result_from_record(record: dict) -> InstanceResult:
+    payload = {key: value for key, value in record.items() if key != "cell"}
+    return InstanceResult.from_dict(payload)
+
+
+def _stable_part(record: dict) -> dict:
+    return {key: value for key, value in record.items() if key not in VOLATILE_FIELDS}
+
+
+class ResultStore:
+    """One campaign's persistent cell records (see module docstring)."""
+
+    def __init__(self, directory: Union[str, Path], spec: CampaignSpec, backend: str):
+        if backend not in BACKENDS:
+            raise ExperimentError(f"unknown store backend {backend!r}; expected {BACKENDS}")
+        self.directory = Path(directory)
+        self.spec = spec
+        self.backend = backend
+        self._records: Dict[int, dict] = {}
+        self._jsonl_handle = None
+        self._sqlite_conn: Optional[sqlite3.Connection] = None
+
+    # ------------------------------------------------------------------
+    # Creation / opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        spec: CampaignSpec,
+        *,
+        backend: Optional[str] = None,
+    ) -> "ResultStore":
+        """Create a store for *spec* (or re-open a matching existing one).
+
+        ``backend`` of ``None`` means "jsonl for a new store, whatever the
+        existing store uses on re-open"; naming a backend that conflicts
+        with an existing store is an error rather than a silent re-open.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if manifest_path.exists():
+            store = cls.open(directory)
+            if store.spec.spec_hash() != spec.spec_hash():
+                raise ExperimentError(
+                    f"store {directory} belongs to a different campaign "
+                    f"(spec hash {store.spec.spec_hash()[:12]} != {spec.spec_hash()[:12]})"
+                )
+            if backend is not None and backend != store.backend:
+                raise ExperimentError(
+                    f"store {directory} uses backend {store.backend!r}; "
+                    f"cannot re-open it as {backend!r}"
+                )
+            # Prefer the caller's spec object: it may carry runtime-only
+            # context (e.g. the spec file's base_dir for trace resolution)
+            # that the manifest snapshot cannot.
+            store.spec = spec
+            return store
+        backend = backend or "jsonl"
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": STORE_FORMAT_VERSION,
+            "backend": backend,
+            "spec": spec.as_dict(),
+            "spec_hash": spec.spec_hash(),
+        }
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        store = cls(directory, spec, backend)
+        store._load()
+        return store
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "ResultStore":
+        """Open an existing store, recovering its spec from the manifest."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ExperimentError(f"cannot open result store {directory}: {error}") from error
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise ExperimentError(
+                f"unsupported store format version {version!r} (expected {STORE_FORMAT_VERSION})"
+            )
+        spec = CampaignSpec.from_dict(manifest["spec"])
+        if spec.spec_hash() != manifest.get("spec_hash"):
+            raise ExperimentError(f"store {directory}: manifest spec hash mismatch (corrupt?)")
+        store = cls(directory, spec, manifest.get("backend", "jsonl"))
+        store._load()
+        return store
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _jsonl_path(self) -> Path:
+        return self.directory / "results.jsonl"
+
+    @property
+    def _sqlite_path(self) -> Path:
+        return self.directory / "results.sqlite"
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._sqlite_conn is None:
+            self._sqlite_conn = sqlite3.connect(self._sqlite_path)
+            self._sqlite_conn.execute(
+                "CREATE TABLE IF NOT EXISTS results"
+                " (cell INTEGER PRIMARY KEY, payload TEXT NOT NULL)"
+            )
+            self._sqlite_conn.commit()
+        return self._sqlite_conn
+
+    def _load(self) -> None:
+        self._records = {}
+        if self.backend == "jsonl":
+            if not self._jsonl_path.exists():
+                return
+            text = self._jsonl_path.read_text()
+            lines = text.splitlines(keepends=True)
+            for line_number, line in enumerate(lines, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    if line_number == len(lines) and not line.endswith("\n"):
+                        # Half-written trailing record from a killed run: the
+                        # cell never completed, so dropping it is the correct
+                        # resume semantics.  Truncate the fragment away so a
+                        # subsequent append starts on a fresh line instead of
+                        # gluing onto it (which would corrupt the store).
+                        self._jsonl_path.write_text(text[: len(text) - len(line)])
+                        continue
+                    raise ExperimentError(
+                        f"corrupt record at {self._jsonl_path}:{line_number}"
+                    )
+                self._records[int(record["cell"])] = record
+        else:
+            for cell, payload in self._connection().execute(
+                "SELECT cell, payload FROM results"
+            ):
+                self._records[int(cell)] = json.loads(payload)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def completed_cells(self) -> Set[int]:
+        """Indices of cells already recorded."""
+        return set(self._records)
+
+    def records(self) -> List[dict]:
+        """All records, in canonical cell order."""
+        return [self._records[index] for index in sorted(self._records)]
+
+    def results(self) -> List[InstanceResult]:
+        """All records as :class:`InstanceResult`, in canonical cell order."""
+        return [_result_from_record(record) for record in self.records()]
+
+    def results_by_cell(self) -> Dict[int, InstanceResult]:
+        """All records as cell-index -> :class:`InstanceResult`."""
+        return {index: _result_from_record(record) for index, record in self._records.items()}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, cell_index: int) -> bool:
+        return cell_index in self._records
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, cell: CampaignCell, result: InstanceResult) -> None:
+        """Durably record one completed cell (idempotent for identical results)."""
+        record = _record_payload(cell, result)
+        existing = self._records.get(cell.index)
+        if existing is not None:
+            if _stable_part(existing) != _stable_part(record):
+                raise ExperimentError(
+                    f"cell {cell.index} already recorded with a different result "
+                    f"({cell.label()}); refusing to overwrite"
+                )
+            return
+        if self.backend == "jsonl":
+            if self._jsonl_handle is None:
+                self._jsonl_handle = self._jsonl_path.open("a")
+            self._jsonl_handle.write(jsonl_line(record))
+            self._jsonl_handle.flush()
+        else:
+            connection = self._connection()
+            connection.execute(
+                "INSERT INTO results (cell, payload) VALUES (?, ?)",
+                (cell.index, canonical_json(record)),
+            )
+            connection.commit()
+        self._records[cell.index] = record
+
+    def _rewrite(self, records: Sequence[dict]) -> None:
+        """Replace the store contents with *records* (canonical order enforced)."""
+        ordered = sorted(records, key=lambda record: int(record["cell"]))
+        if self.backend == "jsonl":
+            if self._jsonl_handle is not None:
+                self._jsonl_handle.close()
+                self._jsonl_handle = None
+            self._jsonl_path.write_text("".join(jsonl_line(record) for record in ordered))
+        else:
+            connection = self._connection()
+            connection.execute("DELETE FROM results")
+            connection.executemany(
+                "INSERT INTO results (cell, payload) VALUES (?, ?)",
+                [(int(record["cell"]), canonical_json(record)) for record in ordered],
+            )
+            connection.commit()
+        self._records = {int(record["cell"]): record for record in ordered}
+
+    def close(self) -> None:
+        if self._jsonl_handle is not None:
+            self._jsonl_handle.close()
+            self._jsonl_handle = None
+        if self._sqlite_conn is not None:
+            self._sqlite_conn.close()
+            self._sqlite_conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Merging shard stores
+# ----------------------------------------------------------------------
+def merge_stores(
+    sources: Sequence[Union[str, Path]],
+    destination: Union[str, Path],
+    *,
+    backend: Optional[str] = None,
+) -> ResultStore:
+    """Merge shard stores into *destination* (``repro merge``).
+
+    All sources (and the destination, if it already exists) must carry the
+    same spec hash.  Overlapping cells are allowed only when their records
+    agree (ignoring wall-time); the merged store is written in canonical
+    cell order, so merging a complete shard set reproduces the unsharded
+    store record-for-record.
+    """
+    if not sources:
+        raise ExperimentError("merge needs at least one source store")
+    opened = [ResultStore.open(source) for source in sources]
+    spec = opened[0].spec
+    reference_hash = spec.spec_hash()
+    for store in opened[1:]:
+        if store.spec.spec_hash() != reference_hash:
+            raise ExperimentError(
+                f"cannot merge {store.directory}: spec hash differs from {opened[0].directory}"
+            )
+    merged: Dict[int, dict] = {}
+    for store in opened:
+        for record in store.records():
+            index = int(record["cell"])
+            existing = merged.get(index)
+            if existing is not None and _stable_part(existing) != _stable_part(record):
+                raise ExperimentError(
+                    f"conflicting records for cell {index} while merging {store.directory}"
+                )
+            merged.setdefault(index, record)
+        store.close()
+    if (Path(destination) / MANIFEST_NAME).exists():
+        # Merging into an existing store: its backend governs unless the
+        # caller explicitly named a conflicting one (create() errors then).
+        destination_store = ResultStore.create(destination, spec, backend=backend)
+    else:
+        destination_store = ResultStore.create(
+            destination, spec, backend=backend or opened[0].backend
+        )
+    for record in destination_store.records():
+        index = int(record["cell"])
+        existing = merged.get(index)
+        if existing is not None and _stable_part(existing) != _stable_part(record):
+            raise ExperimentError(f"conflicting records for cell {index} in {destination}")
+        merged.setdefault(index, record)
+    destination_store._rewrite(list(merged.values()))
+    return destination_store
+
+
+# ----------------------------------------------------------------------
+# Completion status
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoreStatus:
+    """Completion summary of a store against its spec."""
+
+    directory: str
+    backend: str
+    spec_name: str
+    spec_hash: str
+    total_cells: int
+    completed: int
+    by_heuristic: Tuple[Tuple[str, int, int], ...]  # (heuristic, done, total)
+
+    @property
+    def remaining(self) -> int:
+        return self.total_cells - self.completed
+
+
+def store_status(store: ResultStore) -> StoreStatus:
+    """Compute how much of the spec's cell enumeration the store covers."""
+    spec = store.spec
+    completed = store.completed_cells()
+    per_heuristic_total = spec.num_cells() // len(spec.heuristics)
+    done_by_heuristic = {heuristic: 0 for heuristic in spec.heuristics}
+    # Heuristics are the innermost loop of the cell enumeration, so a cell's
+    # heuristic is its index modulo the heuristic count — no need to
+    # materialise the (possibly 100k-cell) enumeration for a status query.
+    for index in completed:
+        done_by_heuristic[spec.heuristics[index % len(spec.heuristics)]] += 1
+    return StoreStatus(
+        directory=str(store.directory),
+        backend=store.backend,
+        spec_name=spec.name,
+        spec_hash=spec.spec_hash(),
+        total_cells=spec.num_cells(),
+        completed=len(completed),
+        by_heuristic=tuple(
+            (heuristic, done_by_heuristic[heuristic], per_heuristic_total)
+            for heuristic in spec.heuristics
+        ),
+    )

@@ -11,15 +11,22 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.analysis.group import ExpectationMode
-from repro.experiments.metrics import HeuristicSummary, summarize_results
-from repro.experiments.runner import CampaignResult, run_campaign
+from repro.experiments.metrics import (
+    DEFAULT_REFERENCE,
+    HeuristicSummary,
+    filter_results,
+    summarize_results,
+)
+from repro.experiments.runner import InstanceResult, run_campaign
 from repro.experiments.scenarios import CampaignScale
+from repro.experiments.spec import CampaignSpec
 from repro.scheduling.registry import ALL_HEURISTICS, TABLE2_HEURISTICS
 from repro.utils.tables import format_table
 
 __all__ = [
     "build_table",
     "format_summaries",
+    "format_spec_report",
     "format_table1",
     "format_table2",
     "PAPER_TABLE1",
@@ -94,6 +101,33 @@ def format_summaries(summaries: Sequence[HeuristicSummary], *, title: str = "") 
     return table
 
 
+def format_spec_report(results: Sequence[InstanceResult], spec: CampaignSpec) -> str:
+    """Render a spec campaign as one Table-I-style section per grid slice.
+
+    The comparison metrics pair instances through the legacy scenario keys,
+    which do not separate platform sizes — so a multi-``m`` /
+    multi-``num_processors`` campaign is reported slice by slice.  The
+    reference heuristic is the paper's IE when the spec includes it,
+    otherwise the spec's first heuristic.
+    """
+    reference = DEFAULT_REFERENCE if DEFAULT_REFERENCE in spec.heuristics else spec.heuristics[0]
+    sections: List[str] = []
+    for m in spec.m_values:
+        for num_processors in spec.num_processors_values:
+            subset = filter_results(results, m=m, num_processors=num_processors)
+            if not subset:
+                continue
+            title = f"Campaign {spec.name!r} — m = {m}"
+            if len(spec.num_processors_values) > 1:
+                title += f", p = {num_processors}"
+            title += f" ({len(subset)} results, reference {reference})"
+            summaries = summarize_results(subset, reference=reference)
+            sections.append(format_summaries(summaries, title=title))
+    if not sections:
+        return f"Campaign {spec.name!r}: no results to report"
+    return "\n\n".join(sections)
+
+
 def format_table1(
     *,
     scale: Optional[CampaignScale] = None,
@@ -114,9 +148,11 @@ def format_table2(
     n_jobs: int = 1,
     mode: ExpectationMode = ExpectationMode.PAPER,
 ) -> tuple:
-    """Reproduce Table II (m = 10, best eight heuristics); returns ``(campaign, summaries, text)``."""
+    """Reproduce Table II (m = 10, best heuristics); returns ``(campaign, summaries, text)``."""
     campaign, summaries = build_table(
         10, heuristics=TABLE2_HEURISTICS, scale=scale, label="table2", n_jobs=n_jobs, mode=mode
     )
-    text = format_summaries(summaries, title="Table II — results with m = 10 tasks (best heuristics)")
+    text = format_summaries(
+        summaries, title="Table II — results with m = 10 tasks (best heuristics)"
+    )
     return campaign, summaries, text

@@ -30,12 +30,6 @@ __all__ = ["upper_bound_iterations", "greedy_oracle_iterations"]
 def upper_bound_iterations(problem: OfflineProblem) -> int:
     """Upper bound on the number of iterations completable within the trace."""
     up = problem.up_matrix()
-    k_min = problem.minimum_workers()
-    slots_per_iteration = problem.required_common_slots(
-        min(problem.num_tasks, problem.num_processors)
-        if problem.unbounded_capacity
-        else max(k_min, 1)
-    )
     if problem.unbounded_capacity:
         # With unbounded capacity a single worker may run the whole iteration,
         # needing m * w slots; using k workers needs ceil(m/k) * w slots each

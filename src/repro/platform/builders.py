@@ -22,8 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.availability.generators import random_markov_models
 from repro.availability.markov import MarkovAvailabilityModel
 from repro.availability.model import AvailabilityModel
@@ -32,7 +30,7 @@ from repro.platform.platform import Platform
 from repro.platform.processor import Processor
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["PlatformSpec", "paper_platform", "uniform_platform"]
+__all__ = ["PlatformSpec", "paper_platform", "availability_platform", "uniform_platform"]
 
 
 @dataclass(frozen=True)
@@ -102,6 +100,40 @@ def paper_platform(
         spec.num_processors, rng, stay_low=spec.stay_low, stay_high=spec.stay_high
     )
     # Speeds w_q uniform integer in [wmin, 10 * wmin] (inclusive bounds).
+    speeds = rng.integers(spec.wmin, spec.speed_factor * spec.wmin + 1, size=spec.num_processors)
+    capacity = spec.capacity if spec.capacity is not None else num_tasks
+    processors = [
+        Processor(speed=int(speed), capacity=int(capacity), availability=model)
+        for speed, model in zip(speeds, models)
+    ]
+    return Platform(processors, ncom=spec.ncom, tprog=spec.tprog, tdata=spec.tdata)
+
+
+def availability_platform(
+    spec: PlatformSpec,
+    *,
+    num_tasks: int,
+    seed: SeedLike = None,
+    model_factory,
+) -> Platform:
+    """A paper-style platform with arbitrary availability models.
+
+    Follows exactly the structure of :func:`paper_platform` — availability
+    models are drawn first, speeds second, from the same seeded generator —
+    but delegates model construction to ``model_factory(rng, count)``, which
+    must return one :class:`AvailabilityModel` per processor.  This is what
+    lets declarative campaign specs swap the Markov substrate for
+    semi-Markov, diurnal or trace-replay models while keeping the speed /
+    capacity / communication methodology of Section VII-A.
+    """
+    if num_tasks < 1:
+        raise InvalidPlatformError("num_tasks must be >= 1")
+    rng = as_generator(seed)
+    models = model_factory(rng, spec.num_processors)
+    if len(models) != spec.num_processors:
+        raise InvalidPlatformError(
+            f"model_factory returned {len(models)} models for {spec.num_processors} processors"
+        )
     speeds = rng.integers(spec.wmin, spec.speed_factor * spec.wmin + 1, size=spec.num_processors)
     capacity = spec.capacity if spec.capacity is not None else num_tasks
     processors = [

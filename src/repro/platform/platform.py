@@ -20,7 +20,7 @@ is how the paper's experiments are parameterised.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -245,7 +245,7 @@ class Platform:
     def from_dict(cls, payload: dict) -> "Platform":
         """Inverse of :meth:`to_dict` (currently supports Markov availability)."""
         from repro.availability.markov import MarkovAvailabilityModel
-        from repro.availability.trace import AvailabilityTrace, TraceAvailabilityModel
+        from repro.availability.trace import TraceAvailabilityModel
 
         processors = []
         for entry in payload["processors"]:

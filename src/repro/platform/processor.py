@@ -17,7 +17,7 @@ used for display.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.availability.model import AvailabilityModel

@@ -30,7 +30,7 @@ cross-checks the fast path against the reference evaluation.
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
 
 from repro.analysis.cache import AnalysisContext
 from repro.analysis.criteria import Criterion

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.criteria import Criterion, get_criterion
+from repro.analysis.criteria import Criterion
 from repro.application.configuration import Configuration
 from repro.exceptions import SchedulingError
 from repro.scheduling.base import Observation, Scheduler

@@ -47,7 +47,7 @@ counter of the run (golden-seed tests pin this down).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

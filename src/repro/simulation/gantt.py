@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.types import DOWN, RECLAIMED, UP
+from repro.types import DOWN, RECLAIMED
 
 __all__ = ["render_gantt"]
 

@@ -10,7 +10,7 @@ heuristic fails if it reaches this limit").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 __all__ = ["IterationRecord", "SimulationResult"]
 

@@ -17,7 +17,7 @@ Section III-C:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.types import DOWN, RECLAIMED, UP, ProcessorState
 

@@ -1,0 +1,40 @@
+"""Canonical JSON serialisation and content hashing.
+
+The campaign result store identifies "the same campaign" across processes,
+machines and restarts by hashing the declarative spec that generated it.
+For that to work the serialised form must be canonical: the same logical
+payload must always produce the same bytes, regardless of dict insertion
+order or container flavour (tuple vs list).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "content_hash", "jsonl_line"]
+
+
+def _normalise(value: Any) -> Any:
+    """Map tuples to lists (JSON has no tuple) and recurse into containers."""
+    if isinstance(value, dict):
+        return {str(key): _normalise(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalise(item) for item in value]
+    return value
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise *payload* deterministically (sorted keys, compact separators)."""
+    return json.dumps(_normalise(payload), sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload: Any) -> str:
+    """Hex SHA-256 of the canonical JSON form of *payload*."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def jsonl_line(payload: dict) -> str:
+    """One canonical JSONL record (newline-terminated)."""
+    return canonical_json(payload) + "\n"

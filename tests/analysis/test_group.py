@@ -1,7 +1,5 @@
 """Tests for the Theorem 5.1 group quantities (Eu, A, P+, E_c, E(W))."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -11,7 +9,6 @@ from repro.analysis.group import (
     DEFAULT_MAX_HORIZON,
     ExpectationMode,
     GroupAnalysis,
-    GroupQuantities,
     truncation_horizon,
 )
 from repro.analysis.single import WorkerAnalysis

@@ -17,7 +17,6 @@ on, so they are checked here property-style over random paper platforms.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

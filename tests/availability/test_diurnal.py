@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.availability.diurnal import DiurnalAvailabilityModel, DiurnalPhase
-from repro.availability.statistics import TraceStatistics
 from repro.exceptions import InvalidModelError
-from repro.types import DOWN, RECLAIMED, UP
+from repro.types import UP
 
 
 def two_phase_model(offset=0):

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.availability.generators import paper_transition_matrix
 from repro.availability.markov import MarkovAvailabilityModel
 from repro.exceptions import InvalidModelError
-from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+from repro.types import RECLAIMED, UP
 
 
 def make_model(stay_up=0.95, stay_r=0.92, stay_d=0.90) -> MarkovAvailabilityModel:

@@ -60,7 +60,6 @@ class TestHoldingTimes:
         assert all(isinstance(s, int) and s >= 1 for s in samples)
 
     def test_weibull_mean_formula(self):
-        import math
 
         holding = WeibullHolding(shape=1.0, scale=5.0)
         assert holding.mean() == pytest.approx(5.0)

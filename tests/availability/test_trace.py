@@ -6,7 +6,7 @@ import pytest
 from repro.availability.markov import MarkovAvailabilityModel
 from repro.availability.trace import AvailabilityTrace, TraceAvailabilityModel
 from repro.exceptions import InvalidModelError
-from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+from repro.types import DOWN, RECLAIMED, UP
 
 
 class TestAvailabilityTrace:
@@ -104,7 +104,6 @@ class TestTraceAvailabilityModel:
 
     def test_wrap_around(self):
         model = TraceAvailabilityModel("ur", wrap=True)
-        rng = np.random.default_rng(0)
         seq = model.sample_trajectory(6, seed=0)
         assert seq.tolist() == [0, 1, 0, 1, 0, 1]
 

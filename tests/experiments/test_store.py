@@ -1,0 +1,260 @@
+"""Tests for the persistent campaign result store (JSONL and sqlite)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import InstanceResult
+from repro.experiments.spec import CampaignSpec
+from repro.experiments.store import ResultStore, merge_stores, store_status
+
+
+def unit_spec(**overrides):
+    defaults = dict(
+        name="store-unit",
+        m_values=(4,),
+        ncom_values=(5,),
+        wmin_values=(1,),
+        num_processors_values=(8,),
+        heuristics=("IE", "RANDOM"),
+        scenarios_per_cell=1,
+        trials_per_scenario=2,
+        iterations=3,
+        makespan_cap=20_000,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def fake_result(cell, makespan=100):
+    params = cell.scenario.params
+    return InstanceResult(
+        heuristic=cell.heuristic,
+        m=params.m,
+        ncom=params.ncom,
+        wmin=params.wmin,
+        scenario_index=cell.scenario.scenario_index,
+        trial_index=cell.trial,
+        success=True,
+        makespan=makespan,
+        completed_iterations=3,
+        total_restarts=1,
+        total_configuration_changes=2,
+        wall_time_seconds=0.123,
+        num_processors=params.num_processors,
+    )
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def backend(request):
+    return request.param
+
+
+class TestRoundTrip:
+    def test_result_round_trip_through_store(self, tmp_path, backend):
+        spec = unit_spec()
+        cells = spec.cells()
+        store = ResultStore.create(tmp_path / "c", spec, backend=backend)
+        originals = []
+        for cell in cells:
+            result = fake_result(cell, makespan=100 + cell.index)
+            originals.append(result)
+            store.append(cell, result)
+        store.close()
+
+        reopened = ResultStore.open(tmp_path / "c")
+        assert reopened.backend == backend
+        assert reopened.spec.spec_hash() == spec.spec_hash()
+        assert reopened.results() == originals
+        assert reopened.completed_cells() == {cell.index for cell in cells}
+
+    def test_as_dict_from_dict_identity(self):
+        cell = unit_spec().cells()[0]
+        result = fake_result(cell)
+        assert InstanceResult.from_dict(result.as_dict()) == result
+
+    def test_append_is_idempotent(self, tmp_path, backend):
+        spec = unit_spec()
+        cell = spec.cells()[0]
+        store = ResultStore.create(tmp_path / "c", spec, backend=backend)
+        result = fake_result(cell)
+        store.append(cell, result)
+        # Same result, different wall time: accepted silently (volatile field).
+        store.append(cell, fake_result(cell))
+        assert len(store) == 1
+
+    def test_conflicting_append_rejected(self, tmp_path, backend):
+        spec = unit_spec()
+        cell = spec.cells()[0]
+        store = ResultStore.create(tmp_path / "c", spec, backend=backend)
+        store.append(cell, fake_result(cell, makespan=100))
+        with pytest.raises(ExperimentError):
+            store.append(cell, fake_result(cell, makespan=999))
+
+    def test_create_rejects_mismatched_spec(self, tmp_path, backend):
+        store = ResultStore.create(tmp_path / "c", unit_spec(), backend=backend)
+        store.close()
+        with pytest.raises(ExperimentError):
+            ResultStore.create(tmp_path / "c", unit_spec(trials_per_scenario=9))
+
+    def test_create_rejects_backend_mismatch(self, tmp_path):
+        spec = unit_spec()
+        ResultStore.create(tmp_path / "c", spec, backend="sqlite").close()
+        with pytest.raises(ExperimentError):
+            ResultStore.create(tmp_path / "c", spec, backend="jsonl")
+        # Unspecified backend re-opens with whatever the store uses.
+        store = ResultStore.create(tmp_path / "c", spec)
+        assert store.backend == "sqlite"
+        store.close()
+
+    def test_create_reopens_matching_store(self, tmp_path, backend):
+        spec = unit_spec()
+        first = ResultStore.create(tmp_path / "c", spec, backend=backend)
+        first.append(spec.cells()[0], fake_result(spec.cells()[0]))
+        first.close()
+        again = ResultStore.create(tmp_path / "c", spec, backend=backend)
+        assert len(again) == 1
+
+
+class TestJsonlRecovery:
+    def test_truncated_trailing_line_is_dropped(self, tmp_path):
+        spec = unit_spec()
+        cells = spec.cells()
+        store = ResultStore.create(tmp_path / "c", spec)
+        store.append(cells[0], fake_result(cells[0]))
+        store.append(cells[1], fake_result(cells[1]))
+        store.close()
+        path = tmp_path / "c" / "results.jsonl"
+        # Simulate a kill mid-write: chop the final record in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])
+        reopened = ResultStore.open(tmp_path / "c")
+        assert reopened.completed_cells() == {cells[0].index}
+
+    def test_append_after_truncated_line_keeps_store_valid(self, tmp_path):
+        """Resume-after-kill must truncate the fragment, not glue onto it."""
+        spec = unit_spec()
+        cells = spec.cells()
+        store = ResultStore.create(tmp_path / "c", spec)
+        store.append(cells[0], fake_result(cells[0]))
+        store.append(cells[1], fake_result(cells[1]))
+        store.close()
+        path = tmp_path / "c" / "results.jsonl"
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # kill mid-write of record 2
+
+        resumed = ResultStore.open(tmp_path / "c")
+        assert resumed.completed_cells() == {cells[0].index}
+        resumed.append(cells[1], fake_result(cells[1]))  # the re-run cell
+        resumed.close()
+
+        # The store must be cleanly re-openable with both records intact.
+        final = ResultStore.open(tmp_path / "c")
+        assert final.completed_cells() == {cells[0].index, cells[1].index}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        spec = unit_spec()
+        cells = spec.cells()
+        store = ResultStore.create(tmp_path / "c", spec)
+        store.append(cells[0], fake_result(cells[0]))
+        store.append(cells[1], fake_result(cells[1]))
+        store.close()
+        path = tmp_path / "c" / "results.jsonl"
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExperimentError):
+            ResultStore.open(tmp_path / "c")
+
+
+class TestMerge:
+    def _sharded_stores(self, tmp_path, backend, spec):
+        stores = []
+        for shard_index in (1, 2):
+            store = ResultStore.create(tmp_path / f"s{shard_index}", spec, backend=backend)
+            for cell in spec.shard_cells(shard_index, 2):
+                store.append(cell, fake_result(cell, makespan=100 + cell.index))
+            store.close()
+            stores.append(tmp_path / f"s{shard_index}")
+        return stores
+
+    def test_merge_reconstructs_full_campaign(self, tmp_path, backend):
+        spec = unit_spec()
+        sources = self._sharded_stores(tmp_path, backend, spec)
+        merged = merge_stores(sources, tmp_path / "merged")
+        assert merged.completed_cells() == {cell.index for cell in spec.cells()}
+        makespans = [result.makespan for result in merged.results()]
+        assert makespans == [100 + cell.index for cell in spec.cells()]
+        merged.close()
+
+    def test_merge_rejects_different_specs(self, tmp_path):
+        a = ResultStore.create(tmp_path / "a", unit_spec())
+        b = ResultStore.create(tmp_path / "b", unit_spec(trials_per_scenario=9))
+        a.close()
+        b.close()
+        with pytest.raises(ExperimentError):
+            merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "m")
+
+    def test_merge_rejects_conflicting_records(self, tmp_path):
+        spec = unit_spec()
+        cell = spec.cells()[0]
+        a = ResultStore.create(tmp_path / "a", spec)
+        a.append(cell, fake_result(cell, makespan=1))
+        a.close()
+        b = ResultStore.create(tmp_path / "b", spec)
+        b.append(cell, fake_result(cell, makespan=2))
+        b.close()
+        with pytest.raises(ExperimentError):
+            merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "m")
+
+    def test_merge_overlap_with_identical_records_ok(self, tmp_path):
+        spec = unit_spec()
+        cell = spec.cells()[0]
+        for name in ("a", "b"):
+            store = ResultStore.create(tmp_path / name, spec)
+            store.append(cell, fake_result(cell))
+            store.close()
+        merged = merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "m")
+        assert len(merged) == 1
+        merged.close()
+
+    def test_jsonl_merge_is_byte_identical_to_sequential(self, tmp_path):
+        """Merged shards reproduce an unsharded store's bytes exactly.
+
+        Wall times are deterministic here (fake results), so the comparison
+        needs no normalisation: canonical JSONL in canonical cell order.
+        """
+        spec = unit_spec()
+        full = ResultStore.create(tmp_path / "full", spec)
+        for cell in spec.cells():
+            full.append(cell, fake_result(cell, makespan=100 + cell.index))
+        full.close()
+        sources = self._sharded_stores(tmp_path, "jsonl", spec)
+        merge_stores(sources, tmp_path / "merged").close()
+        assert (tmp_path / "full" / "results.jsonl").read_bytes() == (
+            tmp_path / "merged" / "results.jsonl"
+        ).read_bytes()
+
+
+class TestStatus:
+    def test_status_counts(self, tmp_path):
+        spec = unit_spec()
+        cells = spec.cells()
+        store = ResultStore.create(tmp_path / "c", spec)
+        for cell in cells[:3]:
+            store.append(cell, fake_result(cell))
+        status = store_status(store)
+        assert status.total_cells == len(cells) == 4
+        assert status.completed == 3
+        assert status.remaining == 1
+        done = dict((h, d) for h, d, _ in status.by_heuristic)
+        assert done["IE"] == 2
+        assert done["RANDOM"] == 1
+        store.close()
+
+    def test_manifest_is_json(self, tmp_path):
+        ResultStore.create(tmp_path / "c", unit_spec()).close()
+        manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+        assert manifest["backend"] == "jsonl"
+        assert manifest["spec"]["name"] == "store-unit"

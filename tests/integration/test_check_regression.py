@@ -1,0 +1,105 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def make_report(scale=1.0):
+    runs = []
+    for heuristic in ("RANDOM", "IE"):
+        for mode in ("legacy", "block"):
+            runs.append(
+                {
+                    "mode": mode,
+                    "heuristic": heuristic,
+                    "workers": 20,
+                    "slots": 100_000,
+                    "wall_seconds": 1.0,
+                    "slots_per_second": scale * (40_000 if mode == "block" else 15_000),
+                }
+            )
+    return {"benchmark": "simulator_throughput", "python": "3.11", "runs": runs}
+
+
+def run_gate(tmp_path, baseline, current, *extra):
+    baseline_path = tmp_path / "baseline.json"
+    current_path = tmp_path / "current.json"
+    baseline_path.write_text(json.dumps(baseline))
+    current_path.write_text(json.dumps(current))
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--baseline", str(baseline_path),
+         "--current", str(current_path), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestGate:
+    def test_identical_reports_pass(self, tmp_path):
+        proc = run_gate(tmp_path, make_report(), make_report())
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_small_slowdown_tolerated(self, tmp_path):
+        proc = run_gate(tmp_path, make_report(), make_report(scale=0.80))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_large_regression_fails(self, tmp_path):
+        proc = run_gate(tmp_path, make_report(), make_report(scale=0.60))
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+        assert "FAIL" in proc.stderr
+
+    def test_speedup_passes(self, tmp_path):
+        proc = run_gate(tmp_path, make_report(), make_report(scale=2.0))
+        assert proc.returncode == 0
+
+    def test_threshold_is_configurable(self, tmp_path):
+        proc = run_gate(tmp_path, make_report(), make_report(scale=0.80),
+                        "--max-drop", "0.10")
+        assert proc.returncode == 1
+
+    def test_disjoint_reports_error(self, tmp_path):
+        other = make_report()
+        for run in other["runs"]:
+            run["heuristic"] = "Y-IE"
+        proc = run_gate(tmp_path, make_report(), other)
+        assert proc.returncode == 2
+
+    def test_missing_baseline_errors(self, tmp_path):
+        current_path = tmp_path / "current.json"
+        current_path.write_text(json.dumps(make_report()))
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--baseline", str(tmp_path / "nope.json"),
+             "--current", str(current_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+
+    def test_committed_baseline_passes_against_itself(self):
+        baseline = REPO_ROOT / "benchmarks" / "results" / "BENCH_simulator.json"
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--current", str(baseline)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestCompareReports:
+    def test_compare_function_importable(self):
+        sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+        try:
+            from check_regression import compare_reports
+
+            failures, lines = compare_reports(make_report(), make_report(scale=0.5))
+            assert len(failures) == 4
+            assert any("REGRESSION" in line for line in lines)
+        finally:
+            sys.path.pop(0)

@@ -10,7 +10,8 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_commands_exist(self):
         parser = build_parser()
-        for command in ("table1", "table2", "figure2", "demo", "offline", "heuristics"):
+        for command in ("table1", "table2", "figure2", "demo", "offline", "heuristics",
+                        "campaign"):
             args = parser.parse_args([command] if command in ("heuristics",) else [command])
             assert args.command == command
 
@@ -24,6 +25,58 @@ class TestParser:
         assert args.trials == 3
         assert args.wmin == [1, 2]
         assert args.estimator == "renewal"
+
+    def test_campaign_spec_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--builtin", "smoke", "--store", "runs/x", "--shard", "2/4",
+             "--backend", "sqlite", "--max-cells", "7", "--report", "none"]
+        )
+        assert args.builtin == "smoke"
+        assert args.shard == "2/4"
+        assert args.backend == "sqlite"
+        assert args.max_cells == 7
+
+    def test_merge_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["merge", "a", "b", "--output", "m"])
+        assert args.stores == ["a", "b"]
+        assert args.output == "m"
+
+    def test_spec_and_builtin_mutually_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "--spec", "x.toml", "--builtin", "smoke"])
+
+    def test_bad_shard_format(self):
+        from repro.cli import _parse_shard
+        from repro.exceptions import ExperimentError
+
+        assert _parse_shard("2/4") == (2, 4)
+        with pytest.raises(ExperimentError):
+            _parse_shard("2-4")
+
+
+class TestCampaignCommandErrors:
+    def test_campaign_without_source_errors(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_status_without_store_errors(self, capsys):
+        assert main(["campaign", "--builtin", "smoke", "--status"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_status_on_missing_store_does_not_create_it(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["campaign", "--builtin", "smoke", "--store", str(missing),
+                     "--status"]) == 2
+        assert "campaign:" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_list_builtins(self, capsys):
+        assert main(["campaign", "--list-builtins"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "smoke" in out
 
 
 class TestCommands:

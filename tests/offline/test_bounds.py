@@ -1,7 +1,6 @@
 """Tests for off-line bounds and the greedy clairvoyant oracle."""
 
 import numpy as np
-import pytest
 
 from repro.availability.trace import AvailabilityTrace
 from repro.offline import OfflineProblem, greedy_oracle_iterations, upper_bound_iterations

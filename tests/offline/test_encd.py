@@ -15,7 +15,6 @@ from repro.offline import (
     solve_offline_mu_inf,
 )
 from repro.offline.encd import biclique_from_offline_solution
-from repro.types import DOWN, UP
 
 
 def small_instance():

@@ -1,6 +1,4 @@
 """Tests for the exact off-line solvers."""
-
-import numpy as np
 import pytest
 
 from repro.availability.trace import AvailabilityTrace

@@ -1,6 +1,4 @@
 """Tests for the Platform model (bounded multi-port master, transfer times)."""
-
-import numpy as np
 import pytest
 
 from repro.availability import MarkovAvailabilityModel, TraceAvailabilityModel

@@ -5,8 +5,6 @@ fast-path criterion computation against the reference implementation in
 :mod:`repro.analysis.evaluation` (they must rank candidates identically).
 """
 
-import math
-
 import numpy as np
 import pytest
 

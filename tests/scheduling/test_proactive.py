@@ -14,7 +14,7 @@ from repro.scheduling import create_scheduler
 from repro.scheduling.base import Observation
 from repro.scheduling.passive import make_passive_heuristic
 from repro.scheduling.proactive import ProactiveHeuristic
-from repro.types import DOWN, RECLAIMED, UP
+from repro.types import DOWN, UP
 
 
 def make_platform(stays=None, speeds=None, tprog=2, tdata=1, ncom=2):

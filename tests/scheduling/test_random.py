@@ -5,8 +5,7 @@ import pytest
 
 from repro.analysis.cache import AnalysisContext
 from repro.application import Application, Configuration
-from repro.availability import MarkovAvailabilityModel
-from repro.platform import Platform, Processor, uniform_platform
+from repro.platform import uniform_platform
 from repro.scheduling.base import Observation
 from repro.scheduling.random_heuristic import RandomScheduler
 from repro.types import DOWN, RECLAIMED, UP
@@ -63,7 +62,6 @@ class TestRandomScheduler:
         assert bound_scheduler.select(observation) == current
 
     def test_rebuilds_after_failure(self, bound_scheduler):
-        current = Configuration({0: 2, 3: 1})
         observation = make_observation(
             [UP, UP, UP, DOWN], current=Configuration({0: 2}), failure=True,
             new_iteration=False,

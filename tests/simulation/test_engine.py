@@ -11,7 +11,6 @@ from repro.platform import Platform, Processor, uniform_platform
 from repro.scheduling.base import Observation, Scheduler
 from repro.simulation import SimulationEngine, simulate
 from repro.simulation.events import EventKind
-from repro.types import UP
 
 
 class StaticScheduler(Scheduler):

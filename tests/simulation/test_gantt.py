@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.application import Application, Configuration
+from repro.application import Application
 from repro.availability import MarkovAvailabilityModel
 from repro.platform import Platform, Processor
 from repro.scheduling import create_scheduler
 from repro.simulation import SimulationEngine, render_gantt
-from repro.types import DOWN, RECLAIMED, UP
 
 
 class TestRenderGantt:
