@@ -21,6 +21,15 @@ running on volatile, heterogeneous processors (desktop grids), and provides:
 
 Quickstart
 ----------
+The :mod:`repro.api` facade is the stable entry point:
+
+>>> from repro import api
+>>> result = api.run("Y-IE", m=5, ncom=10, wmin=1, seed=42)
+>>> result.success, result.makespan  # doctest: +SKIP
+(True, 153)
+
+The building blocks remain importable directly:
+
 >>> from repro import (Application, PlatformSpec, paper_platform,
 ...                    create_scheduler, simulate)
 >>> platform = paper_platform(PlatformSpec(ncom=10, wmin=1), num_tasks=5, seed=1)
@@ -81,10 +90,14 @@ from repro.offline import (
 from repro.platform import Platform, PlatformSpec, Processor, paper_platform, uniform_platform
 from repro.scheduling import (
     ALL_HEURISTICS,
+    EXTENSION_HEURISTIC_NAMES,
     PASSIVE_HEURISTICS,
     PROACTIVE_HEURISTICS,
     Scheduler,
+    available_heuristics,
+    canonical_heuristic,
     create_scheduler,
+    register_heuristic,
 )
 from repro.simulation import (
     SimulationEngine,
@@ -93,6 +106,10 @@ from repro.simulation import (
     simulate,
 )
 from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+
+# The stable facade (repro.api.run / sweep / compare); imported last so the
+# submodule can build on everything above.
+from repro import api
 
 __version__ = "1.0.0"
 
@@ -128,12 +145,18 @@ __all__ = [
     "encd_to_offline_mu_inf",
     "solve_offline_mu1",
     "solve_offline_mu_inf",
+    # facade
+    "api",
     # scheduling
     "Scheduler",
     "create_scheduler",
+    "register_heuristic",
+    "available_heuristics",
+    "canonical_heuristic",
     "ALL_HEURISTICS",
     "PASSIVE_HEURISTICS",
     "PROACTIVE_HEURISTICS",
+    "EXTENSION_HEURISTIC_NAMES",
     # simulation
     "SimulationEngine",
     "SimulationResult",

@@ -1,0 +1,292 @@
+"""Registered availability-model substrates for scenario/campaign building.
+
+Mirrors the heuristic registry (:mod:`repro.scheduling.registry`): each
+availability *kind* a scenario can request — ``markov`` (the paper's
+Section V chain), ``semi-markov``, ``diurnal``, ``trace`` — is registered
+in :data:`AVAILABILITY_MODELS` with a description and its parameter
+catalogue, replacing the hard-coded if/elif over kinds that used to live in
+:mod:`repro.experiments.scenarios`.
+
+A registered entry is a *builder*: given the scenario's availability
+parameters (any object with a ``get(name, default)`` accessor, such as
+:class:`repro.experiments.scenarios.AvailabilitySpec`), it returns a
+``model_factory(rng, count)`` producing one
+:class:`~repro.availability.model.AvailabilityModel` per processor.  The
+factory is consumed by
+:func:`repro.platform.builders.availability_platform`, which draws models
+first and speeds second from one seeded generator — for the ``markov`` kind
+this is bit-identical to the original
+:func:`~repro.platform.builders.paper_platform` path.
+
+Numeric parameters may be scalars (used as-is for every processor) or
+two-element ``[low, high]`` ranges (drawn uniformly per processor from the
+scenario's platform seed).
+
+To plug in your own substrate::
+
+    from repro.availability.registry import register_availability_model
+    from repro.components import ComponentParameter
+
+    @register_availability_model(
+        "flaky", description="everything fails a lot",
+        parameters=(ComponentParameter("rate", float, default=0.5),))
+    def _flaky_models(spec):
+        def factory(rng, count):
+            return [MyFlakyModel(spec.get("rate", 0.5)) for _ in range(count)]
+        return factory
+
+after which campaign specs accept ``[availability] kind = "flaky"``.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from pathlib import Path
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.availability.diurnal import DiurnalAvailabilityModel
+from repro.availability.generators import random_markov_models
+from repro.availability.semi_markov import SemiMarkovAvailabilityModel
+from repro.availability.trace import AvailabilityTrace, TraceAvailabilityModel
+from repro.components import ComponentInfo, ComponentParameter, ComponentRegistry
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "AVAILABILITY_MODELS",
+    "register_availability_model",
+    "available_models",
+    "availability_model_info",
+    "model_factory_for",
+]
+
+#: The single source of truth for availability substrates: scenario
+#: validation, platform building, the CLI's ``repro models`` listing and the
+#: ``repro.api`` facade all query this registry.
+AVAILABILITY_MODELS = ComponentRegistry("availability model")
+
+
+def register_availability_model(
+    name: str,
+    builder: Optional[Callable] = None,
+    *,
+    description: str = "",
+    parameters=(),
+    family: str = "availability",
+):
+    """Register an availability-substrate builder (decorator-friendly).
+
+    ``builder(spec)`` must return a ``model_factory(rng, count)`` callable.
+    ``parameters`` documents the accepted spec parameters explicitly (they
+    are range-or-scalar valued, so signature introspection does not apply);
+    scenario specs reject parameters that are not declared here.
+    """
+    return AVAILABILITY_MODELS.register(
+        name,
+        builder,
+        family=family,
+        description=description,
+        parameters=tuple(parameters),
+    )
+
+
+def available_models(family: Optional[str] = None) -> List[str]:
+    """Registered availability-model kinds, in registration order."""
+    return AVAILABILITY_MODELS.names(family)
+
+
+def availability_model_info(kind: str) -> ComponentInfo:
+    """Registered metadata (description, parameters) for one kind."""
+    return AVAILABILITY_MODELS.get(kind)
+
+
+def model_factory_for(spec) -> Callable:
+    """The per-processor ``model_factory(rng, count)`` for an availability spec.
+
+    *spec* is any object with ``kind`` and ``get(name, default)`` — in
+    practice :class:`repro.experiments.scenarios.AvailabilitySpec`.
+    """
+    return AVAILABILITY_MODELS.get(spec.kind).factory(spec)
+
+
+# ----------------------------------------------------------------------
+# Parameter helpers shared by the built-in builders
+# ----------------------------------------------------------------------
+def draw_parameter(rng: np.random.Generator, value, name: str) -> float:
+    """Resolve a spec parameter: scalar as-is, two-element range drawn uniformly."""
+    if isinstance(value, tuple):
+        return float(rng.uniform(value[0], value[1]))
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    raise ExperimentError(f"availability parameter {name!r} must be numeric, got {value!r}")
+
+
+@functools.lru_cache(maxsize=8)
+def _load_trace(path: str) -> AvailabilityTrace:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"cannot load availability trace from {path}: {error}") from error
+    return AvailabilityTrace.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# The four built-in substrates
+# ----------------------------------------------------------------------
+@register_availability_model(
+    "markov",
+    description="3-state Markov chain of Section V; stay-probabilities "
+    "uniform per processor (the paper's default substrate)",
+    parameters=(
+        ComponentParameter(
+            "stay_low", float, default=0.90,
+            description="lower bound of the per-state stay-probability draw",
+        ),
+        ComponentParameter(
+            "stay_high", float, default=0.99,
+            description="upper bound of the per-state stay-probability draw",
+        ),
+    ),
+)
+def _markov_models(spec):
+    def scalar(name: str, default: float) -> float:
+        value = spec.get(name, default)
+        if isinstance(value, tuple):
+            raise ExperimentError(
+                f"markov availability parameter {name!r} is a scalar — "
+                f"[stay_low, stay_high] is already the per-processor range "
+                f"(got {list(value)!r})"
+            )
+        return float(value)
+
+    stay_low = scalar("stay_low", 0.90)
+    stay_high = scalar("stay_high", 0.99)
+
+    def factory(rng, count):
+        return random_markov_models(count, rng, stay_low=stay_low, stay_high=stay_high)
+
+    return factory
+
+
+@register_availability_model(
+    "semi-markov",
+    description="non-Markovian desktop grid: Weibull UP sojourns, "
+    "log-normal interruptions (robustness extension)",
+    parameters=(
+        ComponentParameter(
+            "up_shape", float, default=(0.5, 0.8),
+            description="Weibull shape of the UP sojourn distribution",
+        ),
+        ComponentParameter(
+            "mean_up", float, default=(25.0, 60.0),
+            description="mean UP sojourn length (slots)",
+        ),
+        ComponentParameter(
+            "mean_reclaimed", float, default=(2.0, 6.0),
+            description="mean RECLAIMED sojourn length (slots)",
+        ),
+        ComponentParameter(
+            "mean_down", float, default=(10.0, 30.0),
+            description="mean DOWN sojourn length (slots)",
+        ),
+        ComponentParameter(
+            "reclaim_fraction", float, default=(0.6, 0.85),
+            description="probability an interruption is RECLAIMED rather than DOWN",
+        ),
+    ),
+)
+def _semi_markov_models(spec):
+    def factory(rng, count):
+        return [
+            SemiMarkovAvailabilityModel.desktop_grid(
+                up_shape=draw_parameter(rng, spec.get("up_shape", (0.5, 0.8)), "up_shape"),
+                mean_up=draw_parameter(rng, spec.get("mean_up", (25.0, 60.0)), "mean_up"),
+                mean_reclaimed=draw_parameter(
+                    rng, spec.get("mean_reclaimed", (2.0, 6.0)), "mean_reclaimed"
+                ),
+                mean_down=draw_parameter(
+                    rng, spec.get("mean_down", (10.0, 30.0)), "mean_down"
+                ),
+                reclaim_fraction=draw_parameter(
+                    rng, spec.get("reclaim_fraction", (0.6, 0.85)), "reclaim_fraction"
+                ),
+            )
+            for _ in range(count)
+        ]
+
+    return factory
+
+
+@register_availability_model(
+    "diurnal",
+    description="time-inhomogeneous office-hours cycle: reliable nights, "
+    "churny working hours, per-processor phase offsets",
+    parameters=(
+        ComponentParameter(
+            "day_length", float, default=96,
+            description="slots per day (phase offsets are drawn modulo it)",
+        ),
+        ComponentParameter(
+            "office_fraction", float, default=0.4,
+            description="fraction of the day spent in the churny office phase",
+        ),
+        ComponentParameter(
+            "night_stay_up", float, default=0.995,
+            description="UP stay-probability during the quiet phase",
+        ),
+        ComponentParameter(
+            "office_stay_up", float, default=(0.88, 0.95),
+            description="UP stay-probability during office hours",
+        ),
+    ),
+)
+def _diurnal_models(spec):
+    def factory(rng, count):
+        day_length = int(draw_parameter(rng, spec.get("day_length", 96), "day_length"))
+        return [
+            DiurnalAvailabilityModel.office_hours(
+                day_length=day_length,
+                office_fraction=draw_parameter(
+                    rng, spec.get("office_fraction", 0.4), "office_fraction"
+                ),
+                night_stay_up=draw_parameter(
+                    rng, spec.get("night_stay_up", 0.995), "night_stay_up"
+                ),
+                office_stay_up=draw_parameter(
+                    rng, spec.get("office_stay_up", (0.88, 0.95)), "office_stay_up"
+                ),
+                phase_offset=int(rng.integers(0, day_length)),
+            )
+            for _ in range(count)
+        ]
+
+    return factory
+
+
+@register_availability_model(
+    "trace",
+    description="replay recorded availability traces (JSON), row per processor",
+    parameters=(
+        ComponentParameter(
+            "path", str,
+            description="trace file (relative paths resolve against the spec file)",
+        ),
+        ComponentParameter(
+            "wrap", bool, default=True,
+            description="loop the trace when the simulation outlives it",
+        ),
+    ),
+)
+def _trace_models(spec):
+    trace = _load_trace(str(spec.get("path")))
+    wrap = bool(spec.get("wrap", True))
+
+    def factory(rng, count):
+        return [
+            TraceAvailabilityModel(trace.row(index % trace.num_processors), wrap=wrap)
+            for index in range(count)
+        ]
+
+    return factory

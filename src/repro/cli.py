@@ -11,7 +11,8 @@ Commands
 ``merge``     Combine shard stores into one store and report on it.
 ``demo``      Simulate one instance under one heuristic and print a Gantt chart.
 ``offline``   Solve a random small off-line instance exactly (Theorem 4.1 artefacts).
-``heuristics``  List the available heuristic names.
+``heuristics``  List the registered heuristics (family, parameters, description).
+``models``    List the registered availability-model substrates.
 
 Every table/figure command accepts ``--scale {smoke,reduced,paper}`` plus
 individual overrides (``--scenarios``, ``--trials``, ``--wmin``, ``--ncom``,
@@ -43,7 +44,14 @@ from repro.experiments.scenarios import CampaignScale
 from repro.experiments.spec import BUILTIN_SPEC_NAMES, builtin_spec, load_spec
 from repro.experiments.store import ResultStore, merge_stores, store_status
 from repro.experiments.tables import format_spec_report, format_summaries
-from repro.scheduling.registry import ALL_HEURISTICS, TABLE2_HEURISTICS, create_scheduler
+from repro.availability.registry import AVAILABILITY_MODELS
+from repro.scheduling.registry import (
+    ALL_HEURISTICS,
+    HEURISTICS,
+    TABLE2_HEURISTICS,
+    available_heuristics,
+    create_scheduler,
+)
 from repro.utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -187,7 +195,25 @@ def build_parser() -> argparse.ArgumentParser:
     offline.add_argument("--b", type=int, default=3, help="common UP slots required (w)")
     offline.add_argument("--seed", type=int, default=0)
 
-    subparsers.add_parser("heuristics", help="list available heuristic names")
+    heuristics = subparsers.add_parser(
+        "heuristics",
+        help="list registered heuristics with parameters and descriptions",
+    )
+    heuristics.add_argument(
+        "--family", default=None,
+        help="restrict to one family (baseline, passive, proactive, extension)",
+    )
+    heuristics.add_argument(
+        "--names-only", action="store_true", help="print bare names, one per line"
+    )
+
+    models = subparsers.add_parser(
+        "models",
+        help="list registered availability-model substrates with parameters",
+    )
+    models.add_argument(
+        "--names-only", action="store_true", help="print bare names, one per line"
+    )
 
     return parser
 
@@ -375,6 +401,74 @@ def _cmd_offline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parameters_column(info) -> str:
+    if not info.parameters:
+        return "-"
+    fragments = []
+    for parameter in info.parameters:
+        text = parameter.describe()
+        if parameter.aliases:
+            text += f" (alias: {', '.join(parameter.aliases)})"
+        fragments.append(text)
+    return "; ".join(fragments)
+
+
+def _cmd_heuristics(args: argparse.Namespace) -> int:
+    if args.family is not None and args.family not in HEURISTICS.families():
+        print(
+            f"heuristics: unknown family {args.family!r}; "
+            f"expected one of {HEURISTICS.families()}",
+            file=sys.stderr,
+        )
+        return 2
+    names = available_heuristics(family=args.family)
+    if args.names_only:
+        for name in names:
+            print(name)
+        return 0
+    rows = []
+    for name in names:
+        info = HEURISTICS.get(name)
+        rows.append(
+            [
+                info.name,
+                info.family,
+                "paper" if info.paper else "extension",
+                _parameters_column(info),
+                info.description,
+            ]
+        )
+    print(format_table(
+        rows,
+        headers=["name", "family", "origin", "parameters", "description"],
+        align_right=[False] * 5,
+    ))
+    print()
+    print('Parameterized expressions are accepted wherever a heuristic name is:')
+    print('e.g. "THRESHOLD-IE(tau=0.5)", "STICKY(patience=3)", "FAST(k=8)".')
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    if args.names_only:
+        for name in AVAILABILITY_MODELS.names():
+            print(name)
+        return 0
+    rows = [
+        [info.name, _parameters_column(info), info.description]
+        for info in AVAILABILITY_MODELS.infos()
+    ]
+    print(format_table(
+        rows,
+        headers=["kind", "parameters", "description"],
+        align_right=[False] * 3,
+    ))
+    print()
+    print("Numeric parameters accept a scalar or a [low, high] per-processor range")
+    print('in campaign specs, e.g. [availability] kind = "semi-markov", mean_up = [25.0, 60.0].')
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -393,9 +487,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "offline":
         return _cmd_offline(args)
     if args.command == "heuristics":
-        for name in ALL_HEURISTICS:
-            print(name)
-        return 0
+        return _cmd_heuristics(args)
+    if args.command == "models":
+        return _cmd_models(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

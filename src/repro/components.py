@@ -1,0 +1,532 @@
+"""Pluggable component registry and the parameterized expression grammar.
+
+This module is the infrastructure behind every named component family of the
+library — today the scheduling heuristics (:mod:`repro.scheduling.registry`)
+and the availability-model substrates (:mod:`repro.availability.registry`).
+A :class:`ComponentRegistry` maps canonical names to factories plus metadata
+(family, description, whether the component is part of the paper's
+evaluation) and parameter specifications introspected from each factory's
+signature.  Registration is declarative::
+
+    HEURISTICS = ComponentRegistry("heuristic")
+
+    @HEURISTICS.register("THRESHOLD-IE", family="extension",
+                         description="filter by long-run availability",
+                         aliases={"tau": "threshold"})
+    class ThresholdScheduler(Scheduler):
+        def __init__(self, threshold: float = 0.5) -> None: ...
+
+Components are addressed by *expressions* — either a bare name (``"IE"``)
+or a parameterized call (``"THRESHOLD-IE(tau=0.5)"``).  Expressions are
+parsed once (:func:`parse_expression`), validated against the registered
+factory's signature (unknown parameters, missing required parameters and
+type mismatches are all :class:`ComponentError`\\ s) and canonicalized —
+aliases resolved, names normalised to their registered spelling, arguments
+sorted and formatted deterministically — so that equivalent spellings hash
+identically in campaign-spec content hashes.
+
+The grammar, deliberately small::
+
+    expression := NAME | NAME "(" [argument ("," argument)*] ")"
+    argument   := IDENT "=" value
+    value      := integer | float | "true" | "false" | quoted or bare string
+
+Lookups are case-insensitive; canonical output uses the registered spelling.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "REQUIRED",
+    "ComponentError",
+    "ComponentParameter",
+    "ComponentInfo",
+    "ComponentExpression",
+    "ComponentRegistry",
+    "parse_expression",
+]
+
+
+class ComponentError(ReproError, ValueError):
+    """A component lookup, registration or expression is invalid.
+
+    Subclasses :class:`ValueError` so existing callers of
+    ``create_scheduler`` that catch ``ValueError`` keep working, and
+    :class:`~repro.exceptions.ReproError` so it folds into the library's
+    exception hierarchy.
+    """
+
+
+class _Required:
+    """Sentinel: the parameter has no default and must be supplied."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<required>"
+
+
+#: Sentinel default for parameters that must be supplied explicitly.
+REQUIRED = _Required()
+
+#: Scalar types the expression grammar can express.
+_SUPPORTED_KINDS = (bool, int, float, str)
+
+_NAME_PATTERN = re.compile(r"[A-Za-z][A-Za-z0-9_-]*")
+_EXPRESSION_PATTERN = re.compile(
+    r"(?P<name>[A-Za-z][A-Za-z0-9_-]*)\s*(?:\((?P<args>.*)\))?\s*", re.DOTALL
+)
+_IDENT_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_BARE_STRING_PATTERN = re.compile(r"[A-Za-z0-9_.+:~/\\-]+")
+
+
+@dataclass(frozen=True)
+class ComponentParameter:
+    """One tunable parameter of a registered component.
+
+    ``kind`` is the scalar type (``int``, ``float``, ``bool`` or ``str``);
+    ``default`` is :data:`REQUIRED` when the factory has no default.
+    ``aliases`` are accepted in expressions and canonicalized away.
+    """
+
+    name: str
+    kind: type
+    default: Any = REQUIRED
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def describe(self) -> str:
+        """Human-readable ``name: kind [= default]`` fragment."""
+        text = f"{self.name}: {self.kind.__name__}"
+        if not self.required:
+            if isinstance(self.default, _SUPPORTED_KINDS):
+                rendered = _format_value(self.default)
+            elif isinstance(self.default, tuple):
+                # Availability-model defaults may be [low, high] per-processor
+                # ranges; display them in the spec-file spelling.
+                rendered = "[" + ", ".join(repr(v) for v in self.default) + "]"
+            else:
+                rendered = repr(self.default)
+            text += f" = {rendered}"
+        return text
+
+
+@dataclass(frozen=True)
+class ComponentInfo:
+    """Registered metadata of one component."""
+
+    name: str
+    factory: Callable[..., Any]
+    family: str
+    description: str = ""
+    #: Whether the component belongs to the source paper's evaluation (as
+    #: opposed to an extension added by this reproduction).
+    paper: bool = False
+    parameters: Tuple[ComponentParameter, ...] = ()
+
+    # ------------------------------------------------------------------
+    def parameter(self, name: str) -> Optional[ComponentParameter]:
+        """Look up a parameter by canonical name or alias (case-insensitive)."""
+        key = name.lower()
+        for parameter in self.parameters:
+            if parameter.name.lower() == key:
+                return parameter
+            if any(alias.lower() == key for alias in parameter.aliases):
+                return parameter
+        return None
+
+    def signature(self) -> str:
+        """Display form, e.g. ``THRESHOLD-IE(threshold: float = 0.5)``."""
+        if not self.parameters:
+            return self.name
+        inner = ", ".join(parameter.describe() for parameter in self.parameters)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class ComponentExpression:
+    """A parsed (and, after :meth:`ComponentRegistry.resolve`, validated)
+    component expression: a name plus keyword arguments."""
+
+    name: str
+    arguments: Tuple[Tuple[str, Any], ...] = ()
+
+    def canonical(self) -> str:
+        """Deterministic text form: registered name, sorted ``key=value`` args.
+
+        Canonical strings are what campaign specs store and hash, so two
+        spellings of the same component (aliases, whitespace, case,
+        argument order) always canonicalize to the same string.
+        """
+        if not self.arguments:
+            return self.name
+        inner = ",".join(f"{key}={_format_value(value)}" for key, value in self.arguments)
+        return f"{self.name}({inner})"
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.arguments)
+
+
+# ----------------------------------------------------------------------
+# Expression parsing
+# ----------------------------------------------------------------------
+def _format_value(value: Any) -> str:
+    """Render an argument value in its canonical (re-parseable) spelling.
+
+    String quoting mirrors the parser exactly: quotes carry no escape
+    sequences, so a string containing one kind of quote is wrapped in the
+    other, and a string containing both is unrepresentable (an explicit
+    error rather than a silent value change on the next parse).
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        if _BARE_STRING_PATTERN.fullmatch(value):
+            return value
+        if '"' not in value:
+            return f'"{value}"'
+        if "'" not in value:
+            return f"'{value}'"
+        raise ComponentError(
+            f"cannot render string {value!r} in an expression: it contains "
+            "both quote characters (the grammar has no escape sequences)"
+        )
+    raise ComponentError(f"cannot render argument value {value!r} in an expression")
+
+
+def _parse_value(token: str, *, context: str) -> Any:
+    token = token.strip()
+    if not token:
+        raise ComponentError(f"{context}: empty argument value")
+    if token[0] in ("'", '"'):
+        if len(token) >= 2 and token[-1] == token[0]:
+            return token[1:-1]
+        raise ComponentError(f"{context}: unterminated string {token!r}")
+    lowered = token.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(token, 10)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if _BARE_STRING_PATTERN.fullmatch(token):
+        return token
+    raise ComponentError(f"{context}: cannot parse argument value {token!r}")
+
+
+def _split_arguments(body: str) -> List[str]:
+    """Split an argument list on top-level commas, respecting quotes."""
+    chunks: List[str] = []
+    current: List[str] = []
+    quote: Optional[str] = None
+    for char in body:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+            current.append(char)
+        elif char == ",":
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    chunks.append("".join(current))
+    return chunks
+
+
+def parse_expression(text: Union[str, ComponentExpression]) -> ComponentExpression:
+    """Parse ``NAME`` / ``NAME(key=value, ...)`` into a :class:`ComponentExpression`.
+
+    Purely syntactic: names are kept as written (resolution against a
+    registry normalises them) and values become Python scalars.  Raises
+    :class:`ComponentError` on malformed input.
+    """
+    if isinstance(text, ComponentExpression):
+        return text
+    if not isinstance(text, str):
+        raise ComponentError(
+            f"component expression must be a string, got {type(text).__name__}"
+        )
+    stripped = text.strip()
+    match = _EXPRESSION_PATTERN.fullmatch(stripped)
+    if match is None:
+        raise ComponentError(
+            f"invalid component expression {text!r}: expected NAME or "
+            f"NAME(key=value, ...)"
+        )
+    name = match.group("name")
+    body = match.group("args")
+    if body is None or not body.strip():
+        return ComponentExpression(name)
+    arguments: List[Tuple[str, Any]] = []
+    seen: Dict[str, bool] = {}
+    for chunk in _split_arguments(body):
+        key, equals, value_text = chunk.partition("=")
+        key = key.strip()
+        if not equals:
+            raise ComponentError(
+                f"invalid argument {chunk.strip()!r} in {text!r}: expected key=value"
+            )
+        if not _IDENT_PATTERN.fullmatch(key):
+            raise ComponentError(f"invalid argument name {key!r} in {text!r}")
+        if key.lower() in seen:
+            raise ComponentError(f"duplicate argument {key!r} in {text!r}")
+        seen[key.lower()] = True
+        arguments.append((key, _parse_value(value_text, context=f"argument {key!r} in {text!r}")))
+    return ComponentExpression(name, tuple(arguments))
+
+
+# ----------------------------------------------------------------------
+# Parameter introspection
+# ----------------------------------------------------------------------
+def _unwrap_optional(annotation: Any) -> Tuple[Any, bool]:
+    origin = typing.get_origin(annotation)
+    if origin is Union:
+        inner = [arg for arg in typing.get_args(annotation) if arg is not type(None)]
+        if len(inner) == 1:
+            return inner[0], True
+    return annotation, False
+
+
+def _parameters_from_factory(
+    factory: Callable[..., Any], aliases: Mapping[str, str]
+) -> Tuple[ComponentParameter, ...]:
+    """Introspect a factory's signature into :class:`ComponentParameter` specs."""
+    target = factory.__init__ if isinstance(factory, type) else factory
+    try:
+        hints = typing.get_type_hints(target)
+    except Exception:  # unresolvable forward references: fall back to defaults
+        hints = {}
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError) as error:  # pragma: no cover - exotic factories
+        raise ComponentError(f"cannot introspect factory {factory!r}: {error}") from error
+    alias_map: Dict[str, List[str]] = {}
+    for alias, parameter_name in aliases.items():
+        alias_map.setdefault(parameter_name, []).append(alias)
+    parameters: List[ComponentParameter] = []
+    for parameter in signature.parameters.values():
+        if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+            continue
+        if parameter.kind is parameter.POSITIONAL_ONLY:
+            raise ComponentError(
+                f"factory {factory!r} has a positional-only parameter "
+                f"{parameter.name!r}; components are constructed with keywords"
+            )
+        annotation = hints.get(parameter.name, parameter.annotation)
+        annotation, _ = _unwrap_optional(annotation)
+        if annotation in _SUPPORTED_KINDS:
+            kind = annotation
+        elif parameter.default is not parameter.empty and isinstance(
+            parameter.default, _SUPPORTED_KINDS
+        ):
+            kind = bool if isinstance(parameter.default, bool) else type(parameter.default)
+        elif parameter.default is None:
+            kind = str
+        else:
+            raise ComponentError(
+                f"cannot infer a scalar type for parameter {parameter.name!r} of "
+                f"factory {factory!r}; annotate it with int, float, bool or str"
+            )
+        default = REQUIRED if parameter.default is parameter.empty else parameter.default
+        parameters.append(
+            ComponentParameter(
+                name=parameter.name,
+                kind=kind,
+                default=default,
+                aliases=tuple(alias_map.get(parameter.name, ())),
+            )
+        )
+    unknown_targets = set(aliases.values()) - {p.name for p in parameters}
+    if unknown_targets:
+        raise ComponentError(
+            f"aliases target unknown parameters {sorted(unknown_targets)} of {factory!r}"
+        )
+    return tuple(parameters)
+
+
+def _coerce(parameter: ComponentParameter, value: Any, *, context: str) -> Any:
+    """Check/convert an argument value to the parameter's declared type."""
+    if parameter.kind is bool:
+        if isinstance(value, bool):
+            return value
+    elif parameter.kind is int:
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+    elif parameter.kind is float:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    elif parameter.kind is str:
+        if isinstance(value, str):
+            return value
+    raise ComponentError(
+        f"{context}: parameter {parameter.name!r} expects "
+        f"{parameter.kind.__name__}, got {value!r} ({type(value).__name__})"
+    )
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+@dataclass
+class ComponentRegistry:
+    """Name → factory mapping with metadata and expression resolution.
+
+    ``kind`` is the human label used in error messages ("heuristic",
+    "availability model").  Registration preserves insertion order, which
+    :meth:`names` exposes; lookups are case-insensitive.
+    """
+
+    kind: str
+    _components: Dict[str, ComponentInfo] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., Any]] = None,
+        *,
+        family: str = "general",
+        description: str = "",
+        paper: bool = False,
+        aliases: Optional[Mapping[str, str]] = None,
+        parameters: Optional[Tuple[ComponentParameter, ...]] = None,
+    ):
+        """Register *factory* under *name*; usable as a decorator.
+
+        ``aliases`` maps alternative argument spellings to canonical
+        parameter names (e.g. ``{"tau": "threshold"}``).  ``parameters``
+        overrides signature introspection for factories whose arguments are
+        not simple scalars (the availability-model builders use this).
+        """
+
+        def _register(obj: Callable[..., Any]) -> Callable[..., Any]:
+            if not _NAME_PATTERN.fullmatch(name):
+                raise ComponentError(f"invalid {self.kind} name {name!r}")
+            key = name.upper()
+            if key in self._components:
+                raise ComponentError(f"{self.kind} {name!r} is already registered")
+            specs = (
+                tuple(parameters)
+                if parameters is not None
+                else _parameters_from_factory(obj, aliases or {})
+            )
+            self._components[key] = ComponentInfo(
+                name=name,
+                factory=obj,
+                family=family,
+                description=description,
+                paper=paper,
+                parameters=specs,
+            )
+            return obj
+
+        if factory is None:
+            return _register
+        return _register(factory)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.strip().upper() in self._components
+
+    def get(self, name: str) -> ComponentInfo:
+        """Metadata for a bare component name (case-insensitive)."""
+        key = str(name).strip().upper()
+        try:
+            return self._components[key]
+        except KeyError:
+            raise ComponentError(
+                f"unknown {self.kind} {name!r}; expected one of {self.names()}"
+            ) from None
+
+    def names(self, family: Optional[str] = None) -> List[str]:
+        """Registered names in registration order, optionally one family."""
+        return [
+            info.name
+            for info in self._components.values()
+            if family is None or info.family == family
+        ]
+
+    def infos(self, family: Optional[str] = None) -> List[ComponentInfo]:
+        return [
+            info
+            for info in self._components.values()
+            if family is None or info.family == family
+        ]
+
+    def families(self) -> List[str]:
+        """Distinct family labels, in first-registration order."""
+        seen: Dict[str, bool] = {}
+        for info in self._components.values():
+            seen.setdefault(info.family, True)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Expression resolution / construction
+    # ------------------------------------------------------------------
+    def resolve(self, expression: Union[str, ComponentExpression]) -> ComponentExpression:
+        """Parse, validate and canonicalize an expression against the registry.
+
+        Returns an expression whose name is the registered spelling and whose
+        arguments are alias-resolved, type-coerced and sorted by parameter
+        name.  Raises :class:`ComponentError` for unknown components, unknown
+        or duplicate parameters, missing required parameters and type
+        mismatches.
+        """
+        parsed = parse_expression(expression)
+        info = self.get(parsed.name)
+        context = f"{self.kind} expression {parsed.canonical()!r}"
+        resolved: Dict[str, Any] = {}
+        for key, value in parsed.arguments:
+            parameter = info.parameter(key)
+            if parameter is None:
+                known = [p.name for p in info.parameters]
+                raise ComponentError(
+                    f"{context}: unknown parameter {key!r} for {info.name} "
+                    f"(accepted: {known if known else 'none'})"
+                )
+            if parameter.name in resolved:
+                raise ComponentError(
+                    f"{context}: parameter {parameter.name!r} given more than once"
+                )
+            resolved[parameter.name] = _coerce(parameter, value, context=context)
+        missing = [
+            p.name for p in info.parameters if p.required and p.name not in resolved
+        ]
+        if missing:
+            raise ComponentError(f"{context}: missing required parameters {missing}")
+        return ComponentExpression(info.name, tuple(sorted(resolved.items())))
+
+    def canonical(self, expression: Union[str, ComponentExpression]) -> str:
+        """The canonical string form of an expression (see :meth:`resolve`)."""
+        return self.resolve(expression).canonical()
+
+    def create(self, expression: Union[str, ComponentExpression]) -> Any:
+        """Resolve an expression and call the factory with its arguments."""
+        resolved = self.resolve(expression)
+        info = self.get(resolved.name)
+        return info.factory(**resolved.kwargs())

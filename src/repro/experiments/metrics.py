@@ -28,8 +28,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.components import ComponentError
 from repro.exceptions import ExperimentError
 from repro.experiments.runner import InstanceResult
+from repro.scheduling.registry import canonical_heuristic
 
 __all__ = ["HeuristicSummary", "summarize_results", "relative_difference", "filter_results"]
 
@@ -96,7 +98,18 @@ def filter_results(
     slice (the legacy scenario keys do not separate platform sizes), so
     reports filter before summarising.
     """
-    wanted = {name.upper() for name in heuristics} if heuristics is not None else None
+    wanted: Optional[set] = None
+    if heuristics is not None:
+        # Canonicalize through the registry so any spelling of a
+        # (possibly parameterized) heuristic matches the stored results;
+        # unregistered names fall back to plain upper-casing and simply
+        # select nothing.
+        wanted = set()
+        for name in heuristics:
+            try:
+                wanted.add(canonical_heuristic(name))
+            except ComponentError:
+                wanted.add(str(name).upper())
     selected: List[InstanceResult] = []
     for result in results:
         if m is not None and result.m != m:

@@ -41,11 +41,8 @@ from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import CampaignScale, ExperimentScenario, generate_scenarios
 from repro.experiments.spec import CampaignCell, CampaignSpec
 from repro.platform.platform import Platform
-from repro.scheduling.registry import (
-    ALL_HEURISTICS,
-    EXTENSION_HEURISTIC_NAMES,
-    create_scheduler,
-)
+from repro.components import ComponentError
+from repro.scheduling.registry import ALL_HEURISTICS, canonical_heuristic, create_scheduler
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.results import SimulationResult
 from repro.utils.rng import derive_run_streams
@@ -465,11 +462,18 @@ def run_campaign(
         per finished (scenario, trial, heuristic) cell.
     """
     scale = scale or CampaignScale.reduced()
-    recognised = set(ALL_HEURISTICS) | set(EXTENSION_HEURISTIC_NAMES)
-    unknown = [name for name in heuristics if name.upper() not in recognised]
+    # Validate and canonicalize through the component registry — the single
+    # source of truth shared with create_scheduler and CampaignSpec.
+    resolved: List[str] = []
+    unknown: List[str] = []
+    for name in heuristics:
+        try:
+            resolved.append(canonical_heuristic(name))
+        except ComponentError:
+            unknown.append(name)
     if unknown:
         raise ExperimentError(f"unknown heuristics requested: {unknown}")
-    heuristics = tuple(name.upper() for name in heuristics)
+    heuristics = tuple(resolved)
     scenarios = generate_scenarios(scale, m, campaign=label)
     campaign = CampaignResult(label=label, m=m, heuristics=heuristics, scale=scale)
 

@@ -17,18 +17,11 @@ isolation and reproduce the in-campaign realisation exactly.
 
 from __future__ import annotations
 
-import functools
-import json
 from dataclasses import dataclass, replace
-from pathlib import Path
 from typing import Mapping, Optional, List, Tuple, Union
 
-import numpy as np
-
 from repro.application.application import Application
-from repro.availability.diurnal import DiurnalAvailabilityModel
-from repro.availability.semi_markov import SemiMarkovAvailabilityModel
-from repro.availability.trace import AvailabilityTrace, TraceAvailabilityModel
+from repro.availability.registry import AVAILABILITY_MODELS, model_factory_for
 from repro.exceptions import ExperimentError
 from repro.platform.builders import PlatformSpec, availability_platform, paper_platform
 from repro.platform.platform import Platform
@@ -42,8 +35,9 @@ __all__ = [
     "generate_scenarios",
 ]
 
-#: Availability substrates a scenario can request.
-AVAILABILITY_KINDS = ("markov", "semi-markov", "diurnal", "trace")
+#: Availability substrates a scenario can request (snapshot of the registry
+#: at import time; the registry itself is the live source of truth).
+AVAILABILITY_KINDS = tuple(AVAILABILITY_MODELS.names())
 
 #: Parameter values: a scalar (used as-is), a two-element range (drawn
 #: uniformly per processor), or a string (paths, labels).
@@ -54,12 +48,14 @@ ParamValue = Union[int, float, str, bool, Tuple[float, ...]]
 class AvailabilitySpec:
     """Declarative choice of availability substrate for a scenario.
 
-    ``kind`` selects the model family; ``parameters`` holds the family's
-    knobs as a sorted tuple of ``(name, value)`` pairs so the spec is
-    hashable and canonically serialisable.  Numeric two-element ranges are
-    drawn uniformly *per processor* from the scenario's platform seed, which
-    keeps every platform deterministic in ``(campaign, scenario)`` exactly
-    like the paper's Markov grid.
+    ``kind`` selects the model family — any name registered in
+    :data:`repro.availability.registry.AVAILABILITY_MODELS`; ``parameters``
+    holds the family's knobs as a sorted tuple of ``(name, value)`` pairs so
+    the spec is hashable and canonically serialisable.  Parameter names are
+    validated against the registered model's catalogue.  Numeric two-element
+    ranges are drawn uniformly *per processor* from the scenario's platform
+    seed, which keeps every platform deterministic in ``(campaign,
+    scenario)`` exactly like the paper's Markov grid.
 
     The default (Markov, paper parameters) reproduces Section VII-A
     bit-for-bit: :meth:`ExperimentScenario.build_platform` routes it through
@@ -70,12 +66,29 @@ class AvailabilitySpec:
     parameters: Tuple[Tuple[str, ParamValue], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in AVAILABILITY_KINDS:
+        if self.kind not in AVAILABILITY_MODELS:
             raise ExperimentError(
-                f"unknown availability kind {self.kind!r}; expected one of {AVAILABILITY_KINDS}"
+                f"unknown availability kind {self.kind!r}; expected one of "
+                f"{tuple(AVAILABILITY_MODELS.names())}"
             )
+        info = AVAILABILITY_MODELS.get(self.kind)
         normalised = []
+        seen = set()
         for name, value in sorted(self.parameters):
+            parameter = info.parameter(str(name))
+            if parameter is None:
+                raise ExperimentError(
+                    f"availability kind {self.kind!r} has no parameter {name!r} "
+                    f"(accepted: {[p.name for p in info.parameters]})"
+                )
+            # Store the registered spelling so case/alias variants both
+            # canonicalize and reach the builders' exact-match get() calls.
+            name = parameter.name
+            if name in seen:
+                raise ExperimentError(
+                    f"availability parameter {name!r} given more than once"
+                )
+            seen.add(name)
             if isinstance(value, list):
                 value = tuple(value)
             if isinstance(value, tuple):
@@ -89,10 +102,14 @@ class AvailabilitySpec:
                 raise ExperimentError(
                     f"availability parameter {name!r} has unsupported type {type(value).__name__}"
                 )
-            normalised.append((str(name), value))
+            normalised.append((name, value))
+        normalised.sort(key=lambda pair: pair[0])
         object.__setattr__(self, "parameters", tuple(normalised))
-        if self.kind == "trace" and self.get("path") is None:
-            raise ExperimentError("availability kind 'trace' requires a 'path' parameter")
+        missing = [p.name for p in info.parameters if p.required and self.get(p.name) is None]
+        if missing:
+            raise ExperimentError(
+                f"availability kind {self.kind!r} requires a {missing[0]!r} parameter"
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -271,24 +288,6 @@ class CampaignScale:
 # ----------------------------------------------------------------------
 # Availability substrates beyond the paper's Markov recipe
 # ----------------------------------------------------------------------
-def _draw(rng: np.random.Generator, value: ParamValue, name: str) -> float:
-    """Resolve a spec parameter: scalar as-is, two-element range drawn uniformly."""
-    if isinstance(value, tuple):
-        return float(rng.uniform(value[0], value[1]))
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return float(value)
-    raise ExperimentError(f"availability parameter {name!r} must be numeric, got {value!r}")
-
-
-@functools.lru_cache(maxsize=8)
-def _load_trace(path: str) -> AvailabilityTrace:
-    try:
-        payload = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as error:
-        raise ExperimentError(f"cannot load availability trace from {path}: {error}") from error
-    return AvailabilityTrace.from_dict(payload)
-
-
 def _build_availability_platform(
     params: ScenarioParameters,
     spec: AvailabilitySpec,
@@ -296,80 +295,18 @@ def _build_availability_platform(
     num_tasks: int,
     seed: int,
 ) -> Platform:
-    """Platform with paper speeds but a non-default availability substrate."""
-    platform_spec = params.platform_spec()
+    """Platform with paper speeds but a registry-built availability substrate.
 
-    if spec.kind == "markov":
-
-        def scalar(name: str, default: float) -> float:
-            value = spec.get(name, default)
-            if isinstance(value, tuple):
-                raise ExperimentError(
-                    f"markov availability parameter {name!r} is a scalar — "
-                    f"[stay_low, stay_high] is already the per-processor range "
-                    f"(got {list(value)!r})"
-                )
-            return float(value)
-
-        platform_spec = replace(
-            platform_spec,
-            stay_low=scalar("stay_low", platform_spec.stay_low),
-            stay_high=scalar("stay_high", platform_spec.stay_high),
-        )
-        return paper_platform(platform_spec, num_tasks=num_tasks, seed=seed)
-
-    if spec.kind == "semi-markov":
-
-        def factory(rng, count):
-            return [
-                SemiMarkovAvailabilityModel.desktop_grid(
-                    up_shape=_draw(rng, spec.get("up_shape", (0.5, 0.8)), "up_shape"),
-                    mean_up=_draw(rng, spec.get("mean_up", (25.0, 60.0)), "mean_up"),
-                    mean_reclaimed=_draw(
-                        rng, spec.get("mean_reclaimed", (2.0, 6.0)), "mean_reclaimed"
-                    ),
-                    mean_down=_draw(rng, spec.get("mean_down", (10.0, 30.0)), "mean_down"),
-                    reclaim_fraction=_draw(
-                        rng, spec.get("reclaim_fraction", (0.6, 0.85)), "reclaim_fraction"
-                    ),
-                )
-                for _ in range(count)
-            ]
-
-    elif spec.kind == "diurnal":
-
-        def factory(rng, count):
-            day_length = int(_draw(rng, spec.get("day_length", 96), "day_length"))
-            return [
-                DiurnalAvailabilityModel.office_hours(
-                    day_length=day_length,
-                    office_fraction=_draw(
-                        rng, spec.get("office_fraction", 0.4), "office_fraction"
-                    ),
-                    night_stay_up=_draw(rng, spec.get("night_stay_up", 0.995), "night_stay_up"),
-                    office_stay_up=_draw(
-                        rng, spec.get("office_stay_up", (0.88, 0.95)), "office_stay_up"
-                    ),
-                    phase_offset=int(rng.integers(0, day_length)),
-                )
-                for _ in range(count)
-            ]
-
-    elif spec.kind == "trace":
-        trace = _load_trace(str(spec.get("path")))
-        wrap = bool(spec.get("wrap", True))
-
-        def factory(rng, count):
-            return [
-                TraceAvailabilityModel(trace.row(index % trace.num_processors), wrap=wrap)
-                for index in range(count)
-            ]
-
-    else:  # pragma: no cover - guarded by AvailabilitySpec.__post_init__
-        raise ExperimentError(f"unknown availability kind {spec.kind!r}")
-
+    The substrate is looked up in
+    :data:`repro.availability.registry.AVAILABILITY_MODELS` and its model
+    factory handed to :func:`~repro.platform.builders.availability_platform`,
+    which draws models first and speeds second from the scenario's seeded
+    generator — for ``markov`` this reproduces the
+    :func:`~repro.platform.builders.paper_platform` draws bit-for-bit.
+    """
+    factory = model_factory_for(spec)
     return availability_platform(
-        platform_spec, num_tasks=num_tasks, seed=seed, model_factory=factory
+        params.platform_spec(), num_tasks=num_tasks, seed=seed, model_factory=factory
     )
 
 

@@ -52,10 +52,11 @@ from repro.experiments.scenarios import (
     ExperimentScenario,
     generate_scenarios,
 )
+from repro.components import ComponentError
 from repro.scheduling.registry import (
     ALL_HEURISTICS,
-    EXTENSION_HEURISTIC_NAMES,
     TABLE2_HEURISTICS,
+    canonical_heuristic,
 )
 from repro.utils.serialization import content_hash
 
@@ -147,14 +148,22 @@ class CampaignSpec:
         )
         if not self.name:
             raise ExperimentError("spec name must be non-empty")
-        recognised = set(ALL_HEURISTICS) | set(EXTENSION_HEURISTIC_NAMES)
-        heuristics = tuple(str(h).upper() for h in self.heuristics)
-        unknown = [h for h in heuristics if h not in recognised]
+        # Heuristic expressions are validated against the component registry
+        # and canonicalized (case, aliases, argument order), so equivalent
+        # spellings of a parameterized heuristic produce identical cell
+        # enumerations and spec content hashes.
+        canonical: List[str] = []
+        unknown: List[str] = []
+        for heuristic in self.heuristics:
+            try:
+                canonical.append(canonical_heuristic(str(heuristic)))
+            except ComponentError:
+                unknown.append(str(heuristic))
         if unknown:
             raise ExperimentError(f"unknown heuristics in spec: {unknown}")
-        if not heuristics:
+        if not canonical:
             raise ExperimentError("spec must name at least one heuristic")
-        object.__setattr__(self, "heuristics", heuristics)
+        object.__setattr__(self, "heuristics", tuple(canonical))
         counts = ("scenarios_per_cell", "trials_per_scenario", "iterations", "makespan_cap")
         for field_name in counts:
             if int(getattr(self, field_name)) < 1:

@@ -13,7 +13,9 @@ Seventeen heuristics are provided, exactly matching the paper's evaluation:
   one when the candidate scores strictly better.
 
 Use :func:`create_scheduler` (or :data:`ALL_HEURISTICS`) to instantiate them
-by name.
+by name; extension heuristics and user plugins registered with
+:func:`register_heuristic` are accepted too, including parameterized
+expressions such as ``"THRESHOLD-IE(tau=0.5)"``.
 """
 
 from repro.scheduling.allocation import IncrementalAllocator
@@ -26,9 +28,15 @@ from repro.scheduling.proactive import ProactiveHeuristic
 from repro.scheduling.random_heuristic import RandomScheduler
 from repro.scheduling.registry import (
     ALL_HEURISTICS,
+    EXTENSION_HEURISTIC_NAMES,
+    HEURISTICS,
     PASSIVE_HEURISTICS,
     PROACTIVE_HEURISTICS,
+    available_heuristics,
+    canonical_heuristic,
     create_scheduler,
+    heuristic_info,
+    register_heuristic,
 )
 
 __all__ = [
@@ -40,7 +48,13 @@ __all__ = [
     "ProactiveHeuristic",
     "RandomScheduler",
     "create_scheduler",
+    "register_heuristic",
+    "available_heuristics",
+    "canonical_heuristic",
+    "heuristic_info",
+    "HEURISTICS",
     "ALL_HEURISTICS",
     "PASSIVE_HEURISTICS",
     "PROACTIVE_HEURISTICS",
+    "EXTENSION_HEURISTIC_NAMES",
 ]

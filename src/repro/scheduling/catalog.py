@@ -1,0 +1,64 @@
+"""The heuristic component registry instance and its registration decorator.
+
+Kept in its own module (rather than :mod:`repro.scheduling.registry`) so
+that heuristic implementation modules can self-register with
+:func:`register_heuristic` without importing the registry's public API —
+which itself imports the implementation modules.  User code should import
+from :mod:`repro.scheduling.registry` (or :mod:`repro.api`); this module is
+the plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.components import ComponentRegistry
+
+__all__ = [
+    "HEURISTICS",
+    "register_heuristic",
+    "FAMILY_BASELINE",
+    "FAMILY_PASSIVE",
+    "FAMILY_PROACTIVE",
+    "FAMILY_EXTENSION",
+]
+
+#: Heuristic family labels (the paper's taxonomy plus this repo's extensions).
+FAMILY_BASELINE = "baseline"
+FAMILY_PASSIVE = "passive"
+FAMILY_PROACTIVE = "proactive"
+FAMILY_EXTENSION = "extension"
+
+#: The single source of truth for every scheduler construction path:
+#: ``create_scheduler``, CLI listings, campaign-spec validation and the
+#: ``repro.api`` facade all query this registry.
+HEURISTICS = ComponentRegistry("heuristic")
+
+
+def register_heuristic(
+    name: str,
+    factory: Optional[Callable] = None,
+    *,
+    family: str,
+    description: str = "",
+    paper: bool = False,
+    aliases: Optional[Mapping[str, str]] = None,
+):
+    """Register a scheduler factory under a heuristic name (decorator-friendly).
+
+    ``factory`` may be a :class:`~repro.scheduling.base.Scheduler` subclass
+    or any callable returning one; its keyword parameters (with scalar type
+    annotations) become the expression grammar's accepted arguments, so
+    ``@register_heuristic("THRESHOLD-IE", ...)`` on a class with
+    ``__init__(self, threshold: float = 0.5)`` makes
+    ``"THRESHOLD-IE(threshold=0.7)"`` a valid heuristic expression.
+    ``aliases`` maps alternative argument spellings to parameter names.
+    """
+    return HEURISTICS.register(
+        name,
+        factory,
+        family=family,
+        description=description,
+        paper=paper,
+        aliases=aliases,
+    )

@@ -17,9 +17,13 @@ Section V.  Implementing a couple of them gives useful comparison points:
   on failure, picking workers by speed; isolates the value of the Section V
   estimators from the value of merely "not moving around".
 
-These heuristics are *not* part of the paper's evaluation; they are exposed
-through :func:`repro.scheduling.registry.create_scheduler` under the names
-above so the experiment harness can include them in extension studies.
+These heuristics are *not* part of the paper's evaluation; they register
+themselves with the component registry (family ``"extension"``) so
+:func:`repro.scheduling.registry.create_scheduler` and the experiment
+harness can include them in extension studies.  Each exposes its tuning
+knobs through the heuristic expression grammar — ``"FAST(k=8)"``,
+``"THRESHOLD-IE(tau=0.7)"``, ``"STICKY(patience=3)"`` — with defaults that
+reproduce the unparameterized behaviour bit-for-bit.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from typing import List, Optional
 
 from repro.application.configuration import Configuration
 from repro.scheduling.base import Observation, Scheduler
+from repro.scheduling.catalog import FAMILY_EXTENSION, register_heuristic
 from repro.scheduling.passive import make_passive_heuristic
 
 __all__ = [
@@ -70,11 +75,31 @@ def _fill_by_priority(
     return Configuration(allocation)
 
 
+@register_heuristic(
+    "FAST",
+    family=FAMILY_EXTENSION,
+    description="fastest UP workers, one task each; ignores reliability entirely",
+)
 class FastestWorkersScheduler(Scheduler):
-    """Enrol the fastest UP workers, one task each, ignoring reliability."""
+    """Enrol the fastest UP workers, one task each, ignoring reliability.
+
+    Parameters
+    ----------
+    k:
+        Size of the preferred worker pool.  ``None`` (the default) enrols
+        one worker per task exactly as before; smaller values concentrate
+        the tasks on the ``k`` fastest workers, larger values spread the
+        spill-over wider before falling back to every UP worker.
+    """
 
     name = "FAST"
     passive_between_rebuilds = True
+
+    def __init__(self, k: Optional[int] = None) -> None:
+        super().__init__()
+        if k is not None and k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = None if k is None else int(k)
 
     def select(self, observation: Observation) -> Configuration:
         self._require_bound()
@@ -82,15 +107,22 @@ class FastestWorkersScheduler(Scheduler):
             return observation.current_configuration
         up_workers = observation.up_workers()
         ordered = sorted(up_workers, key=lambda w: (self.platform.processor(w).speed, w))
-        num_tasks = self.application.tasks_per_iteration
+        pool = self.k if self.k is not None else self.application.tasks_per_iteration
         # Use as few (fast) workers as possible: one task each on the m fastest,
         # spilling over onto them again if there are fewer than m UP workers.
-        configuration = _fill_by_priority(self, observation, ordered[:num_tasks] or ordered)
+        configuration = _fill_by_priority(self, observation, ordered[:pool] or ordered)
         if configuration is None:
             configuration = _fill_by_priority(self, observation, ordered)
         return configuration if configuration is not None else Configuration.empty()
 
 
+@register_heuristic(
+    "THRESHOLD-IE",
+    family=FAMILY_EXTENSION,
+    description="drop processors below a long-run availability threshold, "
+    "then apply the paper's IE placement",
+    aliases={"tau": "threshold"},
+)
 class ThresholdScheduler(Scheduler):
     """Filter out low-availability processors, then apply IE placement.
 
@@ -98,7 +130,9 @@ class ThresholdScheduler(Scheduler):
     ----------
     threshold:
         Minimum long-run availability (stationary probability of UP under the
-        processor's Markov approximation) required to be considered.
+        processor's Markov approximation) required to be considered.  The
+        expression grammar also accepts it as ``tau``
+        (``"THRESHOLD-IE(tau=0.5)"``).
     """
 
     passive_between_rebuilds = True
@@ -143,6 +177,12 @@ class ThresholdScheduler(Scheduler):
         return configuration if configuration is not None else Configuration.empty()
 
 
+@register_heuristic(
+    "STICKY",
+    family=FAMILY_EXTENSION,
+    description="keep the first feasible configuration; rebuild by speed "
+    "only on failure, preferring surviving workers while patience lasts",
+)
 class StickyScheduler(Scheduler):
     """Keep the first feasible configuration found; rebuild only on failure.
 
@@ -151,10 +191,31 @@ class StickyScheduler(Scheduler):
     availability information at all — this isolates how much of the paper's
     improvement comes from the probabilistic estimators rather than from mere
     configuration stability.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive forced rebuilds during which the scheduler
+        repairs incrementally — surviving workers of the previous
+        configuration keep priority over faster newcomers — before the next
+        rebuild re-sorts every UP worker from scratch.  ``0`` (the default)
+        always rebuilds from scratch, which is the original behaviour.
     """
 
     name = "STICKY"
     passive_between_rebuilds = True
+
+    def __init__(self, patience: int = 0) -> None:
+        super().__init__()
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
+        self.patience = int(patience)
+        self._previous_workers: List[int] = []
+        self._repairs = 0
+
+    def reset(self) -> None:
+        self._previous_workers = []
+        self._repairs = 0
 
     def select(self, observation: Observation) -> Configuration:
         self._require_bound()
@@ -163,5 +224,18 @@ class StickyScheduler(Scheduler):
         ordered = sorted(
             observation.up_workers(), key=lambda w: (self.platform.processor(w).speed, w)
         )
+        if self.patience > 0:
+            up_set = set(ordered)
+            survivors = [w for w in self._previous_workers if w in up_set]
+            if survivors and self._repairs < self.patience:
+                self._repairs += 1
+                survivor_set = set(survivors)
+                ordered = survivors + [w for w in ordered if w not in survivor_set]
+            else:
+                self._repairs = 0
         configuration = _fill_by_priority(self, observation, ordered)
-        return configuration if configuration is not None else Configuration.empty()
+        if configuration is None:
+            return Configuration.empty()
+        if self.patience > 0:
+            self._previous_workers = [w for w in ordered if w in configuration]
+        return configuration

@@ -83,9 +83,42 @@ class TestCommands:
     def test_heuristics_lists_all(self, capsys):
         assert main(["heuristics"]) == 0
         out = capsys.readouterr().out
+        # The listing covers the paper's seventeen AND the extensions, with
+        # family / parameter / description columns.
         assert "RANDOM" in out
         assert "Y-IE" in out
-        assert len(out.strip().splitlines()) == 17
+        assert "THRESHOLD-IE" in out
+        assert "threshold: float = 0.5" in out
+        assert "alias: tau" in out
+        assert "proactive" in out
+
+    def test_heuristics_names_only_matches_registry(self, capsys):
+        from repro.scheduling.registry import available_heuristics
+
+        assert main(["heuristics", "--names-only"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines() == available_heuristics()
+
+    def test_heuristics_family_filter(self, capsys):
+        assert main(["heuristics", "--family", "extension", "--names-only"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines() == ["FAST", "THRESHOLD-IE", "STICKY"]
+        assert main(["heuristics", "--family", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown family" in err
+
+    def test_models_lists_substrates(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("markov", "semi-markov", "diurnal", "trace"):
+            assert kind in out
+        assert "mean_up" in out
+        assert "path: str" in out
+
+    def test_models_names_only(self, capsys):
+        assert main(["models", "--names-only"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines() == ["markov", "semi-markov", "diurnal", "trace"]
 
     def test_offline_command(self, capsys):
         assert main(["offline", "--left", "5", "--right", "6", "--a", "2", "--b", "2",

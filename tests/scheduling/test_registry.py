@@ -11,7 +11,13 @@ from repro.scheduling import (
 from repro.scheduling.passive import PassiveHeuristic
 from repro.scheduling.proactive import ProactiveHeuristic
 from repro.scheduling.random_heuristic import RandomScheduler
-from repro.scheduling.registry import TABLE2_HEURISTICS, available_heuristics
+from repro.scheduling.registry import (
+    EXTENSION_HEURISTIC_NAMES,
+    TABLE2_HEURISTICS,
+    available_heuristics,
+    canonical_heuristic,
+    heuristic_info,
+)
 
 
 class TestRegistry:
@@ -59,5 +65,62 @@ class TestRegistry:
         with pytest.raises(ValueError):
             create_scheduler(name)
 
-    def test_available_heuristics(self):
-        assert available_heuristics() == list(ALL_HEURISTICS)
+    def test_available_heuristics_includes_extensions(self):
+        names = available_heuristics()
+        # Paper heuristics first (in paper order), then every extension that
+        # create_scheduler accepts — the two lists can no longer drift apart.
+        assert names[: len(ALL_HEURISTICS)] == list(ALL_HEURISTICS)
+        assert set(names[len(ALL_HEURISTICS):]) == set(EXTENSION_HEURISTIC_NAMES)
+        for name in names:
+            assert create_scheduler(name).name == name
+
+    def test_available_heuristics_family_filter(self):
+        assert available_heuristics(family="passive") == list(PASSIVE_HEURISTICS)
+        assert available_heuristics(family="proactive") == list(PROACTIVE_HEURISTICS)
+        assert available_heuristics(family="baseline") == ["RANDOM"]
+        assert available_heuristics(family="extension") == list(EXTENSION_HEURISTIC_NAMES)
+
+    def test_heuristic_info_metadata(self):
+        info = heuristic_info("Y-IE")
+        assert info.family == "proactive" and info.paper
+        info = heuristic_info("THRESHOLD-IE(tau=0.9)")
+        assert info.family == "extension" and not info.paper
+        parameter = info.parameter("tau")
+        assert parameter is not None and parameter.name == "threshold"
+
+
+class TestParameterizedExpressions:
+    def test_threshold_alias_and_canonical_name(self):
+        scheduler = create_scheduler("threshold-ie( TAU = 0.7 )")
+        assert scheduler.threshold == 0.7
+        assert scheduler.name == "THRESHOLD-IE(threshold=0.7)"
+
+    def test_fast_pool_and_sticky_patience(self):
+        assert create_scheduler("FAST(k=8)").k == 8
+        assert create_scheduler("STICKY(patience=3)").patience == 3
+        assert create_scheduler("FAST").k is None
+        assert create_scheduler("STICKY").patience == 0
+
+    def test_canonical_is_stable_across_spellings(self):
+        spellings = [
+            "THRESHOLD-IE(tau=0.5)",
+            "threshold-ie(threshold=0.5)",
+            " THRESHOLD-IE ( threshold = 0.5 ) ",
+        ]
+        canonicals = {canonical_heuristic(text) for text in spellings}
+        assert canonicals == {"THRESHOLD-IE(threshold=0.5)"}
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "IE(x=1)",                      # IE takes no parameters
+            "THRESHOLD-IE(bogus=1)",        # unknown parameter
+            "THRESHOLD-IE(threshold=yes)",  # bad type (string for float)
+            "STICKY(patience=1.5)",         # bad type (float for int)
+            "FAST(k=8",                     # unterminated call
+            "THRESHOLD-IE(tau=0.1, threshold=0.2)",  # alias + canonical clash
+        ],
+    )
+    def test_invalid_expressions_rejected(self, expression):
+        with pytest.raises(ValueError):
+            create_scheduler(expression)

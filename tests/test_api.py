@@ -1,0 +1,319 @@
+"""Tests for the ``repro.api`` facade and registry-driven construction paths.
+
+The central guarantees:
+
+* every heuristic the registry resolves produces a scheduler whose
+  golden-seed simulation results are bit-identical to direct (pre-registry)
+  construction of the same policy;
+* parameterized heuristic expressions flow end-to-end through a
+  ``CampaignSpec`` → result store → tables pipeline under their canonical
+  names;
+* the facade's verbs wrap the engine/runner without changing results.
+"""
+
+import pytest
+
+from repro import api
+from repro.analysis.criteria import get_criterion
+from repro.application import Application
+from repro.experiments.runner import run_campaign_spec
+from repro.experiments.spec import CampaignSpec
+from repro.experiments.store import ResultStore
+from repro.experiments.tables import format_spec_report
+from repro.platform import PlatformSpec, paper_platform
+from repro.scheduling.extensions import (
+    FastestWorkersScheduler,
+    StickyScheduler,
+    ThresholdScheduler,
+)
+from repro.scheduling.passive import make_passive_heuristic
+from repro.scheduling.proactive import ProactiveHeuristic
+from repro.scheduling.random_heuristic import RandomScheduler
+from repro.scheduling.registry import (
+    ALL_HEURISTICS,
+    EXTENSION_HEURISTIC_NAMES,
+    PASSIVE_HEURISTICS,
+    create_scheduler,
+)
+from repro.simulation import simulate
+
+SEED = 1234
+PLATFORM_SEED = 99
+
+
+def small_platform():
+    return paper_platform(
+        PlatformSpec(num_processors=10, ncom=5, wmin=1), num_tasks=4, seed=PLATFORM_SEED
+    )
+
+
+def small_application():
+    return Application(tasks_per_iteration=4, iterations=3)
+
+
+def _legacy_scheduler(name):
+    """Construct a scheduler the way the pre-registry code paths did."""
+    if name == "RANDOM":
+        return RandomScheduler()
+    if name in PASSIVE_HEURISTICS:
+        return make_passive_heuristic(name)
+    legacy_extensions = {
+        "FAST": FastestWorkersScheduler,
+        "THRESHOLD-IE": ThresholdScheduler,
+        "STICKY": StickyScheduler,
+    }
+    if name in legacy_extensions:
+        return legacy_extensions[name]()
+    criterion, _, passive = name.partition("-")
+    return ProactiveHeuristic(
+        get_criterion(criterion), make_passive_heuristic(passive), name=name
+    )
+
+
+def _fingerprint(result):
+    return (
+        result.success,
+        result.makespan,
+        result.completed_iterations,
+        result.total_restarts,
+        result.total_configuration_changes,
+    )
+
+
+class TestGoldenSeedEquivalence:
+    @pytest.mark.parametrize("name", list(ALL_HEURISTICS) + list(EXTENSION_HEURISTIC_NAMES))
+    def test_registry_path_matches_direct_construction(self, name):
+        platform = small_platform()
+        application = small_application()
+        via_registry = simulate(
+            platform, application, create_scheduler(name), seed=SEED, max_slots=30_000
+        )
+        direct = simulate(
+            platform, application, _legacy_scheduler(name), seed=SEED, max_slots=30_000
+        )
+        assert _fingerprint(via_registry) == _fingerprint(direct)
+
+    def test_default_parameters_match_bare_name(self):
+        # Explicit defaults construct the same policy; only the recorded name
+        # (the canonical expression) differs.
+        platform = small_platform()
+        application = small_application()
+        bare = simulate(
+            platform, application, create_scheduler("THRESHOLD-IE"),
+            seed=SEED, max_slots=30_000,
+        )
+        explicit = simulate(
+            platform, application, create_scheduler("THRESHOLD-IE(tau=0.5)"),
+            seed=SEED, max_slots=30_000,
+        )
+        assert _fingerprint(bare) == _fingerprint(explicit)
+        assert explicit.scheduler == "THRESHOLD-IE(threshold=0.5)"
+
+    def test_api_run_matches_engine(self):
+        platform = small_platform()
+        engine_result = simulate(
+            platform, small_application(), create_scheduler("Y-IE"),
+            seed=SEED, max_slots=30_000,
+        )
+        facade_result = api.run(
+            "Y-IE",
+            m=4,
+            ncom=5,
+            wmin=1,
+            num_processors=10,
+            iterations=3,
+            seed=SEED,
+            platform_seed=PLATFORM_SEED,
+            max_slots=30_000,
+        )
+        assert _fingerprint(engine_result) == _fingerprint(facade_result.simulation)
+        assert facade_result.makespan == engine_result.makespan
+
+
+def _parameterized_spec():
+    return CampaignSpec(
+        name="param-pipeline",
+        m_values=(4,),
+        ncom_values=(5,),
+        wmin_values=(1,),
+        num_processors_values=(8,),
+        heuristics=("IE", "THRESHOLD-IE(tau=0.5)"),
+        scenarios_per_cell=1,
+        trials_per_scenario=2,
+        iterations=3,
+        makespan_cap=30_000,
+    )
+
+
+class TestParameterizedPipeline:
+    def test_spec_canonicalizes_heuristic_expressions(self):
+        spec = _parameterized_spec()
+        assert spec.heuristics == ("IE", "THRESHOLD-IE(threshold=0.5)")
+
+    def test_spec_hash_stable_across_spellings(self):
+        spellings = [
+            "THRESHOLD-IE(tau=0.5)",
+            "threshold-ie(threshold=0.5)",
+            " THRESHOLD-IE ( THRESHOLD = 0.5 ) ",
+        ]
+        hashes = set()
+        for spelling in spellings:
+            spec = CampaignSpec(
+                name="hash-check", heuristics=("IE", spelling), m_values=(4,)
+            )
+            hashes.add(spec.spec_hash())
+        assert len(hashes) == 1
+
+    def test_distinct_parameters_hash_differently(self):
+        hash_a = CampaignSpec(heuristics=("THRESHOLD-IE(tau=0.4)",)).spec_hash()
+        hash_b = CampaignSpec(heuristics=("THRESHOLD-IE(tau=0.6)",)).spec_hash()
+        assert hash_a != hash_b
+
+    def test_spec_to_store_to_tables(self, tmp_path):
+        """A parameterized expression runs end-to-end: spec → store → tables."""
+        spec = _parameterized_spec()
+        store = ResultStore.create(tmp_path / "store", spec)
+        try:
+            results = run_campaign_spec(spec, store=store)
+        finally:
+            store.close()
+        canonical = "THRESHOLD-IE(threshold=0.5)"
+        assert {r.heuristic for r in results} == {"IE", canonical}
+
+        reopened = ResultStore.open(tmp_path / "store")
+        try:
+            stored = reopened.results()
+            assert {r.heuristic for r in stored} == {"IE", canonical}
+            report = format_spec_report(stored, reopened.spec)
+        finally:
+            reopened.close()
+        assert canonical in report
+
+        # Resume is a no-op: every cell is already in the store.
+        resumed_store = ResultStore.open(tmp_path / "store")
+        try:
+            resumed = run_campaign_spec(spec, store=resumed_store)
+        finally:
+            resumed_store.close()
+        assert [_fingerprint_instance(r) for r in resumed] == [
+            _fingerprint_instance(r) for r in results
+        ]
+
+    def test_unknown_expression_rejected_by_spec(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="unknown heuristics"):
+            CampaignSpec(heuristics=("IE", "THRESHOLD-IE(bogus=3)"))
+
+
+def _fingerprint_instance(result):
+    return (result.heuristic, result.trial_index, result.success, result.makespan)
+
+
+class TestAvailabilitySpecNormalization:
+    def test_case_variant_parameter_reaches_builder(self):
+        from repro.experiments.scenarios import AvailabilitySpec
+
+        spec = AvailabilitySpec(kind="markov", parameters=(("Stay_Low", 0.5),))
+        # Stored under the registered spelling, so builders' get() finds it.
+        assert spec.parameters == (("stay_low", 0.5),)
+        assert spec.get("stay_low") == 0.5
+
+    def test_case_variant_required_parameter_accepted(self, tmp_path):
+        from repro.experiments.scenarios import AvailabilitySpec
+
+        path = tmp_path / "trace.json"
+        path.write_text('{"type": "trace", "rows": ["uuuu", "uuuu"]}')
+        spec = AvailabilitySpec(kind="trace", parameters=(("PATH", str(path)),))
+        assert spec.get("path") == str(path)
+
+    def test_duplicate_parameter_spellings_rejected(self):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.scenarios import AvailabilitySpec
+
+        with pytest.raises(ExperimentError, match="more than once"):
+            AvailabilitySpec(
+                kind="markov", parameters=(("stay_low", 0.5), ("STAY_LOW", 0.6))
+            )
+
+
+class TestFacadeVerbs:
+    def test_sweep_accepts_builtin_and_spec_objects(self):
+        by_name = api.sweep("smoke")
+        by_object = api.sweep(_parameterized_spec())
+        assert len(by_name) == 4  # smoke: 1 scenario x 2 trials x 2 heuristics
+        assert {r.heuristic for r in by_object.results} == {
+            "IE",
+            "THRESHOLD-IE(threshold=0.5)",
+        }
+        assert by_object.table()
+
+    def test_sweep_with_store_resumes(self, tmp_path):
+        first = api.sweep(_parameterized_spec(), store=tmp_path / "sweep")
+        second = api.sweep(_parameterized_spec(), store=tmp_path / "sweep")
+        assert [_fingerprint_instance(r) for r in first.results] == [
+            _fingerprint_instance(r) for r in second.results
+        ]
+
+    def test_sweep_rejects_unknown_source(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="unknown campaign spec"):
+            api.sweep("definitely-not-a-spec")
+
+    def test_compare_ranks_with_parameterized_heuristics(self):
+        comparison = api.compare(
+            ["IE", "RANDOM", "THRESHOLD-IE(tau=0.5)"],
+            m=4,
+            ncom=5,
+            wmin=1,
+            num_processors=8,
+            scenarios=1,
+            trials=2,
+            iterations=3,
+            makespan_cap=30_000,
+        )
+        names = {name for name, _ in comparison.ranking()}
+        assert names == {"IE", "RANDOM", "THRESHOLD-IE(threshold=0.5)"}
+        assert comparison.best() in names
+        assert "RANDOM" in comparison.table()
+
+    def test_compare_without_reference_heuristic(self):
+        # 'IE' absent: the reference falls back to the first heuristic listed.
+        comparison = api.compare(
+            ["RANDOM", "Y-IE"],
+            m=4, ncom=5, wmin=1, num_processors=8,
+            scenarios=1, trials=2, iterations=3, makespan_cap=30_000,
+        )
+        assert comparison.reference == "RANDOM"
+        assert {name for name, _ in comparison.ranking()} == {"RANDOM", "Y-IE"}
+
+    def test_compare_with_explicit_reference(self):
+        comparison = api.compare(
+            ["RANDOM", "Y-IE"],
+            reference="y-ie",
+            m=4, ncom=5, wmin=1, num_processors=8,
+            scenarios=1, trials=2, iterations=3, makespan_cap=30_000,
+        )
+        assert comparison.reference == "Y-IE"
+        reference_row = [s for s in comparison.summaries if s.heuristic == "Y-IE"][0]
+        assert reference_row.pct_diff == 0.0
+
+    def test_compare_rejects_absent_reference(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="not among the compared"):
+            api.compare(["RANDOM"], reference="IE", m=4, scenarios=1, trials=1)
+
+    def test_run_rejects_platform_plus_availability(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="not both"):
+            api.run("IE", platform=small_platform(), availability={"kind": "diurnal"})
+
+    def test_discovery_lists_components(self):
+        heuristic_names = [info.name for info in api.heuristics()]
+        assert set(ALL_HEURISTICS).issubset(heuristic_names)
+        assert set(EXTENSION_HEURISTIC_NAMES).issubset(heuristic_names)
+        model_names = [info.name for info in api.availability_models()]
+        assert model_names == ["markov", "semi-markov", "diurnal", "trace"]

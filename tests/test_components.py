@@ -1,0 +1,231 @@
+"""Tests for the component registry core and the expression grammar."""
+
+import pytest
+
+from repro.components import (
+    REQUIRED,
+    ComponentError,
+    ComponentExpression,
+    ComponentParameter,
+    ComponentRegistry,
+    parse_expression,
+)
+
+
+# ----------------------------------------------------------------------
+# Grammar: parsing and canonical round-trips
+# ----------------------------------------------------------------------
+class TestParseExpression:
+    @pytest.mark.parametrize(
+        "text, name, arguments",
+        [
+            ("IE", "IE", ()),
+            ("Y-IE", "Y-IE", ()),
+            ("FAST()", "FAST", ()),
+            ("FAST(k=8)", "FAST", (("k", 8),)),
+            ("x(a=1,b=2.5)", "x", (("a", 1), ("b", 2.5))),
+            ("t(flag=true, other=FALSE)", "t", (("flag", True), ("other", False))),
+            ("t(path='a b.json')", "t", (("path", "a b.json"),)),
+            ('t(path="runs/trace.json")', "t", (("path", "runs/trace.json"),)),
+            ("t(name=bare-word.v2)", "t", (("name", "bare-word.v2"),)),
+            ("  spaced ( a = -3 ,  b = 1e-2 ) ", "spaced", (("a", -3), ("b", 0.01))),
+        ],
+    )
+    def test_parse(self, text, name, arguments):
+        expression = parse_expression(text)
+        assert expression.name == name
+        assert expression.arguments == arguments
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(k=1)",
+            "FAST(k=8",          # unterminated call
+            "FAST)k=8(",
+            "FAST(8)",           # positional arguments are not allowed
+            "FAST(k)",           # missing value
+            "FAST(k=1, k=2)",    # duplicate key
+            "FAST(k=')",         # unterminated string
+            "FAST(k=@)",         # unparseable value
+            "FAST(1k=2)",        # invalid identifier
+            "42(k=1)",           # names must start with a letter
+        ],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ComponentError):
+            parse_expression(text)
+
+    def test_parse_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            parse_expression("???")
+
+    @pytest.mark.parametrize(
+        "text",
+        ["IE", "FAST(k=8)", "t(a=0.5,b=true,c=hello)", 't(p="a, b")'],
+    )
+    def test_canonical_round_trip(self, text):
+        once = parse_expression(text)
+        canonical = once.canonical()
+        again = parse_expression(canonical)
+        assert again.name == once.name
+        assert again.arguments == once.arguments
+        assert again.canonical() == canonical
+
+    def test_quoted_string_with_comma_survives(self):
+        expression = parse_expression('t(p="a, b=c")')
+        assert expression.arguments == (("p", "a, b=c"),)
+
+    def test_strings_with_quotes_round_trip(self):
+        # The grammar has no escapes: a string with one quote kind is wrapped
+        # in the other, and canonical output must re-parse to the same value.
+        for value in ['a"b', "a'b", "plain space"]:
+            canonical = ComponentExpression("X", (("s", value),)).canonical()
+            assert parse_expression(canonical).arguments == (("s", value),)
+
+    def test_string_with_both_quote_kinds_is_rejected_loudly(self):
+        with pytest.raises(ComponentError, match="both quote characters"):
+            ComponentExpression("X", (("s", "a\"b'c"),)).canonical()
+
+
+# ----------------------------------------------------------------------
+# Registry: registration, introspection, resolution
+# ----------------------------------------------------------------------
+class Widget:
+    def __init__(self, size: int = 3, ratio: float = 0.5, label: str = "w",
+                 fancy: bool = False):
+        self.size, self.ratio, self.label, self.fancy = size, ratio, label, fancy
+
+
+def make_registry() -> ComponentRegistry:
+    registry = ComponentRegistry("widget")
+    registry.register(
+        "WIDGET",
+        Widget,
+        family="test",
+        description="a widget",
+        aliases={"s": "size"},
+    )
+    return registry
+
+
+class TestRegistry:
+    def test_parameters_introspected_from_signature(self):
+        info = make_registry().get("widget")
+        by_name = {p.name: p for p in info.parameters}
+        assert by_name["size"].kind is int and by_name["size"].default == 3
+        assert by_name["ratio"].kind is float
+        assert by_name["label"].kind is str
+        assert by_name["fancy"].kind is bool
+        assert by_name["size"].aliases == ("s",)
+
+    def test_create_with_coercion(self):
+        registry = make_registry()
+        widget = registry.create("WIDGET(s=5, ratio=1, fancy=true, label=hi)")
+        assert widget.size == 5
+        assert widget.ratio == 1.0 and isinstance(widget.ratio, float)
+        assert widget.fancy is True and widget.label == "hi"
+
+    def test_canonical_sorts_and_resolves_aliases(self):
+        registry = make_registry()
+        assert (
+            registry.canonical("widget( ratio = 0.25 , s = 1 )")
+            == "WIDGET(ratio=0.25,size=1)"
+        )
+
+    def test_lookup_is_case_insensitive_but_canonical_spelling_wins(self):
+        registry = make_registry()
+        assert "widget" in registry and "WIDGET" in registry
+        assert registry.resolve("wIdGeT").name == "WIDGET"
+
+    def test_unknown_component(self):
+        with pytest.raises(ComponentError, match="unknown widget"):
+            make_registry().resolve("GADGET")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ComponentError, match="unknown parameter"):
+            make_registry().resolve("WIDGET(bogus=1)")
+
+    @pytest.mark.parametrize(
+        "expression, match",
+        [
+            ("WIDGET(size=2.5)", "expects int"),
+            ("WIDGET(size=true)", "expects int"),
+            ("WIDGET(ratio=hello)", "expects float"),
+            ("WIDGET(fancy=1)", "expects bool"),
+            ("WIDGET(label=3)", "expects str"),
+        ],
+    )
+    def test_bad_types(self, expression, match):
+        with pytest.raises(ComponentError, match=match):
+            make_registry().resolve(expression)
+
+    def test_alias_and_canonical_together_rejected(self):
+        with pytest.raises(ComponentError, match="more than once"):
+            make_registry().resolve("WIDGET(s=1, size=2)")
+
+    def test_required_parameters_enforced(self):
+        registry = ComponentRegistry("thing")
+
+        def factory(path: str):
+            return path
+
+        registry.register("NEEDY", factory, family="test")
+        with pytest.raises(ComponentError, match="missing required"):
+            registry.resolve("NEEDY")
+        assert registry.create("NEEDY(path=x.json)") == "x.json"
+
+    def test_duplicate_registration_rejected(self):
+        registry = make_registry()
+        with pytest.raises(ComponentError, match="already registered"):
+            registry.register("widget", Widget, family="test")
+
+    def test_decorator_form(self):
+        registry = ComponentRegistry("thing")
+
+        @registry.register("DECORATED", family="test", description="via decorator")
+        class Thing:
+            def __init__(self, n: int = 1):
+                self.n = n
+
+        assert registry.create("DECORATED(n=4)").n == 4
+        assert registry.get("DECORATED").description == "via decorator"
+
+    def test_names_families_and_infos(self):
+        registry = ComponentRegistry("thing")
+        registry.register("A", lambda: 1, family="x")
+        registry.register("B", lambda: 2, family="y")
+        registry.register("C", lambda: 3, family="x")
+        assert registry.names() == ["A", "B", "C"]
+        assert registry.names(family="x") == ["A", "C"]
+        assert registry.families() == ["x", "y"]
+        assert [info.name for info in registry.infos("y")] == ["B"]
+
+    def test_explicit_parameter_specs_skip_introspection(self):
+        registry = ComponentRegistry("thing")
+        registry.register(
+            "RANGED",
+            lambda spec: spec,
+            family="test",
+            parameters=(
+                ComponentParameter("mean", float, default=(1.0, 2.0)),
+                ComponentParameter("path", str),
+            ),
+        )
+        info = registry.get("RANGED")
+        assert info.parameter("mean").default == (1.0, 2.0)
+        assert info.parameter("path").required
+        assert info.parameter("path").default is REQUIRED
+        # the range default renders in spec-file spelling
+        assert "mean: float = [1.0, 2.0]" in info.signature()
+
+
+class TestComponentExpression:
+    def test_canonical_of_bare_name(self):
+        assert ComponentExpression("IE").canonical() == "IE"
+
+    def test_canonical_value_formats(self):
+        expression = ComponentExpression(
+            "X", (("a", True), ("b", 0.5), ("c", 3), ("d", "plain"), ("e", "a b"))
+        )
+        assert expression.canonical() == 'X(a=true,b=0.5,c=3,d=plain,e="a b")'
