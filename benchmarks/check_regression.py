@@ -1,22 +1,33 @@
-"""CI benchmark-regression gate for the simulation engine.
+"""CI benchmark-regression gate for the tracked benchmark reports.
 
-Compares a fresh ``bench_simulator.py`` throughput report against the
-committed baseline (``benchmarks/results/BENCH_simulator.json``) and exits
-non-zero if slots/sec dropped by more than the allowed fraction (default
-25%) on any (heuristic, mode) pair present in both reports.
+Compares fresh benchmark reports against the committed baselines under
+``benchmarks/results/`` and exits non-zero if a tracked throughput metric
+dropped by more than the allowed fraction (default 25%) on any key present
+in both reports.  The gate is benchmark-agnostic: every ``BENCH_*.json``
+report declares its kind in a ``benchmark`` field, and the schema registry
+below says which fields identify a run and which field is the throughput
+metric.
 
-Typical CI usage (two steps, so the measurement is reusable as an artifact)::
+Typical CI usage (measure first, so the JSONs are reusable as artifacts)::
 
     PYTHONPATH=src python benchmarks/bench_simulator.py --output bench_current.json
-    PYTHONPATH=src python benchmarks/check_regression.py --current bench_current.json
+    PYTHONPATH=src python benchmarks/bench_analysis.py --output bench_analysis_current.json
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --pair benchmarks/results/BENCH_simulator.json bench_current.json \
+        --pair benchmarks/results/BENCH_analysis.json bench_analysis_current.json \
+        --summary "$GITHUB_STEP_SUMMARY"
 
-Run without ``--current`` to measure in-process (``--slots``/``--repeats``
-control the sweep size).  ``--max-drop`` takes a fraction, e.g. ``0.25``.
+The single-pair form ``--baseline X --current Y`` is still supported; run
+with neither ``--current`` nor ``--pair`` to measure the simulator sweep
+in-process (``--slots``/``--repeats`` control its size).  ``--max-drop``
+takes a fraction, e.g. ``0.25``.  ``--summary PATH`` appends a markdown
+delta table (baseline vs current, percent change) to *PATH* — pass
+``$GITHUB_STEP_SUMMARY`` in CI.
 
-The gate compares like with like — the per-(heuristic, mode) slots/sec of
-the same workload — so it catches engine regressions.  It cannot distinguish
-a slow runner from a slow engine; if CI hardware changes class, refresh the
-baseline by committing a new ``BENCH_simulator.json`` from that hardware.
+The gate compares like with like — the per-key throughput of the same
+workload — so it catches code regressions.  It cannot distinguish a slow
+runner from slow code; if CI hardware changes class, refresh the baselines
+by committing new ``BENCH_*.json`` files from that hardware.
 """
 
 from __future__ import annotations
@@ -25,18 +36,32 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 DEFAULT_BASELINE = Path(__file__).parent / "results" / "BENCH_simulator.json"
 DEFAULT_MAX_DROP = 0.25
 
+#: benchmark name -> (fields identifying one run, throughput metric field).
+REPORT_SCHEMAS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "simulator_throughput": (("heuristic", "mode"), "slots_per_second"),
+    "analysis_throughput": (("case", "variant"), "ops_per_second"),
+}
 
-def _throughputs(report: dict) -> Dict[Tuple[str, str], float]:
-    """Map (heuristic, mode) -> slots/sec from a bench_simulator report."""
-    if report.get("benchmark") != "simulator_throughput":
-        raise ValueError(f"not a simulator throughput report: {report.get('benchmark')!r}")
+
+def _schema(report: dict) -> Tuple[Tuple[str, ...], str]:
+    kind = report.get("benchmark")
+    try:
+        return REPORT_SCHEMAS[kind]
+    except KeyError:
+        known = ", ".join(sorted(REPORT_SCHEMAS))
+        raise ValueError(f"unknown benchmark report kind {kind!r} (known: {known})") from None
+
+
+def _throughputs(report: dict) -> Dict[Tuple[str, ...], float]:
+    """Map run-identity tuple -> throughput metric for any known report."""
+    key_fields, metric = _schema(report)
     return {
-        (run["heuristic"], run["mode"]): float(run["slots_per_second"])
+        tuple(str(run[field]) for field in key_fields): float(run[metric])
         for run in report.get("runs", [])
     }
 
@@ -46,98 +71,167 @@ def compare_reports(
 ) -> Tuple[List[str], List[str]]:
     """Return ``(failures, lines)`` comparing *current* against *baseline*.
 
-    ``failures`` lists every (heuristic, mode) pair whose throughput dropped
-    by more than ``max_drop`` (a fraction); ``lines`` is the full
-    human-readable comparison table.
+    ``failures`` lists every run key whose throughput dropped by more than
+    ``max_drop`` (a fraction); ``lines`` is the full human-readable
+    comparison table.
     """
     if not (0.0 < max_drop < 1.0):
         raise ValueError(f"max_drop must be a fraction in (0, 1), got {max_drop}")
+    if baseline.get("benchmark") != current.get("benchmark"):
+        raise ValueError(
+            f"cannot compare a {baseline.get('benchmark')!r} baseline against "
+            f"a {current.get('benchmark')!r} report"
+        )
+    key_fields, metric = _schema(baseline)
     base = _throughputs(baseline)
     fresh = _throughputs(current)
     common = sorted(set(base) & set(fresh))
     if not common:
-        raise ValueError("baseline and current reports share no (heuristic, mode) pairs")
+        raise ValueError("baseline and current reports share no run keys")
+    key_width = max(10, *(len(" ".join(key)) for key in common))
     failures: List[str] = []
     lines: List[str] = [
-        f"{'heuristic':<10} {'mode':<8} {'baseline':>12} {'current':>12} {'change':>8}"
+        f"[{baseline['benchmark']}] metric: {metric}",
+        f"{' '.join(key_fields):<{key_width}} {'baseline':>12} {'current':>12} {'change':>8}",
     ]
-    for heuristic, mode in common:
-        reference = base[(heuristic, mode)]
-        measured = fresh[(heuristic, mode)]
+    for key in common:
+        reference = base[key]
+        measured = fresh[key]
         change = (measured - reference) / reference
         verdict = ""
         if change < -max_drop:
             verdict = "  REGRESSION"
             failures.append(
-                f"{heuristic}/{mode}: {measured:.0f} slots/sec is "
+                f"{'/'.join(key)}: {measured:.0f} {metric} is "
                 f"{-100 * change:.1f}% below baseline {reference:.0f}"
             )
         lines.append(
-            f"{heuristic:<10} {mode:<8} {reference:>12.1f} {measured:>12.1f} "
+            f"{' '.join(key):<{key_width}} {reference:>12.1f} {measured:>12.1f} "
             f"{100 * change:>+7.1f}%{verdict}"
         )
     return failures, lines
 
 
-def main(argv=None) -> int:
+def summary_table(baseline: dict, current: dict, *, max_drop: float) -> List[str]:
+    """Markdown delta table for one report pair (``$GITHUB_STEP_SUMMARY``)."""
+    key_fields, metric = _schema(baseline)
+    base = _throughputs(baseline)
+    fresh = _throughputs(current)
+    common = sorted(set(base) & set(fresh))
+    lines = [
+        f"### {baseline['benchmark']} ({metric})",
+        "",
+        f"| {' '.join(key_fields)} | baseline | current | change |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for key in common:
+        reference = base[key]
+        measured = fresh[key]
+        change = (measured - reference) / reference
+        marker = " :warning:" if change < -max_drop else ""
+        lines.append(
+            f"| {' '.join(key)} | {reference:,.1f} | {measured:,.1f} "
+            f"| {100 * change:+.1f}%{marker} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _load(path: str) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--baseline", default=str(DEFAULT_BASELINE),
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
         help=f"committed baseline report (default: {DEFAULT_BASELINE})",
     )
     parser.add_argument(
-        "--current", default=None,
-        help="fresh report to check; omit to measure in-process",
+        "--current",
+        default=None,
+        help="fresh report to check; omit to measure the simulator in-process",
     )
     parser.add_argument(
-        "--max-drop", type=float, default=DEFAULT_MAX_DROP,
+        "--pair",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("BASELINE", "CURRENT"),
+        help="baseline/current report pair; repeatable, gates all pairs at once",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=DEFAULT_MAX_DROP,
         help=f"maximum tolerated fractional slowdown (default {DEFAULT_MAX_DROP})",
     )
     parser.add_argument(
-        "--slots", type=int, default=None,
+        "--summary",
+        default=None,
+        help="append a markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=None,
         help="slots per run when measuring in-process (default: the full workload)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=3,
+        "--repeats",
+        type=int,
+        default=3,
         help="best-of-N repeats when measuring in-process (default 3)",
     )
     args = parser.parse_args(argv)
 
+    pairs: List[Tuple[dict, dict]] = []
     try:
-        baseline = json.loads(Path(args.baseline).read_text())
+        for baseline_path, current_path in args.pair:
+            pairs.append((_load(baseline_path), _load(current_path)))
+        if not args.pair:
+            baseline = _load(args.baseline)
+            if args.current is not None:
+                current = _load(args.current)
+            else:
+                sys.path.insert(0, str(Path(__file__).parent))
+                from bench_simulator import THROUGHPUT_SLOTS, measure_throughput
+
+                current = measure_throughput(args.slots or THROUGHPUT_SLOTS, args.repeats)
+            pairs.append((baseline, current))
     except (OSError, json.JSONDecodeError) as error:
-        print(f"cannot read baseline {args.baseline}: {error}", file=sys.stderr)
+        print(f"cannot read report: {error}", file=sys.stderr)
         return 2
 
-    if args.current is not None:
+    failures: List[str] = []
+    summary_lines: List[str] = []
+    for baseline, current in pairs:
         try:
-            current = json.loads(Path(args.current).read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            print(f"cannot read current report {args.current}: {error}", file=sys.stderr)
+            pair_failures, lines = compare_reports(baseline, current, max_drop=args.max_drop)
+        except ValueError as error:
+            print(f"cannot compare reports: {error}", file=sys.stderr)
             return 2
-    else:
-        sys.path.insert(0, str(Path(__file__).parent))
-        from bench_simulator import THROUGHPUT_SLOTS, measure_throughput
+        failures.extend(pair_failures)
+        print("\n".join(lines))
+        print()
+        if args.summary:
+            summary_lines.extend(summary_table(baseline, current, max_drop=args.max_drop))
 
-        current = measure_throughput(args.slots or THROUGHPUT_SLOTS, args.repeats)
+    if args.summary and summary_lines:
+        with open(args.summary, "a") as handle:
+            handle.write("\n".join(["## Benchmark regression gate", ""] + summary_lines))
+            handle.write("\n")
 
-    try:
-        failures, lines = compare_reports(baseline, current, max_drop=args.max_drop)
-    except ValueError as error:
-        print(f"cannot compare reports: {error}", file=sys.stderr)
-        return 2
-
-    print("\n".join(lines))
     if failures:
         print(
-            f"\nFAIL: {len(failures)} throughput regression(s) beyond "
-            f"{100 * args.max_drop:.0f}%:",
+            f"FAIL: {len(failures)} throughput regression(s) beyond {100 * args.max_drop:.0f}%:",
             file=sys.stderr,
         )
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\nOK: no (heuristic, mode) pair dropped more than {100 * args.max_drop:.0f}%")
+    print(f"OK: no tracked run dropped more than {100 * args.max_drop:.0f}%")
     return 0
 
 

@@ -18,8 +18,13 @@ caches per-worker spectra and per-set group quantities, plus
 :class:`ConfigurationEstimate` (probability / expected time / yield).
 """
 
-from repro.analysis.cache import AnalysisContext
-from repro.analysis.communication import CommunicationEstimate, estimate_communication
+from repro.analysis.batch import BatchGroupAnalysis, BatchGroupQuantities
+from repro.analysis.cache import AnalysisContext, EvaluationRequest
+from repro.analysis.communication import (
+    CommunicationEstimate,
+    estimate_communication,
+    estimate_communication_batch,
+)
 from repro.analysis.criteria import (
     ApparentYieldCriterion,
     Criterion,
@@ -39,15 +44,19 @@ from repro.analysis.single import WorkerAnalysis
 
 __all__ = [
     "AnalysisContext",
+    "EvaluationRequest",
     "WorkerAnalysis",
     "GroupAnalysis",
     "GroupQuantities",
+    "BatchGroupAnalysis",
+    "BatchGroupQuantities",
     "ExpectationMode",
     "ExactGroupQuantities",
     "exact_group_quantities",
     "exact_expected_time",
     "CommunicationEstimate",
     "estimate_communication",
+    "estimate_communication_batch",
     "ConfigurationEstimate",
     "evaluate_configuration",
     "Criterion",

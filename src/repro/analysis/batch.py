@@ -1,0 +1,396 @@
+"""Batched evaluation of the Theorem 5.1 quantities over many worker sets.
+
+The heuristics of Section VI evaluate *frontiers* of candidate worker sets:
+the incremental allocator scores one candidate per eligible worker at every
+greedy step, and the proactive heuristics re-score the current and candidate
+configurations at every slot.  :class:`~repro.analysis.group.GroupAnalysis`
+computes each set one at a time — a dozen small NumPy calls per set — so for
+batch sizes typical of a 20-worker platform the Python/NumPy call overhead
+dominates the arithmetic.
+
+:class:`BatchGroupAnalysis` computes ``Eu / A / P₊ / E_c`` for a whole
+``(num_candidates, num_workers)`` membership batch at once:
+
+* the per-worker series ``P^{(q)}_{u →t u}`` live on a single shared
+  truncation-horizon grid (the per-worker caches of
+  :class:`~repro.analysis.single.WorkerAnalysis`, grown once to the largest
+  horizon of the batch and sliced per candidate);
+* candidates are grouped by truncation horizon and each group's prefix
+  products ``Π_q P^{(q)}_{u →t u}`` are formed as one ``(group, horizon)``
+  matrix, multiplied worker-major in ascending worker order;
+* the per-candidate ``λ₁`` products (which set the horizons) and the
+  stationary products of the no-failure closed form are likewise reduced
+  worker-major over the batch.
+
+**Bit-exactness.**  The batched kernels replay *exactly* the floating-point
+operations of the scalar path: worker-major ascending multiplication matches
+the scalar loop over ``sorted(workers)``, NumPy's pairwise summation along
+the last axis of a C-contiguous matrix is identical per-row to the 1-D sums
+the scalar path performs, and every elementwise combination uses the same
+expression shape.  A :class:`GroupQuantities` extracted from a batch row is
+therefore bit-identical to what ``GroupAnalysis.quantities`` returns for the
+same set, which is what lets the heuristics route their hot paths through
+the batch kernels without perturbing a single scheduling decision (pinned by
+``tests/analysis/test_batch.py`` and
+``tests/scheduling/test_batch_equivalence.py``).
+
+The log-domain per-worker ``λ₁`` reduction (`log_lambda_products`) is kept
+for diagnostics and for sizing the shared grid cheaply; the horizons
+themselves always come from the exact sequential products so they match the
+scalar path decision for decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.group import (
+    DEFAULT_MAX_HORIZON,
+    _NO_FAILURE_TOLERANCE,
+    ExpectationMode,
+    GroupQuantities,
+    truncation_horizon,
+)
+from repro.analysis.single import WorkerAnalysis
+
+__all__ = ["BatchGroupQuantities", "BatchGroupAnalysis"]
+
+#: Soft cap on the number of matrix elements materialised per horizon group;
+#: larger groups are processed in row chunks (chunking is row-independent, so
+#: it cannot affect the per-candidate results).
+_CHUNK_ELEMENTS = 4_194_304
+
+
+@dataclass(frozen=True)
+class BatchGroupQuantities:
+    """Structure-of-arrays form of :class:`GroupQuantities` for a batch.
+
+    All arrays are indexed by candidate position in the evaluated batch.
+    ``__getitem__`` materialises the scalar :class:`GroupQuantities` of one
+    candidate (bit-identical to the scalar path, see module docstring).
+    """
+
+    eu: np.ndarray
+    a: np.ndarray
+    p_plus: np.ndarray
+    e_c: np.ndarray
+    horizon: np.ndarray
+    can_fail: np.ndarray
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.eu.shape[0])
+
+    def __getitem__(self, index: int) -> GroupQuantities:
+        return GroupQuantities(
+            eu=float(self.eu[index]),
+            a=float(self.a[index]),
+            p_plus=float(self.p_plus[index]),
+            e_c=float(self.e_c[index]),
+            horizon=int(self.horizon[index]),
+            can_fail=bool(self.can_fail[index]),
+        )
+
+    # ------------------------------------------------------------------
+    def success_probability(self, workloads: Union[int, np.ndarray]) -> np.ndarray:
+        """Vectorised ``P₊^{W−1}`` per candidate (broadcasts *workloads*).
+
+        Matches :meth:`GroupQuantities.success_probability` to within one ulp
+        (NumPy's ``power`` may round differently from Python's ``**``); the
+        heuristics' pinned paths extract scalar quantities instead.
+        """
+        workloads = np.broadcast_to(
+            np.asarray(workloads, dtype=np.int64), self.eu.shape
+        )
+        if np.any(workloads < 0):
+            raise ValueError("workloads must be >= 0")
+        extra = np.maximum(workloads - 1, 0)
+        with np.errstate(invalid="ignore"):
+            result = np.power(self.p_plus, extra.astype(float))
+        return np.where(workloads <= 1, 1.0, result)
+
+    def expected_time(
+        self,
+        workloads: Union[int, np.ndarray],
+        mode: ExpectationMode = ExpectationMode.PAPER,
+    ) -> np.ndarray:
+        """Vectorised ``E^(S)(W)`` per candidate (same one-ulp caveat)."""
+        workloads = np.broadcast_to(
+            np.asarray(workloads, dtype=np.int64), self.eu.shape
+        )
+        if np.any(workloads < 0):
+            raise ValueError("workloads must be >= 0")
+        extra = np.maximum(workloads - 1, 0).astype(float)
+        with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+            if mode is ExpectationMode.PAPER:
+                values = (1.0 + extra * self.e_c) / np.power(self.p_plus, extra)
+            elif mode is ExpectationMode.RENEWAL:
+                values = 1.0 + extra * self.e_c / self.p_plus
+            else:
+                raise ValueError(f"unknown expectation mode {mode!r}")
+        values = np.where(self.p_plus <= 0.0, math.inf, values)
+        values = np.where(workloads == 1, 1.0, values)
+        return np.where(workloads == 0, 0.0, values)
+
+    def expected_gap(self) -> np.ndarray:
+        """Vectorised conditional gap ``E_c / P₊`` per candidate."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gaps = self.e_c / self.p_plus
+        return np.where(self.p_plus <= 0.0, math.inf, gaps)
+
+
+class BatchGroupAnalysis:
+    """Batched counterpart of :class:`~repro.analysis.group.GroupAnalysis`.
+
+    Parameters mirror :class:`GroupAnalysis`; the per-worker series caches
+    live in the shared :class:`WorkerAnalysis` objects, so a
+    ``BatchGroupAnalysis`` built from a ``GroupAnalysis``'s workers reuses
+    (and grows) the same shared truncation-horizon grid.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[WorkerAnalysis],
+        *,
+        epsilon: float = 1e-6,
+        max_horizon: int = DEFAULT_MAX_HORIZON,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        if max_horizon < 1:
+            raise ValueError(f"max_horizon must be >= 1, got {max_horizon}")
+        self._workers = list(workers)
+        self.epsilon = float(epsilon)
+        self.max_horizon = int(max_horizon)
+        self._lambda1 = np.array([w.lambda1 for w in self._workers])
+        self._worker_can_fail = np.array([w.can_fail() for w in self._workers])
+        self._horizon_memo: Dict[float, int] = {}
+        self._stationary: Optional[np.ndarray] = None
+        # Persistent shared grid: row q holds worker q's up-return series on
+        # the common horizon axis.  Grown geometrically and filled lazily per
+        # worker, so steady-state batch calls perform no series copies at all.
+        self._grid = np.empty((len(self._workers), 0))
+        self._grid_filled = np.zeros(len(self._workers), dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    # ------------------------------------------------------------------
+    def membership(self, sets: Sequence[Iterable[int]]) -> np.ndarray:
+        """``(num_candidates, num_workers)`` boolean membership matrix."""
+        matrix = np.zeros((len(sets), len(self._workers)), dtype=bool)
+        if sets:
+            try:  # uniform-size batches (e.g. frontiers) fill in one shot
+                ids = np.asarray(sets, dtype=np.int64)
+            except (TypeError, ValueError):
+                ids = None
+            if ids is not None and ids.ndim == 2 and ids.size:
+                if ids.min() < 0 or ids.max() >= len(self._workers):
+                    out_of_range = ids.min() if ids.min() < 0 else ids.max()
+                    raise IndexError(
+                        f"worker id {out_of_range} out of range for "
+                        f"{len(self._workers)} workers"
+                    )
+                matrix[np.arange(len(sets))[:, None], ids] = True
+                return matrix
+        for row, workers in enumerate(sets):
+            for worker in workers:
+                worker = int(worker)
+                if worker < 0 or worker >= len(self._workers):
+                    raise IndexError(
+                        f"worker id {worker} out of range for {len(self._workers)} workers"
+                    )
+                matrix[row, worker] = True
+        return matrix
+
+    def log_lambda_products(self, membership: np.ndarray) -> np.ndarray:
+        """Log-domain ``Σ_q∈S ln λ₁^{(q)}`` per candidate (diagnostics/sizing).
+
+        One matmul instead of a worker-major reduction; used to bound grid
+        sizes cheaply.  The exact (scalar-order) products drive the horizons.
+        """
+        with np.errstate(divide="ignore"):
+            logs = np.log(self._lambda1)
+        return np.asarray(membership, dtype=float) @ logs
+
+    # ------------------------------------------------------------------
+    def quantities(
+        self, sets_or_membership: Union[np.ndarray, Sequence[Iterable[int]]]
+    ) -> BatchGroupQuantities:
+        """Batched Theorem 5.1 quantities for all candidates.
+
+        Accepts either a boolean ``(num_candidates, num_workers)`` membership
+        matrix or a sequence of worker-id collections.
+        """
+        if isinstance(sets_or_membership, np.ndarray):
+            membership = np.asarray(sets_or_membership, dtype=bool)
+            if membership.ndim != 2 or membership.shape[1] != len(self._workers):
+                raise ValueError(
+                    f"membership must have shape (num_candidates, {len(self._workers)}), "
+                    f"got {membership.shape}"
+                )
+        else:
+            membership = self.membership(list(sets_or_membership))
+        return self._compute(membership)
+
+    # ------------------------------------------------------------------
+    def _horizon(self, lam: float) -> int:
+        cached = self._horizon_memo.get(lam)
+        if cached is None:
+            cached = truncation_horizon(lam, self.epsilon, max_horizon=self.max_horizon)
+            self._horizon_memo[lam] = cached
+        return cached
+
+    def _compute(self, membership: np.ndarray) -> BatchGroupQuantities:
+        count, _ = membership.shape
+        eu = np.full(count, math.inf)
+        a = np.full(count, math.inf)
+        p_plus = np.ones(count)
+        e_c = np.ones(count)
+        horizon = np.zeros(count, dtype=np.int64)
+        row_can_fail = (membership & self._worker_can_fail).any(axis=1)
+        if count == 0:
+            return BatchGroupQuantities(
+                eu=eu, a=a, p_plus=p_plus, e_c=e_c, horizon=horizon,
+                can_fail=row_can_fail,
+            )
+
+        # Flattened member lists: `cols[offsets[i]:offsets[i+1]]` are row i's
+        # workers in ascending order (np.nonzero is row-major), which is the
+        # very order the scalar path multiplies in.  All per-row products are
+        # then single `multiply.reduceat` calls — strictly sequential per
+        # segment, hence bit-identical to the scalar loops.
+        counts = membership.sum(axis=1)
+        _, cols = np.nonzero(membership)
+        offsets = np.zeros(count + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        empty = counts == 0
+
+        # --- closed-form rows: no member can fail (Kac's formula) ---------
+        no_failure = ~row_can_fail & ~empty
+        if no_failure.any():
+            if self._stationary is None:
+                self._stationary = np.array(
+                    [w.up_stationary_no_failure() for w in self._workers]
+                )
+            # The 1.0 sentinel keeps reduceat in-bounds for empty trailing
+            # segments; values of non-selected rows are discarded.
+            nf_rows = np.flatnonzero(no_failure)
+            stationary = np.multiply.reduceat(
+                np.append(self._stationary[cols], 1.0), offsets[:-1]
+            )[nf_rows]
+            with np.errstate(divide="ignore"):
+                values = np.divide(1.0, stationary)
+            e_c[nf_rows] = np.where(stationary <= 0.0, math.inf, values)
+
+        # --- truncated-series rows ----------------------------------------
+        failing = np.flatnonzero(row_can_fail)
+        if failing.size:
+            lam_all = np.multiply.reduceat(
+                np.append(self._lambda1[cols], 1.0), offsets[:-1]
+            )
+            lam = np.minimum(lam_all[failing], 1.0 - _NO_FAILURE_TOLERANCE)
+            horizons = np.fromiter(
+                (self._horizon(float(value)) for value in lam),
+                dtype=np.int64,
+                count=failing.size,
+            )
+            eu_f = np.empty(failing.size)
+            a_f = np.empty(failing.size)
+            # Shared grid: every involved worker's series up to the largest
+            # horizon; groups slice prefixes (position-wise identical to the
+            # per-set arrays the scalar path builds, because the series are
+            # per-t closed forms).
+            h_max = int(horizons.max())
+            t_all = np.arange(1, h_max + 1, dtype=float)
+            grid = self._ensure_grid(h_max, np.unique(cols))
+            sizes = counts[failing]
+            # Candidates sharing (horizon, set size) form one gather/reduce
+            # sub-batch; sorting brings them together.
+            order = np.lexsort((sizes, horizons))
+            start = 0
+            while start < order.size:
+                h = int(horizons[order[start]])
+                size = int(sizes[order[start]])
+                end = start
+                while (
+                    end < order.size
+                    and horizons[order[end]] == h
+                    and sizes[order[end]] == size
+                ):
+                    end += 1
+                group_rows = order[start:end]
+                self._series_sums(
+                    cols,
+                    offsets[failing[group_rows]],
+                    group_rows,
+                    h,
+                    size,
+                    grid,
+                    t_all,
+                    eu_f,
+                    a_f,
+                )
+                start = end
+            p_plus_f = eu_f / (1.0 + eu_f)
+            e_c_f = a_f * (1.0 - p_plus_f) / (1.0 + eu_f)
+            eu[failing] = eu_f
+            a[failing] = a_f
+            p_plus[failing] = p_plus_f
+            e_c[failing] = e_c_f
+            horizon[failing] = horizons
+
+        return BatchGroupQuantities(
+            eu=eu, a=a, p_plus=p_plus, e_c=e_c, horizon=horizon, can_fail=row_can_fail
+        )
+
+    def _ensure_grid(self, h_max: int, involved: np.ndarray) -> np.ndarray:
+        """Grow/fill the persistent series grid to cover *h_max* and *involved*."""
+        if h_max > self._grid.shape[1]:
+            capacity = max(h_max, (self._grid.shape[1] * 3) // 2)
+            self._grid = np.empty((len(self._workers), capacity))
+            self._grid_filled[:] = False
+        capacity = self._grid.shape[1]
+        for worker in involved:
+            if not self._grid_filled[worker]:
+                self._grid[worker] = self._workers[worker].up_return_array(capacity)
+                self._grid_filled[worker] = True
+        return self._grid
+
+    def _series_sums(
+        self,
+        cols: np.ndarray,
+        row_offsets: np.ndarray,
+        group_rows: np.ndarray,
+        h: int,
+        size: int,
+        grid: np.ndarray,
+        t_all: np.ndarray,
+        eu_out: np.ndarray,
+        a_out: np.ndarray,
+    ) -> None:
+        """``Eu`` / ``A`` for one (horizon, set size) sub-batch of candidates.
+
+        The member series of every candidate are gathered from the shared
+        grid as one ``(rows, size, h)`` tensor and reduced multiplicatively
+        over the member axis.  ``multiply.reduce`` is a strictly sequential
+        in-order reduction and the gathered members are in ascending worker
+        order (``np.nonzero`` is row-major), so each row replays the exact
+        operation sequence of ``GroupAnalysis._compute_with_failures``.
+        """
+        t_values = t_all[:h]
+        grid_h = grid[:, :h]
+        member_ids = cols[row_offsets[:, None] + np.arange(size)]
+        rows_per_chunk = max(1, _CHUNK_ELEMENTS // max(h * size, 1))
+        for start in range(0, group_rows.size, rows_per_chunk):
+            chunk = group_rows[start : start + rows_per_chunk]
+            gathered = grid_h[member_ids[start : start + chunk.size]]
+            product = np.multiply.reduce(gathered, axis=1)
+            eu_out[chunk] = product.sum(axis=1)
+            a_out[chunk] = (t_values * product).sum(axis=1)

@@ -18,7 +18,8 @@ and exposes a single :meth:`evaluate` entry point mirroring
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.communication import CommunicationEstimate, estimate_communication
 from repro.analysis.evaluation import ConfigurationEstimate
@@ -27,7 +28,25 @@ from repro.analysis.single import WorkerAnalysis
 from repro.application.configuration import Configuration
 from repro.platform.platform import Platform
 
-__all__ = ["AnalysisContext"]
+__all__ = ["AnalysisContext", "EvaluationRequest"]
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One configuration to score in an :meth:`AnalysisContext.evaluate_batch` call.
+
+    Mirrors the keyword arguments of :meth:`AnalysisContext.evaluate`; a batch
+    may mix items with explicit remaining communication (re-scoring a running
+    configuration) and items evaluated from scratch (fresh candidates).
+    """
+
+    configuration: Configuration
+    comm_slots: Optional[Mapping[int, int]] = None
+    has_program: Iterable[int] = ()
+    received_data: Optional[Mapping[int, int]] = None
+    workload: Optional[int] = None
+    completed_work: int = 0
+    elapsed: int = 0
 
 
 class AnalysisContext:
@@ -56,7 +75,7 @@ class AnalysisContext:
         max_horizon: int = 200_000,
     ) -> None:
         self.platform = platform
-        self.mode = mode
+        self._mode = mode
         models = platform.markov_models()
         self._workers = [
             WorkerAnalysis(model, speed=proc.speed, capacity=proc.capacity)
@@ -65,8 +84,31 @@ class AnalysisContext:
         self.group = GroupAnalysis(self._workers, epsilon=epsilon, max_horizon=max_horizon)
         self._comm_cache: Dict[Tuple[Tuple[int, int], ...], CommunicationEstimate] = {}
         self._single_time_cache: Dict[Tuple[int, int], float] = {}
+        # (frozen worker set, remaining workload) -> (P_comp, E_comp); the
+        # memoisation key of the batched evaluation path.
+        self._comp_cache: Dict[Tuple[FrozenSet[int], int], Tuple[float, float]] = {}
+        # (frozen worker set, phase duration) -> Π_q P_ND(duration).
+        self._survival_cache: Dict[Tuple[FrozenSet[int], int], float] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def mode(self) -> ExpectationMode:
+        """The ``E^(S)(W)`` estimator in use.
+
+        Several memos (single-worker expectations, communication estimates,
+        computation estimates) cache mode-dependent values, so assigning a
+        new mode drops them — stale entries would otherwise be replayed.
+        """
+        return self._mode
+
+    @mode.setter
+    def mode(self, mode: ExpectationMode) -> None:
+        if mode is not self._mode:
+            self._mode = mode
+            self._comm_cache.clear()
+            self._single_time_cache.clear()
+            self._comp_cache.clear()
+
     @property
     def num_workers(self) -> int:
         return len(self._workers)
@@ -78,6 +120,52 @@ class AnalysisContext:
     def quantities(self, workers: Iterable[int]) -> GroupQuantities:
         """Group quantities (``Eu``, ``P₊``, ``E_c``) for a worker set."""
         return self.group.quantities(workers)
+
+    def quantities_batch(self, sets: Sequence[Iterable[int]]) -> List[GroupQuantities]:
+        """Group quantities for many worker sets in one batched computation."""
+        return self.group.quantities_batch(sets)
+
+    def prefetch_groups(self, sets: Sequence[Iterable[int]]) -> None:
+        """Compute (batched) and cache the group quantities of *sets*.
+
+        A no-op for sets already cached; the heuristics call this with a whole
+        candidate frontier before scoring it so that every uncached set is
+        computed in one vectorised pass instead of one at a time.
+        """
+        self.group.prefetch(sets)
+
+    # ------------------------------------------------------------------
+    def computation(self, workers: FrozenSet[int], workload: int) -> Tuple[float, float]:
+        """Memoised ``(P_comp, E_comp)`` of *workload* slots on the set *workers*.
+
+        Keyed on the frozen worker set and the remaining workload — the same
+        float operations as :meth:`GroupQuantities.success_probability` /
+        :meth:`GroupQuantities.expected_time`, computed once per key.
+        """
+        workload = int(workload)
+        if workload <= 0 or not workers:
+            return (1.0, 0.0)
+        key = (workers, workload)
+        cached = self._comp_cache.get(key)
+        if cached is None:
+            quantities = self.group.quantities(workers)
+            cached = (
+                quantities.success_probability(workload),
+                quantities.expected_time(workload, self.mode),
+            )
+            self._comp_cache[key] = cached
+        return cached
+
+    def comm_survival(self, workers: FrozenSet[int], duration: int) -> float:
+        """Memoised ``Π_{q∈workers} P_ND(duration)`` (ascending worker order)."""
+        key = (workers, int(duration))
+        cached = self._survival_cache.get(key)
+        if cached is None:
+            cached = 1.0
+            for worker in sorted(workers):
+                cached *= self._workers[worker].no_down_probability(int(duration))
+            self._survival_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def single_expected_time(self, worker: int, slots: int) -> float:
@@ -124,32 +212,88 @@ class AnalysisContext:
         This cached variant is what the heuristics use; semantics are
         identical to the module-level function with ``mode=self.mode``.
         """
-        if comm_slots is None:
-            comm_slots = configuration.communication_slots(
-                self.platform, has_program=has_program, received_data=received_data
+        return self._evaluate_one(
+            EvaluationRequest(
+                configuration=configuration,
+                comm_slots=comm_slots,
+                has_program=has_program,
+                received_data=received_data,
+                workload=workload,
+                completed_work=completed_work,
+                elapsed=elapsed,
             )
+        )
+
+    def evaluate_batch(
+        self, requests: Sequence[EvaluationRequest]
+    ) -> List[ConfigurationEstimate]:
+        """Estimate a whole frontier of configurations in one call.
+
+        Semantically identical to calling :meth:`evaluate` per request (the
+        estimates are bit-identical); the uncached group quantities of the
+        batch are computed together through
+        :meth:`GroupAnalysis.quantities_batch`, and the per-request
+        computation estimates are memoised on (frozen worker set, remaining
+        workload) keys shared with the scalar entry point.
+        """
+        prepared = []
+        prefetch = []
+        for request in requests:
+            comm_slots = request.comm_slots
+            if comm_slots is None:
+                comm_slots = request.configuration.communication_slots(
+                    self.platform,
+                    has_program=request.has_program,
+                    received_data=request.received_data,
+                )
+            workload = request.workload
+            if workload is None:
+                workload = request.configuration.workload(self.platform)
+            remaining = max(int(workload) - int(request.completed_work), 0)
+            workers = frozenset(request.configuration.workers)
+            prepared.append((request, comm_slots, remaining, workers))
+            if remaining > 0 and workers and (workers, remaining) not in self._comp_cache:
+                prefetch.append(workers)
+        if prefetch:
+            self.group.prefetch(prefetch)
+        return [
+            self._finish_estimate(request, comm_slots, remaining, workers)
+            for request, comm_slots, remaining, workers in prepared
+        ]
+
+    def _evaluate_one(self, request: EvaluationRequest) -> ConfigurationEstimate:
+        comm_slots = request.comm_slots
+        if comm_slots is None:
+            comm_slots = request.configuration.communication_slots(
+                self.platform,
+                has_program=request.has_program,
+                received_data=request.received_data,
+            )
+        workload = request.workload
         if workload is None:
-            workload = configuration.workload(self.platform)
-        remaining_workload = max(int(workload) - int(completed_work), 0)
+            workload = request.configuration.workload(self.platform)
+        remaining = max(int(workload) - int(request.completed_work), 0)
+        workers = frozenset(request.configuration.workers)
+        return self._finish_estimate(request, comm_slots, remaining, workers)
 
+    def _finish_estimate(
+        self,
+        request: EvaluationRequest,
+        comm_slots: Mapping[int, int],
+        remaining_workload: int,
+        workers: FrozenSet[int],
+    ) -> ConfigurationEstimate:
         communication = self.communication(comm_slots)
-
-        workers = configuration.workers
-        if remaining_workload == 0 or not workers:
-            computation_probability = 1.0
-            computation_time = 0.0
-        else:
-            quantities = self.group.quantities(workers)
-            computation_probability = quantities.success_probability(remaining_workload)
-            computation_time = quantities.expected_time(remaining_workload, self.mode)
-
+        computation_probability, computation_time = self.computation(
+            workers, remaining_workload
+        )
         return ConfigurationEstimate(
-            configuration=configuration,
+            configuration=request.configuration,
             workload=remaining_workload,
             communication=communication,
             computation_probability=computation_probability,
             computation_time=computation_time,
-            elapsed=int(elapsed),
+            elapsed=int(request.elapsed),
         )
 
     # ------------------------------------------------------------------
@@ -158,10 +302,14 @@ class AnalysisContext:
         self.group.clear_cache()
         self._comm_cache.clear()
         self._single_time_cache.clear()
+        self._comp_cache.clear()
+        self._survival_cache.clear()
 
     def cache_stats(self) -> Dict[str, int]:
         """Sizes of the internal caches (for diagnostics and tests)."""
         return {
             "group_sets": self.group.cache_size(),
             "communication_keys": len(self._comm_cache),
+            "computation_keys": len(self._comp_cache),
+            "survival_keys": len(self._survival_cache),
         }

@@ -90,11 +90,18 @@ class WorkerAnalysis:
     # P_{u ->t u}
     # ------------------------------------------------------------------
     def up_return_array(self, horizon: int) -> np.ndarray:
-        """Array ``[P_{u->u}(1), ..., P_{u->u}(horizon)]`` (cached, grows)."""
+        """Array ``[P_{u->u}(1), ..., P_{u->u}(horizon)]`` (cached, grows).
+
+        The cache over-allocates geometrically: batched group evaluations ask
+        for many nearby horizons (one per candidate Λ), and the per-``t``
+        closed form makes any longer array's prefix identical, so growing in
+        1.5x steps avoids recomputing the series once per new horizon.
+        """
         if horizon < 0:
             raise ValueError(f"horizon must be >= 0, got {horizon}")
         if horizon > self._up_return_cache.size:
-            self._up_return_cache = self.model.up_return_probabilities(horizon)
+            grown = max(horizon, (self._up_return_cache.size * 3) // 2)
+            self._up_return_cache = self.model.up_return_probabilities(grown)
         return self._up_return_cache[:horizon]
 
     def up_return_probability(self, t: int) -> float:
@@ -109,11 +116,12 @@ class WorkerAnalysis:
     # P_ND — probability of not going DOWN within t slots (starting UP)
     # ------------------------------------------------------------------
     def no_down_array(self, horizon: int) -> np.ndarray:
-        """Array ``[P_ND(1), ..., P_ND(horizon)]`` (cached, grows)."""
+        """Array ``[P_ND(1), ..., P_ND(horizon)]`` (cached, grows geometrically)."""
         if horizon < 0:
             raise ValueError(f"horizon must be >= 0, got {horizon}")
         if horizon > self._no_down_cache.size:
-            self._no_down_cache = self._compute_no_down_array(horizon)
+            grown = max(horizon, (self._no_down_cache.size * 3) // 2)
+            self._no_down_cache = self._compute_no_down_array(grown)
         return self._no_down_cache[:horizon]
 
     def _compute_no_down_array(self, horizon: int) -> np.ndarray:

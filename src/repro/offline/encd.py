@@ -26,7 +26,10 @@ import itertools
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
-import networkx as nx
+try:  # optional dependency: only the graph import/export helpers need it
+    import networkx as nx
+except ImportError:  # pragma: no cover - exercised via _require_networkx tests
+    nx = None
 import numpy as np
 
 from repro.availability.trace import AvailabilityTrace
@@ -41,6 +44,23 @@ __all__ = [
     "biclique_from_offline_solution",
     "solve_encd_bruteforce",
 ]
+
+
+def _require_networkx():
+    """Return the networkx module or raise a clear install hint.
+
+    networkx is an optional dependency (the ``graphs`` extra): every core
+    ENCD computation works on plain adjacency matrices, only the
+    import/export helpers :meth:`ENCDInstance.from_graph` and
+    :meth:`ENCDInstance.to_graph` need the graph library itself.
+    """
+    if nx is None:
+        raise ImportError(
+            "networkx is required for ENCDInstance.from_graph/to_graph; "
+            "install it with `pip install networkx` "
+            "(or `pip install repro-volatile-master-worker[graphs]`)"
+        )
+    return nx
 
 
 @dataclass(frozen=True)
@@ -99,6 +119,7 @@ class ENCDInstance:
         b: int,
     ) -> "ENCDInstance":
         """Build an instance from a networkx bipartite graph."""
+        _require_networkx()
         left_index = {node: i for i, node in enumerate(left_nodes)}
         right_index = {node: j for j, node in enumerate(right_nodes)}
         matrix = np.zeros((len(left_nodes), len(right_nodes)), dtype=bool)
@@ -129,7 +150,7 @@ class ENCDInstance:
 
         Left nodes are ``("v", i)`` and right nodes ``("w", j)``.
         """
-        graph = nx.Graph()
+        graph = _require_networkx().Graph()
         graph.add_nodes_from((("v", i) for i in range(self.num_left)), bipartite=0)
         graph.add_nodes_from((("w", j) for j in range(self.num_right)), bipartite=1)
         matrix = self.matrix()

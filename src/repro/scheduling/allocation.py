@@ -62,6 +62,8 @@ class IncrementalAllocator:
         analysis: AnalysisContext,
         platform: Platform,
         num_tasks: int,
+        *,
+        batched: bool = True,
     ) -> None:
         if num_tasks < 1:
             raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
@@ -69,6 +71,7 @@ class IncrementalAllocator:
         self.analysis = analysis
         self.platform = platform
         self.num_tasks = int(num_tasks)
+        self.batched = bool(batched)
         self._speeds = {q: platform.processor(q).speed for q in range(platform.num_processors)}
         self._capacities = {
             q: platform.processor(q).capacity for q in range(platform.num_processors)
@@ -105,7 +108,35 @@ class IncrementalAllocator:
         capacities = self._capacities
         if sum(capacities[w] for w in up_workers) < self.num_tasks:
             return None
+        if self.batched:
+            return self._allocate_batched(
+                up_workers,
+                has_program=has_program,
+                received_data=received_data,
+                elapsed=elapsed,
+            )
+        return self._allocate_scalar(
+            up_workers,
+            has_program=has_program,
+            received_data=received_data,
+            elapsed=elapsed,
+        )
 
+    # ------------------------------------------------------------------
+    def _allocate_scalar(
+        self,
+        up_workers: Sequence[int],
+        *,
+        has_program: Iterable[int] = (),
+        received_data: Optional[Mapping[int, int]] = None,
+        elapsed: int = 0,
+    ) -> Optional[Configuration]:
+        """Reference per-candidate evaluation loop (the pre-batching path).
+
+        Kept verbatim as the ground truth the batched path is differentially
+        tested against (``tests/scheduling/test_batch_equivalence.py``).
+        """
+        capacities = self._capacities
         program_set = frozenset(int(w) for w in has_program)
         reusable = {int(k): int(v) for k, v in received_data.items()} if received_data else {}
         tprog = self.platform.tprog
@@ -167,7 +198,12 @@ class IncrementalAllocator:
                 if candidate_total_comm > 0:
                     duration = int(math.ceil(comm_time))
                     comm_probability = 1.0
-                    for other in candidate_set:
+                    # Ascending worker order: the canonical product order of the
+                    # analysis layer (frozenset iteration order depends on the
+                    # set's construction history, which would make the value an
+                    # accident of the greedy path rather than a function of the
+                    # candidate set).
+                    for other in sorted(candidate_set):
                         comm_probability *= context.no_down_probability(other, duration)
                 else:
                     comm_time = 0.0
@@ -203,6 +239,152 @@ class IncrementalAllocator:
 
             if best_worker is None:
                 return None  # defensive: cannot happen after the capacity sum check
+            # Commit the task to the winning worker and update the running state.
+            new_tasks = allocation.get(best_worker, 0) + 1
+            allocation[best_worker] = new_tasks
+            worker_set = worker_set | {best_worker}
+            loads[best_worker] = new_tasks * self._speeds[best_worker]
+            if loads[best_worker] > max_load:
+                max_load = loads[best_worker]
+            new_comm_q = candidate_comm_slots(best_worker, new_tasks)
+            total_comm += new_comm_q - comm_slots.get(best_worker, 0)
+            comm_slots[best_worker] = new_comm_q
+            per_worker_comm_time[best_worker] = context.single_expected_time(
+                best_worker, new_comm_q
+            )
+
+        return Configuration(allocation)
+
+    # ------------------------------------------------------------------
+    def _allocate_batched(
+        self,
+        up_workers: Sequence[int],
+        *,
+        has_program: Iterable[int] = (),
+        received_data: Optional[Mapping[int, int]] = None,
+        elapsed: int = 0,
+    ) -> Optional[Configuration]:
+        """Frontier-at-a-time evaluation (bit-identical to the scalar path).
+
+        At every greedy step the whole candidate frontier (one candidate per
+        eligible worker) is prepared first: uncached group quantities are
+        computed in one :meth:`AnalysisContext.prefetch_groups` batch, the
+        "slowest other transfer" term of the communication estimate comes
+        from a per-step top-two precomputation instead of an inner loop (the
+        max of a set of floats does not depend on evaluation order), and the
+        per-candidate survival products / computation estimates go through
+        the :class:`AnalysisContext` memos keyed on (frozen set, duration) and
+        (frozen set, workload).  Every candidate value is produced by the same
+        scalar float expressions as ``_allocate_scalar``, so the selected
+        worker — and therefore the returned configuration — is identical.
+        """
+        capacities = self._capacities
+        program_set = frozenset(int(w) for w in has_program)
+        reusable = {int(k): int(v) for k, v in received_data.items()} if received_data else {}
+        tprog = self.platform.tprog
+        tdata = self.platform.tdata
+        ncom = self.platform.ncom
+        criterion_name = self.criterion.name
+        higher_better = self.criterion.higher_is_better
+        context = self.analysis
+
+        allocation: Dict[int, int] = {}
+        worker_set: FrozenSet[int] = frozenset()
+        loads: Dict[int, int] = {}
+        comm_slots: Dict[int, int] = {}
+        max_load = 0
+        total_comm = 0
+        per_worker_comm_time: Dict[int, float] = {}
+
+        def candidate_comm_slots(worker: int, tasks: int) -> int:
+            already = min(reusable.get(worker, 0), tasks)
+            program_cost = 0 if worker in program_set else tprog
+            return program_cost + (tasks - already) * tdata
+
+        for _ in range(self.num_tasks):
+            eligible = [
+                worker
+                for worker in up_workers
+                if allocation.get(worker, 0) < capacities[worker]
+            ]
+            if not eligible:
+                return None  # defensive: cannot happen after the capacity sum check
+
+            # --- frontier preparation (one batch, not one call per worker) --
+            candidate_sets = {
+                worker: (worker_set if worker in worker_set else worker_set | {worker})
+                for worker in eligible
+            }
+            context.prefetch_groups(candidate_sets.values())
+
+            # Top-two of the committed per-worker communication times: the
+            # "slowest other transfer" for candidate w is the global max, or
+            # the runner-up when w itself holds the max.
+            slowest_worker = None
+            slowest_time = second_time = -math.inf
+            for other, other_time in per_worker_comm_time.items():
+                if other_time > slowest_time:
+                    slowest_worker, slowest_time, second_time = (
+                        other,
+                        other_time,
+                        slowest_time,
+                    )
+                elif other_time > second_time:
+                    second_time = other_time
+
+            best_worker: Optional[int] = None
+            best_value = -math.inf if higher_better else math.inf
+            for worker in eligible:
+                new_tasks = allocation.get(worker, 0) + 1
+                # --- workload of the candidate configuration -------------
+                new_load = new_tasks * self._speeds[worker]
+                workload = new_load if new_load > max_load else max_load
+                # --- communication estimate -------------------------------
+                new_comm_q = candidate_comm_slots(worker, new_tasks)
+                old_comm_q = comm_slots.get(worker, 0)
+                candidate_total_comm = total_comm - old_comm_q + new_comm_q
+                candidate_set = candidate_sets[worker]
+                comm_time = context.single_expected_time(worker, new_comm_q)
+                others_max = second_time if worker == slowest_worker else slowest_time
+                if others_max > comm_time:
+                    comm_time = others_max
+                if len(candidate_set) > ncom:
+                    bandwidth_bound = candidate_total_comm / ncom
+                    if bandwidth_bound > comm_time:
+                        comm_time = bandwidth_bound
+                if candidate_total_comm > 0:
+                    duration = int(math.ceil(comm_time))
+                    comm_probability = context.comm_survival(candidate_set, duration)
+                else:
+                    comm_time = 0.0
+                    comm_probability = 1.0
+                # --- computation estimate ---------------------------------
+                comp_probability, comp_time = context.computation(candidate_set, workload)
+                # --- criterion value ---------------------------------------
+                probability = comm_probability * comp_probability
+                expected = comm_time + comp_time
+                if criterion_name == "P":
+                    value = probability
+                elif criterion_name == "E":
+                    value = expected
+                elif criterion_name == "Y":
+                    denominator = elapsed + expected
+                    value = probability / denominator if denominator > 0 else math.inf
+                else:  # "AY"
+                    value = probability / expected if expected > 0 else math.inf
+
+                if best_worker is None:
+                    best_worker = worker
+                    best_value = value
+                elif higher_better:
+                    if value > best_value:
+                        best_worker = worker
+                        best_value = value
+                else:
+                    if value < best_value:
+                        best_worker = worker
+                        best_value = value
+
             # Commit the task to the winning worker and update the running state.
             new_tasks = allocation.get(best_worker, 0) + 1
             allocation[best_worker] = new_tasks

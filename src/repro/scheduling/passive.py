@@ -38,21 +38,38 @@ PASSIVE_CRITERION_BY_NAME = {
 
 
 class PassiveHeuristic(Scheduler):
-    """A passive heuristic defined by its incremental selection criterion."""
+    """A passive heuristic defined by its incremental selection criterion.
+
+    ``batched=True`` (the default) routes the incremental allocator through
+    the frontier-at-a-time batched analysis path; ``batched=False`` keeps the
+    original per-candidate loop.  Both paths select identical configurations
+    (see :class:`~repro.scheduling.allocation.IncrementalAllocator`).
+    """
 
     passive_between_rebuilds = True
 
-    def __init__(self, criterion: Criterion, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        criterion: Criterion,
+        name: Optional[str] = None,
+        *,
+        batched: bool = True,
+    ) -> None:
         super().__init__()
         self.criterion = criterion
         self.name = name or f"I{criterion.name}"
+        self.batched = bool(batched)
         self._allocator: Optional[IncrementalAllocator] = None
 
     # ------------------------------------------------------------------
     def bind(self, platform, application, analysis, rng) -> None:
         super().bind(platform, application, analysis, rng)
         self._allocator = IncrementalAllocator(
-            self.criterion, analysis, platform, application.tasks_per_iteration
+            self.criterion,
+            analysis,
+            platform,
+            application.tasks_per_iteration,
+            batched=self.batched,
         )
 
     def reset(self) -> None:
@@ -102,7 +119,7 @@ class PassiveHeuristic(Scheduler):
         )
 
 
-def make_passive_heuristic(name: str) -> PassiveHeuristic:
+def make_passive_heuristic(name: str, *, batched: bool = True) -> PassiveHeuristic:
     """Instantiate one of IP / IE / IY / IAY by name (case-insensitive)."""
     key = str(name).strip().upper()
     try:
@@ -112,4 +129,4 @@ def make_passive_heuristic(name: str) -> PassiveHeuristic:
             f"unknown passive heuristic {name!r}; expected one of "
             f"{sorted(PASSIVE_CRITERION_BY_NAME)}"
         ) from None
-    return PassiveHeuristic(get_criterion(criterion_name), name=key)
+    return PassiveHeuristic(get_criterion(criterion_name), name=key, batched=batched)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis.cache import EvaluationRequest
 from repro.analysis.criteria import Criterion
 from repro.application.configuration import Configuration
 from repro.exceptions import SchedulingError
@@ -78,26 +79,33 @@ class ProactiveHeuristic(Scheduler):
 
         current = observation.current_configuration
 
-        # 1. Updated measure of the current configuration, accounting for progress.
-        current_estimate = self.analysis.evaluate(
-            current,
-            comm_slots=observation.comm_remaining,
-            completed_work=observation.progress,
-            elapsed=observation.iteration_elapsed,
-        )
-        current_value = self.criterion.value(current_estimate)
-
-        # 2. Candidate configuration computed from scratch by the passive heuristic.
+        # 1. Candidate configuration computed from scratch by the passive heuristic.
         candidate = self._candidate(observation)
-        if candidate is None or candidate == current:
-            return current
 
-        candidate_estimate = self.analysis.evaluate(
-            candidate,
-            has_program=observation.has_program,
-            elapsed=observation.iteration_elapsed,
-        )
-        candidate_value = self.criterion.value(candidate_estimate)
+        # 2. Current and candidate are scored together: one evaluate_batch
+        #    call covers the whole per-slot frontier (the batched analysis
+        #    path prefetches any uncached group quantities in one shot).
+        requests = [
+            EvaluationRequest(
+                configuration=current,
+                comm_slots=observation.comm_remaining,
+                completed_work=observation.progress,
+                elapsed=observation.iteration_elapsed,
+            )
+        ]
+        if candidate is not None and candidate != current:
+            requests.append(
+                EvaluationRequest(
+                    configuration=candidate,
+                    has_program=observation.has_program,
+                    elapsed=observation.iteration_elapsed,
+                )
+            )
+        estimates = self.analysis.evaluate_batch(requests)
+        if len(estimates) == 1:
+            return current
+        current_value = self.criterion.value(estimates[0])
+        candidate_value = self.criterion.value(estimates[1])
 
         # 3. Switch only on a strict improvement ("if c >= c2, keep the current one").
         if self.criterion.better(candidate_value, current_value):

@@ -1,0 +1,236 @@
+"""Property tests for the batched Theorem 5.1 kernels.
+
+Two layers of guarantees are pinned here:
+
+1. **Agreement with the scalar path** — `BatchGroupAnalysis` replays the
+   scalar float operations exactly (see its module docstring), so its
+   quantities must agree with `GroupAnalysis` far below any meaningful
+   tolerance; the hypothesis sweep asserts 1e-12 agreement on random Markov
+   models, and a deterministic case pins full bit-equality.
+2. **Agreement with the exact joint chain** — for small sets the truncated
+   series must reproduce `analysis/exact.py` within the truncation bound of
+   Theorem 5.1, batched exactly like scalar.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.batch import BatchGroupAnalysis, BatchGroupQuantities
+from repro.analysis.exact import exact_group_quantities
+from repro.analysis.group import ExpectationMode, GroupAnalysis
+from repro.analysis.single import WorkerAnalysis
+from repro.availability.generators import random_markov_models
+
+
+def make_workers(num, seed):
+    return [WorkerAnalysis(model) for model in random_markov_models(num, seed=seed)]
+
+
+def quantities_equal(left, right, *, tolerance=0.0):
+    for field in ("eu", "a", "p_plus", "e_c"):
+        a = getattr(left, field)
+        b = getattr(right, field)
+        if math.isinf(a) or math.isinf(b):
+            if a != b:
+                return False
+        elif abs(a - b) > tolerance * max(1.0, abs(a)):
+            return False
+    return left.horizon == right.horizon and left.can_fail == right.can_fail
+
+
+class TestBatchMatchesScalar:
+    @given(
+        model_seed=st.integers(min_value=0, max_value=10_000),
+        subset_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_models_match_to_1e12(self, model_seed, subset_seed):
+        workers = make_workers(6, model_seed)
+        rng = np.random.default_rng(subset_seed)
+        sets = [
+            tuple(sorted(rng.choice(6, size=int(rng.integers(1, 7)), replace=False)))
+            for _ in range(20)
+        ]
+        scalar = GroupAnalysis(workers, epsilon=1e-6)
+        batch = BatchGroupAnalysis(workers, epsilon=1e-6).quantities(sets)
+        for index, workers_set in enumerate(sets):
+            reference = scalar.quantities(workers_set)
+            assert quantities_equal(reference, batch[index], tolerance=1e-12), (
+                f"set {workers_set}: scalar {reference} != batch {batch[index]}"
+            )
+
+    def test_all_subsets_bit_identical(self):
+        """Deterministic pin of the stronger guarantee: byte-for-byte equality."""
+        workers = make_workers(8, 3)
+        sets = [s for k in range(0, 9) for s in itertools.combinations(range(8), k)]
+        scalar = GroupAnalysis(workers, epsilon=1e-6)
+        batch = BatchGroupAnalysis(workers, epsilon=1e-6).quantities(sets)
+        for index, workers_set in enumerate(sets):
+            assert scalar.quantities(workers_set) == batch[index]
+
+    def test_membership_matrix_input(self):
+        workers = make_workers(5, 11)
+        membership = np.zeros((3, 5), dtype=bool)
+        membership[0, [0, 2]] = True
+        membership[1, [1, 2, 3, 4]] = True
+        # row 2 stays empty
+        batch = BatchGroupAnalysis(workers).quantities(membership)
+        scalar = GroupAnalysis(workers)
+        assert batch[0] == scalar.quantities([0, 2])
+        assert batch[1] == scalar.quantities([1, 2, 3, 4])
+        assert batch[2] == scalar.quantities([])
+
+    def test_mixed_failing_and_reliable_workers(self):
+        from repro.availability.markov import MarkovAvailabilityModel
+
+        models = random_markov_models(4, seed=9) + [MarkovAvailabilityModel.always_up()]
+        workers = [WorkerAnalysis(model) for model in models]
+        sets = [(4,), (0, 4), (1, 2, 4), (0, 1, 2, 3, 4)]
+        scalar = GroupAnalysis(workers)
+        batch = BatchGroupAnalysis(workers).quantities(sets)
+        for index, workers_set in enumerate(sets):
+            assert scalar.quantities(workers_set) == batch[index]
+        assert not batch[0].can_fail
+        assert batch.p_plus[0] == 1.0
+
+    def test_shared_cache_through_group_analysis(self):
+        workers = make_workers(6, 5)
+        analysis = GroupAnalysis(workers)
+        first = analysis.quantities_batch([(0, 1), (2, 3), (0, 1)])
+        assert first[0] is first[2]  # same cached object
+        # A scalar call after the batch must hit the same cache entry.
+        assert analysis.quantities((0, 1)) is first[0]
+        assert analysis.cache_size() == 2
+
+    def test_out_of_range_worker_rejected(self):
+        workers = make_workers(3, 1)
+        with pytest.raises(IndexError):
+            BatchGroupAnalysis(workers).quantities([(0, 7)])
+        with pytest.raises(IndexError):
+            GroupAnalysis(workers).quantities_batch([(0, 7)])
+
+    def test_incremental_calls_grow_shared_grid(self):
+        workers = make_workers(6, 21)
+        scalar = GroupAnalysis(workers)
+        batch_analysis = BatchGroupAnalysis(workers)
+        rng = np.random.default_rng(2)
+        for _ in range(8):
+            sets = [
+                tuple(sorted(rng.choice(6, size=int(rng.integers(1, 7)), replace=False)))
+                for _ in range(7)
+            ]
+            batch = batch_analysis.quantities(sets)
+            for index, workers_set in enumerate(sets):
+                assert scalar.quantities(workers_set) == batch[index]
+
+
+class TestBatchMatchesExact:
+    @given(model_seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_p_plus_within_truncation_bound(self, model_seed):
+        """Batched P₊ and gap match the exact joint chain for ≤ 6 workers."""
+        models = random_markov_models(6, seed=model_seed)
+        workers = [WorkerAnalysis(model) for model in models]
+        sets = [(0,), (0, 1), (0, 1, 2), (1, 3, 4, 5), tuple(range(6))]
+        batch = BatchGroupAnalysis(workers, epsilon=1e-10).quantities(sets)
+        for index, workers_set in enumerate(sets):
+            exact = exact_group_quantities([models[w] for w in workers_set])
+            assert batch.p_plus[index] == pytest.approx(exact.p_plus, rel=1e-6)
+            assert batch.expected_gap()[index] == pytest.approx(
+                exact.expected_gap, rel=1e-5
+            )
+
+    def test_renewal_expectation_matches_exact(self):
+        models = random_markov_models(4, seed=13)
+        workers = [WorkerAnalysis(model) for model in models]
+        batch = BatchGroupAnalysis(workers, epsilon=1e-10).quantities([(0, 1), (2, 3)])
+        for index, workers_set in enumerate([(0, 1), (2, 3)]):
+            exact = exact_group_quantities([models[w] for w in workers_set])
+            for workload in (2, 7):
+                renewal = batch.expected_time(
+                    np.full(2, workload), ExpectationMode.RENEWAL
+                )[index]
+                assert renewal == pytest.approx(exact.expected_time(workload), rel=1e-6)
+                # The paper's closed form stays an upper bound, batched too.
+                paper = batch.expected_time(np.full(2, workload))[index]
+                assert paper >= exact.expected_time(workload) - 1e-9
+
+
+class TestBatchGroupQuantities:
+    def make_batch(self):
+        workers = make_workers(5, 17)
+        return BatchGroupAnalysis(workers).quantities([(0, 1, 2), (3,), ()])
+
+    def test_vectorised_methods_match_scalar_methods(self):
+        batch = self.make_batch()
+        workloads = np.array([5, 3, 4])
+        probabilities = batch.success_probability(workloads)
+        times_paper = batch.expected_time(workloads)
+        times_renewal = batch.expected_time(workloads, ExpectationMode.RENEWAL)
+        gaps = batch.expected_gap()
+        for index in range(len(batch)):
+            scalar = batch[index]
+            workload = int(workloads[index])
+            assert probabilities[index] == pytest.approx(
+                scalar.success_probability(workload), rel=1e-12
+            )
+            assert times_paper[index] == pytest.approx(
+                scalar.expected_time(workload), rel=1e-12
+            )
+            assert times_renewal[index] == pytest.approx(
+                scalar.expected_time(workload, ExpectationMode.RENEWAL), rel=1e-12
+            )
+            assert gaps[index] == pytest.approx(scalar.expected_gap(), rel=1e-12)
+
+    def test_workload_edge_cases(self):
+        batch = self.make_batch()
+        assert np.all(batch.success_probability(1) == 1.0)
+        assert np.all(batch.expected_time(np.zeros(3, dtype=int)) == 0.0)
+        assert np.all(batch.expected_time(np.ones(3, dtype=int)) == 1.0)
+        with pytest.raises(ValueError):
+            batch.success_probability(np.array([-1, 2, 3]))
+        with pytest.raises(ValueError):
+            batch.expected_time(-2)
+
+    def test_len_and_getitem(self):
+        batch = self.make_batch()
+        assert len(batch) == 3
+        assert isinstance(batch, BatchGroupQuantities)
+        assert batch[2].e_c == 1.0  # empty set
+        assert math.isinf(batch[2].eu)
+
+    def test_log_lambda_products(self):
+        workers = make_workers(4, 23)
+        analysis = BatchGroupAnalysis(workers)
+        membership = analysis.membership([(0, 1), (2,), ()])
+        logs = analysis.log_lambda_products(membership)
+        expected0 = math.log(workers[0].lambda1) + math.log(workers[1].lambda1)
+        assert logs[0] == pytest.approx(expected0, rel=1e-12)
+        assert logs[2] == 0.0
+
+
+class TestBatchedCommunication:
+    def test_matches_scalar_estimates(self):
+        from repro.analysis.communication import (
+            estimate_communication,
+            estimate_communication_batch,
+        )
+
+        workers = make_workers(6, 31)
+        batched_analysis = GroupAnalysis(workers)
+        scalar_analysis = GroupAnalysis(workers)
+        phases = [
+            {0: 4, 1: 2},
+            {2: 0, 3: 7},
+            {},
+            {0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1},
+        ]
+        batch = estimate_communication_batch(batched_analysis, phases, ncom=2)
+        for phase, estimate in zip(phases, batch):
+            reference = estimate_communication(scalar_analysis, phase, ncom=2)
+            assert estimate == reference

@@ -94,3 +94,15 @@ class TestAnalysisContext:
         renewal = AnalysisContext(platform, mode=ExpectationMode.RENEWAL)
         config = Configuration({0: 2, 2: 2})
         assert renewal.evaluate(config).expected_time <= paper.evaluate(config).expected_time + 1e-9
+
+    def test_mode_change_drops_stale_memos(self, platform):
+        # The computation/communication memos cache mode-dependent values;
+        # switching estimators mid-life must not replay them.
+        context = AnalysisContext(platform, mode=ExpectationMode.PAPER)
+        config = Configuration({0: 2, 2: 2})
+        paper_estimate = context.evaluate(config)
+        context.mode = ExpectationMode.RENEWAL
+        renewal_estimate = context.evaluate(config)
+        fresh = AnalysisContext(platform, mode=ExpectationMode.RENEWAL)
+        assert renewal_estimate.computation_time == fresh.evaluate(config).computation_time
+        assert renewal_estimate.computation_time != paper_estimate.computation_time

@@ -92,6 +92,112 @@ class TestGate:
         assert proc.returncode == 0, proc.stderr
 
 
+def make_analysis_report(scale=1.0):
+    runs = []
+    for case in ("group_quantities_cold_8of20", "incremental_allocation_m10"):
+        for variant in ("scalar", "batch"):
+            runs.append(
+                {
+                    "case": case,
+                    "variant": variant,
+                    "ops": 256,
+                    "wall_seconds": 0.01,
+                    "ops_per_second": scale * (50_000 if variant == "batch" else 20_000),
+                }
+            )
+    return {"benchmark": "analysis_throughput", "python": "3.11", "runs": runs}
+
+
+class TestMultiBenchmarkGate:
+    def run_pairs(self, tmp_path, pairs, *extra):
+        arguments = [sys.executable, str(SCRIPT)]
+        for index, (baseline, current) in enumerate(pairs):
+            baseline_path = tmp_path / f"baseline{index}.json"
+            current_path = tmp_path / f"current{index}.json"
+            baseline_path.write_text(json.dumps(baseline))
+            current_path.write_text(json.dumps(current))
+            arguments += ["--pair", str(baseline_path), str(current_path)]
+        return subprocess.run(
+            arguments + list(extra), capture_output=True, text=True
+        )
+
+    def test_analysis_report_gated(self, tmp_path):
+        proc = self.run_pairs(
+            tmp_path, [(make_analysis_report(), make_analysis_report(scale=0.5))]
+        )
+        assert proc.returncode == 1
+        assert "ops_per_second" in proc.stdout
+        assert "REGRESSION" in proc.stdout
+
+    def test_two_healthy_pairs_pass(self, tmp_path):
+        proc = self.run_pairs(
+            tmp_path,
+            [
+                (make_report(), make_report(scale=1.1)),
+                (make_analysis_report(), make_analysis_report(scale=0.9)),
+            ],
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "simulator_throughput" in proc.stdout
+        assert "analysis_throughput" in proc.stdout
+
+    def test_regression_in_second_pair_fails(self, tmp_path):
+        proc = self.run_pairs(
+            tmp_path,
+            [
+                (make_report(), make_report()),
+                (make_analysis_report(), make_analysis_report(scale=0.5)),
+            ],
+        )
+        assert proc.returncode == 1
+
+    def test_mismatched_report_kinds_error(self, tmp_path):
+        proc = self.run_pairs(tmp_path, [(make_report(), make_analysis_report())])
+        assert proc.returncode == 2
+        assert "cannot compare" in proc.stderr
+
+    def test_unknown_report_kind_errors(self, tmp_path):
+        bogus = {"benchmark": "mystery", "runs": []}
+        proc = self.run_pairs(tmp_path, [(bogus, bogus)])
+        assert proc.returncode == 2
+
+    def test_summary_markdown_written(self, tmp_path):
+        summary = tmp_path / "summary.md"
+        proc = self.run_pairs(
+            tmp_path,
+            [
+                (make_report(), make_report(scale=0.5)),
+                (make_analysis_report(), make_analysis_report()),
+            ],
+            "--summary", str(summary),
+        )
+        assert proc.returncode == 1  # regression still fails the gate
+        text = summary.read_text()
+        assert "## Benchmark regression gate" in text
+        assert "### simulator_throughput (slots_per_second)" in text
+        assert "### analysis_throughput (ops_per_second)" in text
+        assert ":warning:" in text  # regressed rows are flagged
+        assert "| RANDOM block |" in text
+
+    def test_committed_analysis_baseline_passes_against_itself(self):
+        baseline = REPO_ROOT / "benchmarks" / "results" / "BENCH_analysis.json"
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--pair", str(baseline), str(baseline)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_committed_analysis_baseline_records_2x_speedup(self):
+        """Acceptance pin: the committed baseline documents >= 2x batch speedup
+        on the 8-worker group-quantities frontier bench."""
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "results" / "BENCH_analysis.json").read_text()
+        )
+        speedups = baseline["speedup_batch_over_scalar"]
+        assert speedups["group_quantities_cold_8of20"] >= 2.0
+
+
 class TestCompareReports:
     def test_compare_function_importable(self):
         sys.path.insert(0, str(REPO_ROOT / "benchmarks"))

@@ -52,6 +52,7 @@ class TestENCDInstance:
             ENCDInstance((), a=1, b=1)
 
     def test_graph_round_trip(self):
+        pytest.importorskip("networkx", reason="graph import/export needs networkx")
         instance = small_instance()
         graph = instance.to_graph()
         left = [("v", i) for i in range(instance.num_left)]
@@ -62,6 +63,17 @@ class TestENCDInstance:
     def test_random_instance(self):
         instance = ENCDInstance.random(5, 6, 0.5, a=2, b=2, seed=3)
         assert instance.matrix().shape == (5, 6)
+
+    def test_missing_networkx_gives_clear_error(self, monkeypatch):
+        # networkx is optional: the graph helpers must fail with an install
+        # hint (not a bare NameError) when it is absent.
+        import repro.offline.encd as encd_module
+
+        monkeypatch.setattr(encd_module, "nx", None)
+        with pytest.raises(ImportError, match="networkx"):
+            small_instance().to_graph()
+        with pytest.raises(ImportError, match="pip install"):
+            ENCDInstance.from_graph(object(), [], [], 1, 1)
 
 
 class TestBruteForceENCD:
