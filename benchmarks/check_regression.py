@@ -45,6 +45,7 @@ DEFAULT_MAX_DROP = 0.25
 REPORT_SCHEMAS: Dict[str, Tuple[Tuple[str, ...], str]] = {
     "simulator_throughput": (("heuristic", "mode"), "slots_per_second"),
     "analysis_throughput": (("case", "variant"), "ops_per_second"),
+    "traces_throughput": (("case",), "ops_per_second"),
 }
 
 

@@ -132,6 +132,75 @@ def _load_trace(path: str) -> AvailabilityTrace:
     return AvailabilityTrace.from_dict(payload)
 
 
+@functools.lru_cache(maxsize=8)
+def _load_catalog(directory: str):
+    from repro.traces.formats import TraceCatalog, TraceFormatError
+
+    try:
+        return TraceCatalog(directory)
+    except TraceFormatError as error:
+        raise ExperimentError(str(error)) from error
+
+
+@functools.lru_cache(maxsize=16)
+def _load_dataset(path: str, dataset: Optional[str], slot: float, gap: str, overlap: str):
+    """Load a recorded dataset for the trace-driven substrates (cached).
+
+    *path* is either a trace file in any ingestible format, or a catalog
+    directory (then *dataset* selects the file; the spec's discretisation
+    parameters apply unless the dataset's ``catalog.json`` entry overrides
+    them).
+    """
+    from repro.traces.formats import TraceFormatError, load_trace
+
+    try:
+        if Path(path).is_dir():
+            catalog = _load_catalog(path)
+            if dataset is None:
+                raise ExperimentError(
+                    f"{path} is a trace catalog directory: a 'dataset' parameter "
+                    f"is required (available: {catalog.names()})"
+                )
+            return catalog.load(
+                dataset, defaults={"slot": slot, "gap": gap, "overlap": overlap}
+            )
+        return load_trace(path, slot_duration=slot, gap=gap, overlap=overlap)
+    except TraceFormatError as error:
+        raise ExperimentError(str(error)) from error
+
+
+def _dataset_for(spec) -> AvailabilityTrace:
+    """Resolve the shared (path, dataset, discretisation) parameters of a spec."""
+    path = spec.get("path")
+    if path is None:
+        raise ExperimentError(f"availability kind {spec.kind!r} requires a 'path' parameter")
+    dataset = spec.get("dataset")
+    return _load_dataset(
+        str(path),
+        str(dataset) if dataset else None,
+        float(spec.get("slot", 1.0)),
+        str(spec.get("gap", "down")),
+        str(spec.get("overlap", "error")),
+    )
+
+
+#: Discretisation parameters shared by the trace-driven substrates.
+_INGEST_PARAMETERS = (
+    ComponentParameter(
+        "slot", float, default=1.0,
+        description="recorded time units per slot (CSV/JSONL ingestion)",
+    ),
+    ComponentParameter(
+        "gap", str, default="down",
+        description="state for slots no interval covers: down, hold or error",
+    ),
+    ComponentParameter(
+        "overlap", str, default="error",
+        description="conflicting-interval policy: error, first or last",
+    ),
+)
+
+
 # ----------------------------------------------------------------------
 # The four built-in substrates
 # ----------------------------------------------------------------------
@@ -290,3 +359,174 @@ def _trace_models(spec):
         ]
 
     return factory
+
+
+# ----------------------------------------------------------------------
+# Trace-driven substrates (recorded datasets, repro.traces pipeline)
+# ----------------------------------------------------------------------
+@register_availability_model(
+    "trace-catalog",
+    description="replay a named recorded dataset from a trace catalog "
+    "directory (CSV/JSONL/compact/JSON), rows assigned round-robin",
+    parameters=(
+        ComponentParameter(
+            "path", str,
+            description="trace file or catalog directory "
+            "(relative paths resolve against the spec file)",
+        ),
+        ComponentParameter(
+            "dataset", str, default="",
+            description="dataset name inside a catalog directory",
+        ),
+        ComponentParameter(
+            "wrap", bool, default=True,
+            description="loop the recording when the simulation outlives it",
+        ),
+    ) + _INGEST_PARAMETERS,
+)
+def _trace_catalog_models(spec):
+    trace = _dataset_for(spec)
+    wrap = bool(spec.get("wrap", True))
+
+    def factory(rng, count):
+        return [
+            TraceAvailabilityModel(trace.row(index % trace.num_processors), wrap=wrap)
+            for index in range(count)
+        ]
+
+    return factory
+
+
+@register_availability_model(
+    "trace-bootstrap",
+    description="bootstrap-resample a recorded dataset: each processor "
+    "replays a resampled row (or block-bootstrap splice) of the recording",
+    parameters=(
+        ComponentParameter(
+            "path", str,
+            description="trace file or catalog directory "
+            "(relative paths resolve against the spec file)",
+        ),
+        ComponentParameter(
+            "dataset", str, default="",
+            description="dataset name inside a catalog directory",
+        ),
+        ComponentParameter(
+            "block", int, default=0,
+            description="block-bootstrap block length in slots "
+            "(0 = whole-row bootstrap)",
+        ),
+        ComponentParameter(
+            "horizon", int, default=0,
+            description="generated slots per processor for block bootstrap "
+            "(0 = the recorded horizon)",
+        ),
+        ComponentParameter(
+            "wrap", bool, default=True,
+            description="loop the resampled sequence when the simulation outlives it",
+        ),
+    ) + _INGEST_PARAMETERS,
+)
+def _trace_bootstrap_models(spec):
+    from repro.traces.resample import bootstrap_models
+
+    trace = _dataset_for(spec)
+    block = int(spec.get("block", 0))
+    horizon = int(spec.get("horizon", 0))
+    wrap = bool(spec.get("wrap", True))
+
+    def factory(rng, count):
+        return bootstrap_models(
+            trace,
+            rng,
+            count,
+            block_length=block or None,
+            horizon=horizon or None,
+            wrap=wrap,
+        )
+
+    return factory
+
+
+@register_availability_model(
+    "fitted",
+    description="fit a synthetic family (markov / semi-markov / diurnal) to "
+    "a recorded dataset, then sample fresh trajectories from the fit",
+    parameters=(
+        ComponentParameter(
+            "model", str, aliases=("kind",),
+            description="family to calibrate: markov, semi-markov or diurnal",
+        ),
+        ComponentParameter(
+            "path", str,
+            description="trace file or catalog directory "
+            "(relative paths resolve against the spec file)",
+        ),
+        ComponentParameter(
+            "dataset", str, default="",
+            description="dataset name inside a catalog directory",
+        ),
+        ComponentParameter(
+            "day_length", int, default=96,
+            description="slots per day for the diurnal fit",
+        ),
+        ComponentParameter(
+            "num_phases", int, default=2,
+            description="phase bins per day for the diurnal fit",
+        ),
+        ComponentParameter(
+            "prior", float, default=0.0,
+            description="Laplace smoothing count for the markov/diurnal fits",
+        ),
+    ) + _INGEST_PARAMETERS,
+)
+def _fitted_models(spec):
+    from repro.traces.fit import FIT_KINDS
+
+    kind = str(spec.get("model", "")).lower()
+    if kind not in FIT_KINDS:
+        raise ExperimentError(
+            f"fitted availability: 'model' must be one of {list(FIT_KINDS)}, got {kind!r}"
+        )
+    trace = _dataset_for(spec)
+    options = {}
+    if kind in ("markov", "diurnal"):
+        options["prior"] = float(spec.get("prior", 0.0))
+    if kind == "diurnal":
+        options["day_length"] = int(spec.get("day_length", 96))
+        options["num_phases"] = int(spec.get("num_phases", 2))
+    # The builder runs once per scenario platform; the fit itself (scipy MLE
+    # over the whole recording) is memoised on the immutable cached trace.
+    fitted = _fit_cached(trace, kind, tuple(sorted(options.items())))
+
+    def factory(rng, count):
+        # Fresh instances per processor: fitted models carry per-trajectory
+        # sampling state (holding counters, phase clocks).
+        return fitted.make_models(count)
+
+    return factory
+
+
+#: (trace id, kind, options) -> (trace, FittedModel).  The stored trace
+#: reference both identifies the dataset (``_load_dataset`` returns cached
+#: instances) and keeps its ``id`` from being reused while the entry lives.
+_FIT_CACHE: dict = {}
+_FIT_CACHE_MAX = 32
+
+
+def _fit_cached(trace, kind: str, option_items):
+    """Memoised ``fit_model`` keyed by the cached trace's identity + options."""
+    from repro.traces.fit import TraceFitError, fit_model
+
+    key = (id(trace), kind, option_items)
+    entry = _FIT_CACHE.get(key)
+    if entry is not None and entry[0] is trace:
+        return entry[1]
+    try:
+        fitted = fit_model(kind, trace, **dict(option_items))
+    except TraceFitError as error:
+        raise ExperimentError(str(error)) from error
+    if len(_FIT_CACHE) >= _FIT_CACHE_MAX:
+        _FIT_CACHE.clear()
+    _FIT_CACHE[key] = (trace, fitted)
+    return fitted

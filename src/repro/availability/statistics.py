@@ -9,12 +9,17 @@ Used for three purposes:
 * descriptive statistics of traces (availability fraction, interval-length
   distributions) mirroring the measurements of desktop-grid characterisation
   studies cited in Section II.
+
+The full trace pipeline — ingesting recorded logs, fitting calibrated models
+over these statistics, and generating bootstrap/fitted substrates — lives in
+:mod:`repro.traces` (see :mod:`repro.traces.fit` for the estimators that
+consume :func:`state_intervals` and :func:`estimate_markov_matrix`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +30,7 @@ __all__ = [
     "estimate_markov_model",
     "transition_counts",
     "state_intervals",
+    "state_runs",
     "TraceStatistics",
 ]
 
@@ -90,27 +96,58 @@ def estimate_markov_model(sequence: Union[Sequence[int], np.ndarray], *, prior: 
     return MarkovAvailabilityModel(estimate_markov_matrix(sequence, prior=prior))
 
 
-def state_intervals(sequence: Union[Sequence[int], np.ndarray]) -> Dict[ProcessorState, List[int]]:
+def state_runs(sequence: Union[Sequence[int], np.ndarray]) -> List[Tuple[ProcessorState, int]]:
+    """Maximal runs of *sequence* as ``(state, length)`` pairs, in order.
+
+    This is the run-length encoding the interval statistics and the
+    semi-Markov fitters of :mod:`repro.traces.fit` are built on: consecutive
+    pairs give the embedded jump chain, the lengths give the per-state
+    sojourn samples.
+    """
+    values = _as_state_array(sequence)
+    if values.size == 0:
+        return []
+    boundaries = np.flatnonzero(values[1:] != values[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [values.size]])
+    return [
+        (ProcessorState(int(values[start])), int(end - start))
+        for start, end in zip(starts, ends)
+    ]
+
+
+def state_intervals(
+    sequence: Union[Sequence[int], np.ndarray],
+    *,
+    censor_edges: bool = False,
+) -> Dict[ProcessorState, List[int]]:
     """Lengths of maximal runs of each state in *sequence*.
 
     Returns a mapping state -> list of run lengths, in order of appearance.
     Desktop-grid characterisation studies (e.g. Kondo et al., Nurmi et al.)
     report exactly these interval-length distributions.
+
+    Parameters
+    ----------
+    sequence:
+        State sequence (codes or :class:`ProcessorState` values).
+    censor_edges:
+        When ``True``, drop the first and last run of the sequence.  Those
+        runs are *edge-censored* — the trace starts or ends mid-interval, so
+        their recorded length is a lower bound, not a complete interval —
+        and counting them biases mean interval lengths short on short
+        traces.  The default (``False``) keeps the historical behaviour for
+        descriptive statistics; the calibrated fitters in
+        :mod:`repro.traces.fit` exclude them.
     """
-    values = _as_state_array(sequence)
     intervals: Dict[ProcessorState, List[int]] = {UP: [], RECLAIMED: [], DOWN: []}
-    if values.size == 0:
-        return intervals
-    run_state = values[0]
-    run_length = 1
-    for value in values[1:]:
-        if value == run_state:
-            run_length += 1
-        else:
-            intervals[ProcessorState(int(run_state))].append(run_length)
-            run_state = value
-            run_length = 1
-    intervals[ProcessorState(int(run_state))].append(run_length)
+    runs = state_runs(sequence)
+    if censor_edges:
+        # The first and the last run are both censored; a single-run sequence
+        # is censored on both sides and contributes nothing.
+        runs = runs[1:-1]
+    for state, length in runs:
+        intervals[state].append(length)
     return intervals
 
 
@@ -129,13 +166,25 @@ class TraceStatistics:
     empirical_matrix: np.ndarray
 
     @classmethod
-    def from_sequence(cls, sequence: Union[Sequence[int], np.ndarray]) -> "TraceStatistics":
+    def from_sequence(
+        cls,
+        sequence: Union[Sequence[int], np.ndarray],
+        *,
+        censor_edges: bool = False,
+    ) -> "TraceStatistics":
+        """Summarise one state sequence.
+
+        ``censor_edges`` controls whether the edge-censored first/last runs
+        count towards the mean interval lengths (see
+        :func:`state_intervals`); the default keeps them, pinning the
+        historical behaviour of existing callers.
+        """
         values = _as_state_array(sequence)
         length = int(values.size)
         if length == 0:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, np.eye(3))
         fractions = [float(np.mean(values == code)) for code in range(3)]
-        intervals = state_intervals(values)
+        intervals = state_intervals(values, censor_edges=censor_edges)
 
         def mean_or_zero(items: List[int]) -> float:
             return float(np.mean(items)) if items else 0.0

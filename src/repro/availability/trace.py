@@ -13,6 +13,14 @@ Two distinct needs are served here:
   replays one row of a trace.  :class:`TraceAvailabilityModel` wraps a single
   per-processor state sequence and exposes the model interface, fitting an
   empirical Markov matrix for use by the analysis-based heuristics.
+
+Recorded logs enter this representation through :mod:`repro.traces`:
+:mod:`repro.traces.formats` parses interval CSV / JSONL event / compact
+files into :class:`AvailabilityTrace` matrices, :mod:`repro.traces.fit`
+calibrates Markov / semi-Markov / diurnal models against them, and
+:mod:`repro.traces.resample` bootstrap-resamples them into substrates for
+arbitrary processor counts (registered as the ``trace-catalog``,
+``trace-bootstrap`` and ``fitted`` availability kinds).
 """
 
 from __future__ import annotations

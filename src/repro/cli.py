@@ -13,6 +13,9 @@ Commands
 ``offline``   Solve a random small off-line instance exactly (Theorem 4.1 artefacts).
 ``heuristics``  List the registered heuristics (family, parameters, description).
 ``models``    List the registered availability-model substrates.
+``traces``    Recorded-trace pipeline: ``convert`` between log formats,
+              ``stats`` for interval statistics, ``fit`` calibrated models
+              with goodness-of-fit, ``sample`` bootstrap/fitted substrates.
 
 Every table/figure command accepts ``--scale {smoke,reduced,paper}`` plus
 individual overrides (``--scenarios``, ``--trials``, ``--wmin``, ``--ncom``,
@@ -213,6 +216,117 @@ def build_parser() -> argparse.ArgumentParser:
     )
     models.add_argument(
         "--names-only", action="store_true", help="print bare names, one per line"
+    )
+
+    traces = subparsers.add_parser(
+        "traces",
+        help="recorded-trace pipeline: convert, stats, fit, sample",
+    )
+    traces_sub = traces.add_subparsers(dest="traces_command", required=True)
+
+    def add_input_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("input", help="trace file (csv/jsonl/json/trace/txt) or catalog directory")
+        sub.add_argument("--dataset", default=None, help="dataset name inside a catalog directory")
+        sub.add_argument(
+            "--slot", type=float, default=1.0,
+            help="recorded time units per slot for CSV/JSONL inputs (default 1.0)",
+        )
+        sub.add_argument(
+            "--gap", choices=("down", "hold", "error"), default="down",
+            help="state for slots no interval covers (default down)",
+        )
+        sub.add_argument(
+            "--overlap", choices=("error", "first", "last"), default="error",
+            help="conflicting-interval policy (default error)",
+        )
+        sub.add_argument(
+            "--horizon", type=int, default=None,
+            help="force the trace length in slots (default: from the recording)",
+        )
+
+    convert = traces_sub.add_parser(
+        "convert", help="re-encode a recorded trace in another format"
+    )
+    add_input_arguments(convert)
+    convert.add_argument("--output", required=True, help="destination file")
+    convert.add_argument(
+        "--to", choices=("csv", "jsonl", "compact", "json"), default=None,
+        help="output format (default: inferred from the output suffix)",
+    )
+    convert.add_argument(
+        "--output-slot", type=float, default=1.0,
+        help="time units per slot written to CSV/JSONL outputs (default 1.0)",
+    )
+
+    stats = traces_sub.add_parser(
+        "stats", help="per-processor interval statistics of a recorded trace"
+    )
+    add_input_arguments(stats)
+    stats.add_argument(
+        "--censor-edges", action="store_true",
+        help="exclude edge-censored first/last runs from mean interval lengths",
+    )
+
+    fit = traces_sub.add_parser(
+        "fit", help="fit calibrated models and report goodness-of-fit"
+    )
+    add_input_arguments(fit)
+    fit.add_argument(
+        "--kind", choices=("markov", "semi-markov", "diurnal", "all"), default="all",
+        help="model family to calibrate (default: all three)",
+    )
+    fit.add_argument(
+        "--day-length", type=int, default=96,
+        help="slots per day for the diurnal fit (default 96)",
+    )
+    fit.add_argument(
+        "--phases", type=int, default=2,
+        help="phase bins per day for the diurnal fit (default 2)",
+    )
+    fit.add_argument(
+        "--prior", type=float, default=0.0,
+        help="Laplace smoothing count for the markov/diurnal fits (default 0)",
+    )
+
+    sample = traces_sub.add_parser(
+        "sample", help="generate a calibrated substrate from a recorded trace"
+    )
+    add_input_arguments(sample)
+    sample.add_argument(
+        "--kind",
+        choices=("bootstrap", "markov", "semi-markov", "diurnal"),
+        default="bootstrap",
+        help="generator: bootstrap resampling or a fitted family (default bootstrap)",
+    )
+    sample.add_argument(
+        "--processors", type=int, default=None,
+        help="rows to generate (default: as recorded)",
+    )
+    sample.add_argument(
+        "--length", type=int, default=None,
+        help="slots to generate (default: the recorded horizon)",
+    )
+    sample.add_argument(
+        "--block", type=int, default=None,
+        help="block-bootstrap block length in slots (default: whole-row bootstrap)",
+    )
+    sample.add_argument("--seed", type=int, default=0, help="generation seed (default 0)")
+    sample.add_argument("--output", required=True, help="destination trace file")
+    sample.add_argument(
+        "--to", choices=("csv", "jsonl", "compact", "json"), default=None,
+        help="output format (default: inferred from the output suffix)",
+    )
+    sample.add_argument(
+        "--output-slot", type=float, default=1.0,
+        help="time units per slot written to CSV/JSONL outputs (default 1.0)",
+    )
+    sample.add_argument(
+        "--day-length", type=int, default=96,
+        help="slots per day for the diurnal fit (default 96)",
+    )
+    sample.add_argument(
+        "--phases", type=int, default=2,
+        help="phase bins per day for the diurnal fit (default 2)",
     )
 
     return parser
@@ -469,6 +583,173 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_traces_input(args: argparse.Namespace):
+    """Load the trace named by a ``repro traces`` subcommand's arguments."""
+    from pathlib import Path
+
+    from repro.traces.formats import TraceCatalog, load_trace
+
+    path = Path(args.input)
+    if path.is_dir():
+        catalog = TraceCatalog(path)
+        if args.dataset is None:
+            raise ExperimentError(
+                f"{path} is a catalog directory: pass --dataset "
+                f"(available: {catalog.names()})"
+            )
+        defaults = {"slot": args.slot, "gap": args.gap, "overlap": args.overlap}
+        if args.horizon is not None:
+            defaults["horizon"] = args.horizon
+        return catalog.load(args.dataset, defaults=defaults)
+    return load_trace(
+        path,
+        slot_duration=args.slot,
+        gap=args.gap,
+        overlap=args.overlap,
+        horizon=args.horizon,
+    )
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
+    from repro.traces.formats import write_trace
+
+    try:
+        trace = _load_traces_input(args)
+
+        if args.traces_command == "convert":
+            path = write_trace(
+                trace, args.output, format=args.to, slot_duration=args.output_slot
+            )
+            print(
+                f"{args.input}: {trace.num_processors} processors x "
+                f"{trace.horizon} slots written to {path}"
+            )
+            return 0
+
+        if args.traces_command == "stats":
+            return _cmd_traces_stats(trace, args)
+
+        if args.traces_command == "fit":
+            return _cmd_traces_fit(trace, args)
+
+        # sample
+        from repro.traces.fit import FIT_KINDS
+        from repro.traces.resample import bootstrap_trace, fitted_trace
+
+        for name in ("processors", "length"):
+            value = getattr(args, name)
+            if value is not None and value < 1:
+                raise ExperimentError(f"--{name} must be >= 1, got {value}")
+        processors = trace.num_processors if args.processors is None else args.processors
+        length = trace.horizon if args.length is None else args.length
+        if args.kind == "bootstrap":
+            generated = bootstrap_trace(
+                trace, processors, args.seed, block_length=args.block, horizon=length
+            )
+        else:
+            assert args.kind in FIT_KINDS
+            options = {}
+            if args.kind == "diurnal":
+                options = {"day_length": args.day_length, "num_phases": args.phases}
+            generated = fitted_trace(
+                args.kind, trace, processors, length, args.seed, **options
+            )
+        path = write_trace(
+            generated, args.output, format=args.to, slot_duration=args.output_slot
+        )
+        print(
+            f"sampled {generated.num_processors} x {generated.horizon} slots "
+            f"({args.kind}) to {path}"
+        )
+        return 0
+    except (ExperimentError, ReproError) as error:
+        print(f"traces {args.traces_command}: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_traces_stats(trace, args: argparse.Namespace) -> int:
+    from repro.availability.statistics import TraceStatistics
+
+    rows = []
+    for index in range(trace.num_processors):
+        stats = TraceStatistics.from_sequence(
+            trace.row(index), censor_edges=args.censor_edges
+        )
+        rows.append(
+            [
+                f"P{index}",
+                str(stats.length),
+                f"{100 * stats.up_fraction:.1f}%",
+                f"{100 * stats.reclaimed_fraction:.1f}%",
+                f"{100 * stats.down_fraction:.1f}%",
+                f"{stats.mean_up_interval:.1f}",
+                f"{stats.mean_reclaimed_interval:.1f}",
+                f"{stats.mean_down_interval:.1f}",
+                str(stats.num_failures),
+            ]
+        )
+    print(format_table(
+        rows,
+        headers=["proc", "slots", "up", "recl", "down",
+                 "mean up", "mean recl", "mean down", "failures"],
+        align_right=[False] + [True] * 8,
+    ))
+    # Pooled occupancy over the whole matrix (never flatten rows into one
+    # sequence: row boundaries are not transitions).
+    import numpy as np
+
+    states = trace.states
+    fractions = [float(np.mean(states == code)) for code in range(3)]
+    print(
+        f"\npooled: {trace.num_processors} processors x {trace.horizon} slots, "
+        f"up {100 * fractions[0]:.1f}%, reclaimed "
+        f"{100 * fractions[1]:.1f}%, down {100 * fractions[2]:.1f}%"
+    )
+    if args.censor_edges:
+        print("(mean intervals exclude edge-censored first/last runs)")
+    return 0
+
+
+def _cmd_traces_fit(trace, args: argparse.Namespace) -> int:
+    from repro.traces.fit import FIT_KINDS, fit_model
+
+    kinds = FIT_KINDS if args.kind == "all" else (args.kind,)
+    rows = []
+    for kind in kinds:
+        options = {}
+        if kind in ("markov", "diurnal"):
+            options["prior"] = args.prior
+        if kind == "diurnal":
+            options["day_length"] = args.day_length
+            options["num_phases"] = args.phases
+        fitted = fit_model(kind, trace, **options)
+
+        def ks_text(value: float) -> str:
+            return "-" if value != value else f"{value:.3f}"
+
+        rows.append(
+            [
+                kind,
+                f"{fitted.log_likelihood:.1f}",
+                str(fitted.num_transitions),
+                ks_text(fitted.ks["UP"]),
+                ks_text(fitted.ks["RECLAIMED"]),
+                ks_text(fitted.ks["DOWN"]),
+                fitted.model.describe(),
+            ]
+        )
+    print(format_table(
+        rows,
+        headers=["kind", "log-lik", "transitions", "KS up", "KS recl", "KS down", "fitted model"],
+        align_right=[False, True, True, True, True, True, False],
+    ))
+    print()
+    print("KS: Kolmogorov-Smirnov distance between the empirical interval-length")
+    print("distribution of each state and the fitted sojourn law (lower is better).")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -490,6 +771,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_heuristics(args)
     if args.command == "models":
         return _cmd_models(args)
+    if args.command == "traces":
+        return _cmd_traces(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -193,16 +193,22 @@ class CampaignSpec:
         )
 
     def _runtime_availability(self) -> Optional[AvailabilitySpec]:
-        """The availability spec as the runner needs it (trace paths resolved)."""
+        """The availability spec as the runner needs it (trace paths resolved).
+
+        Any registered substrate with a ``path`` parameter (``trace``,
+        ``trace-catalog``, ``trace-bootstrap``, ``fitted``, custom ones) gets
+        relative paths resolved against the spec file's directory.
+        """
         if self.availability.is_default_markov():
             return None
         availability = self.availability
-        if availability.kind == "trace" and self.base_dir is not None:
-            path = Path(str(availability.get("path")))
+        raw_path = availability.get("path")
+        if raw_path is not None and self.base_dir is not None:
+            path = Path(str(raw_path))
             if not path.is_absolute():
                 resolved = str((Path(self.base_dir) / path).resolve())
                 availability = AvailabilitySpec(
-                    kind="trace",
+                    kind=availability.kind,
                     parameters=tuple(
                         (key, resolved if key == "path" else value)
                         for key, value in availability.parameters

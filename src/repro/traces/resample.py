@@ -1,0 +1,161 @@
+"""Calibrated workload generation from recorded traces.
+
+Three ways of turning one recorded multi-processor dataset into a substrate
+for an arbitrary number of simulated processors:
+
+* **row bootstrap** — each simulated processor replays one recorded row,
+  drawn with replacement (classic bootstrap over machines);
+* **block bootstrap** — each simulated processor's sequence is stitched from
+  fixed-length blocks cut at random offsets of random recorded rows, which
+  preserves short-range temporal structure while decoupling the generated
+  horizon from the recorded one;
+* **fit-then-sample** — fit one of the synthetic families
+  (:mod:`repro.traces.fit`) and sample fresh trajectories from it.
+
+All generators are deterministic in the supplied :class:`numpy.random.Generator`,
+so campaign platforms built from them inherit the experiment harness's exact
+reproducibility (the scenario's platform seed fully determines the draw).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.availability.model import AvailabilityModel
+from repro.availability.trace import AvailabilityTrace, TraceAvailabilityModel
+from repro.exceptions import ReproError
+from repro.traces.fit import fit_model
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+
+__all__ = [
+    "TraceResampleError",
+    "bootstrap_rows",
+    "block_bootstrap_row",
+    "bootstrap_models",
+    "bootstrap_trace",
+    "fitted_trace",
+]
+
+
+class TraceResampleError(ReproError, ValueError):
+    """A resampling request is inconsistent with the recorded dataset."""
+
+
+def bootstrap_rows(
+    trace: AvailabilityTrace, count: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """*count* recorded rows drawn with replacement (row bootstrap)."""
+    if count < 0:
+        raise TraceResampleError(f"count must be >= 0, got {count}")
+    indices = rng.integers(0, trace.num_processors, size=count)
+    return [trace.row(int(index)) for index in indices]
+
+
+def block_bootstrap_row(
+    trace: AvailabilityTrace,
+    horizon: int,
+    rng: np.random.Generator,
+    *,
+    block_length: int,
+) -> np.ndarray:
+    """One synthetic row of *horizon* slots stitched from random recorded blocks.
+
+    Each block is ``block_length`` consecutive slots cut from a uniformly
+    random (row, offset) position of the recording; the final block is
+    truncated to fit.  Blocks never wrap past the end of a recorded row, so
+    no artificial state seam is introduced inside a block.
+    """
+    if horizon < 1:
+        raise TraceResampleError(f"horizon must be >= 1, got {horizon}")
+    if block_length < 1:
+        raise TraceResampleError(f"block_length must be >= 1, got {block_length}")
+    block_length = min(block_length, trace.horizon)
+    pieces = []
+    filled = 0
+    max_offset = trace.horizon - block_length
+    while filled < horizon:
+        row = int(rng.integers(0, trace.num_processors))
+        offset = int(rng.integers(0, max_offset + 1))
+        take = min(block_length, horizon - filled)
+        pieces.append(trace.row(row)[offset: offset + take])
+        filled += take
+    return np.concatenate(pieces)
+
+
+def bootstrap_models(
+    trace: AvailabilityTrace,
+    rng: np.random.Generator,
+    count: int,
+    *,
+    block_length: Optional[int] = None,
+    horizon: Optional[int] = None,
+    wrap: bool = True,
+) -> List[AvailabilityModel]:
+    """Per-processor replay models resampled from a recorded dataset.
+
+    With ``block_length=None`` each model replays one bootstrap-drawn
+    recorded row; otherwise each model replays a block-bootstrap sequence of
+    ``horizon`` slots (default: the recorded horizon).  This is the factory
+    behind the ``trace-bootstrap`` availability substrate.
+    """
+    if block_length is None:
+        return [TraceAvailabilityModel(row, wrap=wrap) for row in bootstrap_rows(trace, count, rng)]
+    length = trace.horizon if horizon is None else int(horizon)
+    return [
+        TraceAvailabilityModel(
+            block_bootstrap_row(trace, length, rng, block_length=block_length), wrap=wrap
+        )
+        for _ in range(count)
+    ]
+
+
+def bootstrap_trace(
+    trace: AvailabilityTrace,
+    num_processors: int,
+    seed: SeedLike = None,
+    *,
+    block_length: Optional[int] = None,
+    horizon: Optional[int] = None,
+) -> AvailabilityTrace:
+    """A resampled fixed trace for *num_processors* rows (``repro traces sample``)."""
+    rng = as_generator(seed)
+    length = trace.horizon if horizon is None else int(horizon)
+    if block_length is None:
+        if length > trace.horizon:
+            raise TraceResampleError(
+                f"row bootstrap cannot extend the recorded horizon "
+                f"({trace.horizon} slots) to {length}; use block_length= instead"
+            )
+        rows = [row[:length] for row in bootstrap_rows(trace, num_processors, rng)]
+    else:
+        rows = [
+            block_bootstrap_row(trace, length, rng, block_length=block_length)
+            for _ in range(num_processors)
+        ]
+    return AvailabilityTrace(np.vstack(rows))
+
+
+def fitted_trace(
+    kind: str,
+    trace: AvailabilityTrace,
+    num_processors: int,
+    horizon: int,
+    seed: SeedLike = None,
+    **fit_options,
+) -> AvailabilityTrace:
+    """Fit family *kind* to *trace*, then sample a fresh synthetic trace.
+
+    The "fit-then-sample" generator: campaigns use the registered ``fitted``
+    substrate instead, but this one-call version backs ``repro traces
+    sample`` and the round-trip recovery tests (fit → generate → fit).
+    """
+    fitted = fit_model(kind, trace, **fit_options)
+    root = as_generator(seed)
+    generators = spawn_generators(int(root.integers(0, 2**62)), num_processors)
+    rows = [
+        fitted.instantiate().sample_trajectory(horizon, generator)
+        for generator in generators
+    ]
+    return AvailabilityTrace(np.vstack(rows))

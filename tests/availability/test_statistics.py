@@ -8,6 +8,7 @@ from repro.availability.statistics import (
     estimate_markov_matrix,
     estimate_markov_model,
     state_intervals,
+    state_runs,
     transition_counts,
 )
 from repro.types import DOWN, RECLAIMED, UP
@@ -72,6 +73,42 @@ class TestStateIntervals:
 
     def test_single_run(self):
         assert state_intervals([0, 0, 0])[UP] == [3]
+
+
+class TestStateRuns:
+    def test_run_length_encoding(self):
+        assert state_runs(list("uuurrduu")) == [(UP, 3), (RECLAIMED, 2), (DOWN, 1), (UP, 2)]
+
+    def test_empty(self):
+        assert state_runs([]) == []
+
+
+class TestCensorEdges:
+    def test_drops_first_and_last_run(self):
+        intervals = state_intervals(list("uuurrduu"), censor_edges=True)
+        assert intervals[UP] == []  # both UP runs touch an edge
+        assert intervals[RECLAIMED] == [2]
+        assert intervals[DOWN] == [1]
+
+    def test_single_run_is_doubly_censored(self):
+        intervals = state_intervals([0, 0, 0], censor_edges=True)
+        assert intervals[UP] == []
+
+    def test_default_keeps_edges(self):
+        # Pinned historical behaviour: edge runs count as complete intervals.
+        assert state_intervals(list("uuurrduu"))[UP] == [3, 2]
+
+    def test_trace_statistics_censoring_removes_short_bias(self):
+        # The long edge runs are censored; only the complete length-2 UP run
+        # remains, so the censored mean is not dragged up by the edges.
+        sequence = list("u" * 50 + "r" + "uu" + "r" + "u" * 50)
+        biased = TraceStatistics.from_sequence(sequence)
+        censored = TraceStatistics.from_sequence(sequence, censor_edges=True)
+        assert biased.mean_up_interval > 30
+        assert censored.mean_up_interval == pytest.approx(2.0)
+        # Occupancy fractions and failure counts are unaffected.
+        assert censored.up_fraction == biased.up_fraction
+        assert censored.num_failures == biased.num_failures
 
 
 class TestTraceStatistics:

@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 
 class TestParser:
@@ -118,7 +121,73 @@ class TestCommands:
     def test_models_names_only(self, capsys):
         assert main(["models", "--names-only"]) == 0
         out = capsys.readouterr().out
-        assert out.strip().splitlines() == ["markov", "semi-markov", "diurnal", "trace"]
+        assert out.strip().splitlines() == [
+            "markov", "semi-markov", "diurnal", "trace",
+            "trace-catalog", "trace-bootstrap", "fitted",
+        ]
+
+    def test_traces_pipeline_end_to_end(self, capsys, tmp_path):
+        """convert -> stats -> fit -> sample over the shipped example dataset."""
+        dataset = str(EXAMPLES_DIR / "traces" / "desktop_week.csv")
+        converted = tmp_path / "week.json"
+        assert main([
+            "traces", "convert", dataset, "--slot", "900", "--output", str(converted),
+        ]) == 0
+        assert "12 processors x 672 slots" in capsys.readouterr().out
+
+        assert main(["traces", "stats", str(converted), "--censor-edges"]) == 0
+        out = capsys.readouterr().out
+        assert "P0" in out and "pooled" in out
+
+        assert main(["traces", "fit", str(converted), "--kind", "all"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("markov", "semi-markov", "diurnal"):
+            assert kind in out
+        assert "KS" in out
+
+        sampled = tmp_path / "sampled.json"
+        assert main([
+            "traces", "sample", str(converted), "--kind", "semi-markov",
+            "--processors", "4", "--length", "300", "--seed", "5",
+            "--output", str(sampled),
+        ]) == 0
+        payload = json.loads(sampled.read_text())
+        assert payload["type"] == "trace"
+        assert len(payload["rows"]) == 4
+        assert len(payload["rows"][0]) == 300
+
+    def test_traces_catalog_input_requires_dataset(self, capsys):
+        catalog = str(EXAMPLES_DIR / "traces")
+        assert main(["traces", "stats", catalog]) == 2
+        assert "--dataset" in capsys.readouterr().err
+        assert main(["traces", "stats", catalog, "--dataset", "desktop_week"]) == 0
+        assert "pooled" in capsys.readouterr().out
+
+    def test_traces_bad_input_is_reported(self, capsys, tmp_path):
+        missing = tmp_path / "nope.csv"
+        assert main(["traces", "stats", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_traces_sample_rejects_zero_counts(self, capsys, tmp_path):
+        dataset = str(EXAMPLES_DIR / "traces" / "desktop_week.csv")
+        assert main([
+            "traces", "sample", dataset, "--slot", "900", "--processors", "0",
+            "--output", str(tmp_path / "out.json"),
+        ]) == 2
+        assert "--processors" in capsys.readouterr().err
+
+    def test_traces_sample_csv_output_slot_round_trips(self, capsys, tmp_path):
+        dataset = str(EXAMPLES_DIR / "traces" / "desktop_week.csv")
+        out = tmp_path / "boot.csv"
+        assert main([
+            "traces", "sample", dataset, "--slot", "900", "--kind", "bootstrap",
+            "--block", "96", "--processors", "4", "--seed", "3",
+            "--output", str(out), "--output-slot", "900",
+        ]) == 0
+        capsys.readouterr()
+        # The sampled CSV reloads at the same slot duration it was written at.
+        assert main(["traces", "stats", str(out), "--slot", "900"]) == 0
+        assert "4 processors x 672 slots" in capsys.readouterr().out
 
     def test_offline_command(self, capsys):
         assert main(["offline", "--left", "5", "--right", "6", "--a", "2", "--b", "2",

@@ -316,4 +316,7 @@ class TestFacadeVerbs:
         assert set(ALL_HEURISTICS).issubset(heuristic_names)
         assert set(EXTENSION_HEURISTIC_NAMES).issubset(heuristic_names)
         model_names = [info.name for info in api.availability_models()]
-        assert model_names == ["markov", "semi-markov", "diurnal", "trace"]
+        assert model_names == [
+            "markov", "semi-markov", "diurnal", "trace",
+            "trace-catalog", "trace-bootstrap", "fitted",
+        ]

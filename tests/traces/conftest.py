@@ -1,0 +1,25 @@
+"""Shared fixtures for the trace-subsystem tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def example_traces_dir() -> Path:
+    """The shipped example dataset directory (examples/traces)."""
+    directory = REPO_ROOT / "examples" / "traces"
+    assert directory.is_dir(), "examples/traces must ship with the repository"
+    return directory
+
+
+@pytest.fixture(scope="session")
+def example_campaign_spec() -> Path:
+    """The shipped trace-driven campaign spec."""
+    path = REPO_ROOT / "examples" / "campaign_traces.toml"
+    assert path.is_file()
+    return path

@@ -1,0 +1,288 @@
+"""Tests for trace ingestion: interval CSV, JSONL events, compact strings."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.trace import AvailabilityTrace
+from repro.traces.formats import (
+    TraceCatalog,
+    TraceFormatError,
+    load_compact,
+    load_interval_csv,
+    load_jsonl_events,
+    load_trace,
+    trace_from_intervals,
+    write_interval_csv,
+    write_jsonl_events,
+    write_trace,
+)
+
+ROWS = st.lists(
+    st.text(alphabet="urd", min_size=1, max_size=40), min_size=1, max_size=6
+).map(lambda rows: [row.ljust(max(len(r) for r in rows), row[-1]) for row in rows])
+
+
+class TestTraceFromIntervals:
+    def test_basic(self):
+        trace = trace_from_intervals(
+            [("a", 0, 3, "u"), ("a", 3, 5, "r"), ("b", 0, 5, "d")]
+        )
+        assert trace.to_strings() == ["uuurr", "ddddd"]
+
+    def test_nodes_sorted_by_name(self):
+        trace = trace_from_intervals([("b", 0, 2, "r"), ("a", 0, 2, "u")])
+        assert trace.to_strings() == ["uu", "rr"]
+
+    def test_slot_duration_scales_times(self):
+        trace = trace_from_intervals(
+            [("n", 0, 1800, "u"), ("n", 1800, 2700, "d")], slot_duration=900
+        )
+        assert trace.to_strings() == ["uud"]
+
+    def test_boundary_slot_goes_to_majority_interval(self):
+        # [0, 4.6) and [4.6, 9): slot 4 is mostly covered by the first.
+        trace = trace_from_intervals([("n", 0, 4.6, "u"), ("n", 4.6, 9, "r")])
+        assert trace.to_strings() == ["uuuuurrrr"]
+
+    def test_gap_down_default(self):
+        trace = trace_from_intervals([("n", 0, 2, "u"), ("n", 4, 6, "u")])
+        assert trace.to_strings() == ["uudduu"]
+
+    def test_gap_hold(self):
+        trace = trace_from_intervals(
+            [("n", 0, 2, "u"), ("n", 4, 6, "r")], gap="hold"
+        )
+        assert trace.to_strings() == ["uuuurr"]
+
+    def test_gap_hold_leading_gap_is_down(self):
+        trace = trace_from_intervals([("n", 2, 4, "u")], gap="hold")
+        assert trace.to_strings() == ["dduu"]
+
+    def test_gap_error(self):
+        with pytest.raises(TraceFormatError, match="covered by"):
+            trace_from_intervals([("n", 0, 2, "u"), ("n", 4, 6, "u")], gap="error")
+
+    def test_overlap_error_default(self):
+        with pytest.raises(TraceFormatError, match="overlapping"):
+            trace_from_intervals([("n", 0, 4, "u"), ("n", 2, 6, "r")])
+
+    def test_overlap_first_and_last(self):
+        records = [("n", 0, 4, "u"), ("n", 2, 6, "r")]
+        assert trace_from_intervals(records, overlap="first").to_strings() == ["uuuurr"]
+        assert trace_from_intervals(records, overlap="last").to_strings() == ["uurrrr"]
+
+    def test_horizon_truncates_and_pads(self):
+        records = [("n", 0, 6, "u")]
+        assert trace_from_intervals(records, horizon=3).to_strings() == ["uuu"]
+        assert trace_from_intervals(records, horizon=8).to_strings() == ["uuuuuudd"]
+
+    def test_rejects_bad_records(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_intervals([])
+        with pytest.raises(TraceFormatError):
+            trace_from_intervals([("n", 3, 1, "u")])
+        with pytest.raises(TraceFormatError):
+            trace_from_intervals([("n", 0, 1, "x")])
+        with pytest.raises(TraceFormatError):
+            trace_from_intervals([("n", 0, 1, "u")], gap="nope")
+        with pytest.raises(TraceFormatError):
+            trace_from_intervals([("n", 0, 1, "u")], overlap="nope")
+        with pytest.raises(TraceFormatError):
+            trace_from_intervals([("n", 0, 1, "u")], slot_duration=0)
+
+
+class TestCsvRoundTrip:
+    def test_header_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "node,start,end,state\n# comment\na,0,3,u\n\na,3,4,d\n"
+        )
+        assert load_interval_csv(path).to_strings() == ["uuud"]
+
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,0,2,u\na,2,3,r\n")
+        assert load_interval_csv(path).to_strings() == ["uur"]
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,0,2\n")
+        with pytest.raises(TraceFormatError, match="4 columns"):
+            load_interval_csv(path)
+
+    def test_header_after_comment_lines(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# exported log\nnode,start,end,state\na,0,2,u\n")
+        assert load_interval_csv(path).to_strings() == ["uu"]
+
+    def test_non_numeric_data_row_is_clean_error(self, tmp_path):
+        # Regression: a bad numeric field past the header used to escape as
+        # a raw ValueError (traceback) instead of a TraceFormatError.
+        path = tmp_path / "t.csv"
+        path.write_text("a,0,2,u\na,oops,3,u\n")
+        with pytest.raises(TraceFormatError, match="non-numeric"):
+            load_interval_csv(path)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=ROWS, slot=st.sampled_from([1.0, 60.0, 900.0]))
+    def test_round_trip(self, tmp_path_factory, rows, slot):
+        trace = AvailabilityTrace(rows)
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        write_interval_csv(trace, path, slot_duration=slot)
+        assert load_interval_csv(path, slot_duration=slot) == trace
+
+
+class TestJsonlRoundTrip:
+    def test_events_hold_until_next(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [
+            {"node": "a", "time": 0, "state": "u"},
+            {"node": "a", "time": 3, "state": "d"},
+            {"node": "b", "time": 0, "state": "r"},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        trace = load_jsonl_events(path, horizon=5)
+        assert trace.to_strings() == ["uuudd", "rrrrr"]
+
+    def test_unsorted_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [
+            {"node": "a", "time": 3, "state": "d"},
+            {"node": "a", "time": 0, "state": "u"},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        assert load_jsonl_events(path, horizon=4).to_strings() == ["uuud"]
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"node": "a"}\n')
+        with pytest.raises(TraceFormatError, match="bad event"):
+            load_jsonl_events(path)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=ROWS)
+    def test_round_trip(self, tmp_path_factory, rows):
+        # No explicit horizon: the stream must be self-delimiting.
+        trace = AvailabilityTrace(rows)
+        path = tmp_path_factory.mktemp("jsonl") / "t.jsonl"
+        write_jsonl_events(trace, path)
+        assert load_jsonl_events(path) == trace
+
+    def test_round_trip_preserves_final_run_and_constant_rows(self, tmp_path):
+        # Regression: the writer used to emit only run-start events, so the
+        # final run of every node (and whole constant traces) was lost.
+        trace = AvailabilityTrace(["uuuud", "rrrrr"])
+        path = tmp_path / "t.jsonl"
+        write_jsonl_events(trace, path)
+        assert load_jsonl_events(path) == trace
+
+
+class TestCompactAndJson:
+    @settings(max_examples=25, deadline=None)
+    @given(rows=ROWS)
+    def test_compact_round_trip(self, tmp_path_factory, rows):
+        trace = AvailabilityTrace(rows)
+        path = tmp_path_factory.mktemp("compact") / "t.trace"
+        write_trace(trace, path)
+        assert load_compact(path) == trace
+
+    def test_json_round_trip(self, tmp_path):
+        trace = AvailabilityTrace(["uurd", "dddd"])
+        path = tmp_path / "t.json"
+        write_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# rows\nuur\ndru\n")
+        assert load_compact(path).to_strings() == ["uur", "dru"]
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("\n")
+        with pytest.raises(TraceFormatError):
+            load_compact(path)
+
+
+class TestLoadTraceDispatch:
+    def test_unknown_suffix(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="suffix"):
+            load_trace(tmp_path / "t.xyz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_trace(tmp_path / "t.csv")
+
+    def test_write_requires_known_format(self, tmp_path):
+        trace = AvailabilityTrace(["uu"])
+        with pytest.raises(TraceFormatError, match="format"):
+            write_trace(trace, tmp_path / "t.xyz")
+        write_trace(trace, tmp_path / "t.xyz", format="compact")
+        assert load_compact(tmp_path / "t.xyz") == trace
+
+
+class TestTraceCatalog:
+    def make_catalog(self, tmp_path):
+        (tmp_path / "alpha.txt").write_text("uud\nruu\n")
+        (tmp_path / "beta.csv").write_text("n,0,1800,u\nn,1800,2700,d\n")
+        (tmp_path / "catalog.json").write_text(json.dumps({"beta": {"slot": 900}}))
+        (tmp_path / "notes.rst").write_text("ignored\n")
+        return TraceCatalog(tmp_path)
+
+    def test_names_and_membership(self, tmp_path):
+        catalog = self.make_catalog(tmp_path)
+        assert catalog.names() == ["alpha", "beta"]
+        assert "alpha" in catalog and "gamma" not in catalog
+        assert len(catalog) == 2
+
+    def test_load_applies_catalog_options(self, tmp_path):
+        catalog = self.make_catalog(tmp_path)
+        assert catalog.load("alpha").to_strings() == ["uud", "ruu"]
+        assert catalog.load("beta").to_strings() == ["uud"]
+
+    def test_caller_defaults_used_when_catalog_silent(self, tmp_path):
+        # Regression: caller-side ingestion options used to be ignored for
+        # catalog inputs even when catalog.json had no entry for the dataset.
+        (tmp_path / "gamma.csv").write_text("n,0,1800,u\nn,1800,2700,d\n")
+        catalog = self.make_catalog(tmp_path)
+        assert catalog.load("gamma", defaults={"slot": 900}).to_strings() == ["uud"]
+        # catalog.json entries still win over caller defaults.
+        assert catalog.load("beta", defaults={"slot": 1.0}).to_strings() == ["uud"]
+
+    def test_load_caches(self, tmp_path):
+        catalog = self.make_catalog(tmp_path)
+        assert catalog.load("alpha") is catalog.load("alpha")
+        # Different effective options are distinct cache entries.
+        assert catalog.load("alpha") is not catalog.load("alpha", defaults={"horizon": 2})
+
+    def test_unknown_dataset(self, tmp_path):
+        catalog = self.make_catalog(tmp_path)
+        with pytest.raises(TraceFormatError, match="no dataset"):
+            catalog.load("gamma")
+
+    def test_duplicate_stems_rejected(self, tmp_path):
+        (tmp_path / "x.txt").write_text("u\n")
+        (tmp_path / "x.csv").write_text("n,0,1,u\n")
+        with pytest.raises(TraceFormatError, match="duplicate"):
+            TraceCatalog(tmp_path)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="does not exist"):
+            TraceCatalog(tmp_path / "nope")
+
+
+class TestShippedDataset:
+    """The example dataset under examples/traces/ is a working catalog."""
+
+    def test_loads_via_catalog(self, example_traces_dir):
+        catalog = TraceCatalog(example_traces_dir)
+        assert "desktop_week" in catalog
+        trace = catalog.load("desktop_week")
+        assert trace.num_processors == 12
+        assert trace.horizon == 672
+        up_fraction = float(np.mean(trace.states == 0))
+        assert 0.7 < up_fraction < 0.95
