@@ -113,6 +113,34 @@ def compare_reports(
     return failures, lines
 
 
+#: Fingerprint fields whose change makes throughput deltas hard to interpret.
+FINGERPRINT_FIELDS = ("cpu_model", "cpu_count", "python", "numpy", "numba", "kernel_backend")
+
+
+def fingerprint_warnings(baseline: dict, current: dict) -> List[str]:
+    """Warnings (never failures) for machine-fingerprint mismatches.
+
+    Reports embed a ``machine`` fingerprint (see
+    ``bench_simulator.machine_fingerprint``).  When both sides carry one and
+    they disagree on a significant field, the throughput comparison mixes a
+    hardware/toolchain change into the code delta — worth flagging, but not
+    a regression verdict, so the gate only warns.
+    """
+    base = baseline.get("machine")
+    fresh = current.get("machine")
+    if not isinstance(base, dict) or not isinstance(fresh, dict):
+        return []
+    warnings = []
+    for field in FINGERPRINT_FIELDS:
+        if field in base and field in fresh and base[field] != fresh[field]:
+            warnings.append(
+                f"machine fingerprint mismatch on {field!r}: baseline "
+                f"{base[field]!r} vs current {fresh[field]!r} — throughput "
+                "deltas may reflect the environment, not the code"
+            )
+    return warnings
+
+
 def summary_table(baseline: dict, current: dict, *, max_drop: float) -> List[str]:
     """Markdown delta table for one report pair (``$GITHUB_STEP_SUMMARY``)."""
     key_fields, metric = _schema(baseline)
@@ -215,6 +243,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         failures.extend(pair_failures)
         print("\n".join(lines))
+        for warning in fingerprint_warnings(baseline, current):
+            print(f"WARNING: {warning}")
         print()
         if args.summary:
             summary_lines.extend(summary_table(baseline, current, max_drop=args.max_drop))

@@ -168,6 +168,27 @@ class AnalysisContext:
         return cached
 
     # ------------------------------------------------------------------
+    # Raw memo dictionaries, exposed for hot-path consumers (the incremental
+    # allocator probes them directly to skip the method-call overhead of the
+    # accessors above on cache hits).  Entries must only ever be read, or
+    # written with exactly the values :meth:`computation`,
+    # :meth:`comm_survival` and :meth:`single_expected_time` would store.
+    @property
+    def computation_cache(self) -> Dict[Tuple[FrozenSet[int], int], Tuple[float, float]]:
+        """``(frozen worker set, workload) -> (P_comp, E_comp)`` memo."""
+        return self._comp_cache
+
+    @property
+    def survival_cache(self) -> Dict[Tuple[FrozenSet[int], int], float]:
+        """``(frozen worker set, duration) -> Π P_ND(duration)`` memo."""
+        return self._survival_cache
+
+    @property
+    def single_time_cache(self) -> Dict[Tuple[int, int], float]:
+        """``(worker, comm slots) -> E^{(P_q)}(n)`` memo (``slots > 0`` keys only)."""
+        return self._single_time_cache
+
+    # ------------------------------------------------------------------
     def single_expected_time(self, worker: int, slots: int) -> float:
         """Cached single-worker ``E^{(P_q)}(n)`` (used by the communication estimate)."""
         if slots <= 0:

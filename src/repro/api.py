@@ -250,6 +250,7 @@ def run(
     platform_seed: Optional[int] = None,
     max_slots: int = 200_000,
     estimator: str = "paper",
+    sampler: str = "kernel",
 ) -> RunResult:
     """Simulate one heuristic on one platform and return a :class:`RunResult`.
 
@@ -261,7 +262,9 @@ def run(
 
     *seed* drives the simulation; *platform_seed* (default: *seed*) drives
     the platform draw, so the same platform can be re-simulated under many
-    seeds.  Results are deterministic in ``(platform, heuristic, seed)``.
+    seeds.  Results are deterministic in ``(platform, heuristic, seed)`` —
+    *sampler* picks the engine's availability driver
+    (``block``/``kernel``/``perslot``) without affecting any of them.
     """
     availability_spec = _as_availability(availability)
     if platform is None:
@@ -285,6 +288,7 @@ def run(
         seed=seed,
         max_slots=max_slots,
         analysis=analysis,
+        sampler=sampler,
     )
     result = engine.run()
     return RunResult(
@@ -308,6 +312,7 @@ def sweep(
     shard: Tuple[int, int] = (1, 1),
     jobs: int = 1,
     max_cells: Optional[int] = None,
+    sampler: str = "kernel",
     progress: Optional[Callable[[CellProgress], None]] = None,
 ) -> SweepResult:
     """Run (or resume) a declarative campaign and return a :class:`SweepResult`.
@@ -318,7 +323,9 @@ def sweep(
     :class:`~repro.experiments.store.ResultStore` — makes the sweep durable:
     completed cells are skipped on re-invocation and appended as they
     finish.  *shard* ``(i, N)`` runs one deterministic partition for
-    multi-machine campaigns.
+    multi-machine campaigns.  *sampler* is a runtime engine option (not part
+    of the spec identity); trials whose cells cover two or more
+    passive-contract heuristics are advanced in one multi-heuristic pass.
     """
     campaign_spec = _as_spec(spec)
     owned_store: Optional[ResultStore] = None
@@ -335,6 +342,7 @@ def sweep(
             shard=shard,
             n_jobs=jobs,
             max_cells=max_cells,
+            sampler=sampler,
             cell_progress=progress,
         )
     finally:
@@ -359,6 +367,7 @@ def compare(
     estimator: str = "paper",
     jobs: int = 1,
     reference: Optional[str] = None,
+    sampler: str = "kernel",
 ) -> ComparisonResult:
     """Evaluate several heuristics head-to-head on a common scenario grid.
 
@@ -368,7 +377,9 @@ def compare(
     the paper's ``IE`` when it is among the compared heuristics, otherwise
     the first heuristic listed — with sharply reduced variance.
     *heuristics* accepts parameterized expressions, e.g.
-    ``api.compare(["IE", "THRESHOLD-IE(tau=0.7)"])``.
+    ``api.compare(["IE", "THRESHOLD-IE(tau=0.7)"])``.  *sampler* selects
+    the engine driver (runtime only — results are bit-identical across
+    samplers).
     """
     availability_spec = _as_availability(availability)
     spec = CampaignSpec(
@@ -394,7 +405,7 @@ def compare(
                 f"reference heuristic {reference!r} is not among the compared "
                 f"heuristics {list(spec.heuristics)}"
             )
-    results = run_campaign_spec(spec, n_jobs=jobs)
+    results = run_campaign_spec(spec, n_jobs=jobs, sampler=sampler)
     summaries = summarize_results(results, reference=reference)
     return ComparisonResult(
         spec=spec, results=list(results), summaries=summaries, reference=reference

@@ -37,7 +37,7 @@ import sys
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.group import ExpectationMode
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ReproError
 from repro.experiments.figures import figure2_series, format_figure2
 from repro.experiments.io import save_campaign, save_results
 from repro.experiments.metrics import summarize_results
@@ -104,6 +104,11 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--heuristics", nargs="+", default=None, help="restrict to these heuristic names"
     )
+    parser.add_argument(
+        "--sampler", default="kernel", metavar="NAME",
+        help="availability sampler: block, perslot or kernel (default: kernel; "
+        "runtime-only, results are bit-identical)",
+    )
     parser.add_argument("--output", default=None, help="write raw campaign results to this JSON file")
 
 
@@ -163,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print Table-I-style summaries after the run (default: tables)",
     )
     campaign.add_argument(
+        "--sampler", default="kernel", metavar="NAME",
+        help="availability sampler: block, perslot or kernel (default: kernel; "
+        "runtime-only, results are bit-identical)",
+    )
+    campaign.add_argument(
         "--output", default=None, help="write the raw shard results to this JSON file"
     )
 
@@ -189,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--iterations", type=int, default=3)
     demo.add_argument("--seed", type=int, default=1)
     demo.add_argument("--gantt-slots", type=int, default=80, help="slots of Gantt chart to print")
+    demo.add_argument(
+        "--sampler", default="kernel", metavar="NAME",
+        help="availability sampler: block, perslot or kernel (default: kernel)",
+    )
 
     offline = subparsers.add_parser("offline", help="solve a small random off-line instance exactly")
     offline.add_argument("--left", type=int, default=8, help="|V| (processors)")
@@ -349,6 +363,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         mode=mode,
         progress=progress,
+        sampler=args.sampler,
     )
     if args.output:
         path = save_campaign(campaign, args.output)
@@ -431,6 +446,7 @@ def _cmd_campaign_spec(args: argparse.Namespace) -> int:
             n_jobs=args.jobs,
             max_cells=args.max_cells,
             cell_progress=cell_progress,
+            sampler=args.sampler,
         )
     finally:
         if store is not None:
@@ -472,7 +488,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     scheduler = create_scheduler(args.heuristic)
     engine = SimulationEngine(
         platform, application, scheduler, seed=args.seed, max_slots=200_000,
-        record_activity=True, record_events=True,
+        record_activity=True, record_events=True, sampler=args.sampler,
     )
     result = engine.run()
     print(result.describe())
@@ -754,17 +770,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("table1", "table2", "figure2"):
-        return _cmd_campaign(args)
-    if args.command in ("campaign", "merge"):
-        handler = _cmd_campaign_spec if args.command == "campaign" else _cmd_merge
+    if args.command in ("table1", "table2", "figure2", "campaign", "merge", "demo"):
+        handler = {
+            "campaign": _cmd_campaign_spec,
+            "merge": _cmd_merge,
+            "demo": _cmd_demo,
+        }.get(args.command, _cmd_campaign)
         try:
             return handler(args)
-        except ExperimentError as error:
+        except ReproError as error:
             print(f"{args.command}: {error}", file=sys.stderr)
             return 2
-    if args.command == "demo":
-        return _cmd_demo(args)
     if args.command == "offline":
         return _cmd_offline(args)
     if args.command == "heuristics":

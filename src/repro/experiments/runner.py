@@ -19,6 +19,15 @@ Three properties of the runner are important for faithfulness and efficiency:
 * **Shared analysis** — all heuristics and trials of a scenario share one
   :class:`AnalysisContext` (the Theorem 5.1 quantities depend only on the
   platform), which is what makes the proactive heuristics affordable.
+* **One-pass multi-heuristic cells** — when a trial evaluates two or more
+  passive-contract heuristics, they are advanced *simultaneously* by a
+  :class:`~repro.simulation.multirun.MultiHeuristicDriver` over one shared
+  block prefetch instead of replaying the realisation once per heuristic.
+  Results stay bit-identical (the driver's engines take exactly the
+  decisions a solo run would); only the heuristic-independent work is paid
+  once.  The ``sampler`` runtime option (default ``"kernel"``) selects the
+  per-engine availability driver and is never part of a campaign's
+  identity — all samplers produce the same results by contract.
 
 Campaigns can fan out over processes (``n_jobs > 1``); each process receives
 self-contained scenario descriptions and rebuilds platforms (and their trace
@@ -43,7 +52,8 @@ from repro.experiments.spec import CampaignCell, CampaignSpec
 from repro.platform.platform import Platform
 from repro.components import ComponentError
 from repro.scheduling.registry import ALL_HEURISTICS, canonical_heuristic, create_scheduler
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import SAMPLERS, SimulationEngine
+from repro.simulation.multirun import MultiHeuristicDriver
 from repro.simulation.results import SimulationResult
 from repro.utils.rng import derive_run_streams
 
@@ -269,6 +279,14 @@ class TraceBank:
 # ----------------------------------------------------------------------
 # Single instance / scenario execution
 # ----------------------------------------------------------------------
+def _require_sampler(sampler: str) -> None:
+    """Reject unknown sampler names with the registry-style message."""
+    if sampler not in SAMPLERS:
+        raise ExperimentError(
+            f"unknown sampler {sampler!r}; available samplers: " + ", ".join(SAMPLERS)
+        )
+
+
 def run_instance(
     scenario: ExperimentScenario,
     heuristic: str,
@@ -279,6 +297,7 @@ def run_instance(
     platform=None,
     trace=None,
     mode: ExpectationMode = ExpectationMode.PAPER,
+    sampler: str = "kernel",
 ) -> InstanceResult:
     """Run one (scenario, trial, heuristic) instance.
 
@@ -286,9 +305,12 @@ def run_instance(
     calls; when omitted they are rebuilt from the scenario
     (deterministically).  *trace* is the trial's shared availability
     realisation (see :class:`TraceBank`); passing it skips re-sampling the
-    availability chains without changing the result.
+    availability chains without changing the result.  *sampler* selects the
+    engine's availability driver (results are sampler-independent by
+    contract; see :data:`~repro.simulation.engine.SAMPLERS`).
     """
     scale = scale or CampaignScale.reduced()
+    _require_sampler(sampler)
     if platform is None:
         platform = scenario.build_platform()
     if analysis is None:
@@ -303,6 +325,7 @@ def run_instance(
         max_slots=scale.makespan_cap,
         trace=trace,
         analysis=analysis,
+        sampler=sampler,
     )
     start = time.perf_counter()
     result = engine.run()
@@ -317,6 +340,7 @@ def run_scenario(
     scale: Optional[CampaignScale] = None,
     mode: ExpectationMode = ExpectationMode.PAPER,
     share_availability: bool = True,
+    sampler: str = "kernel",
     on_result: Optional[Callable[[InstanceResult], None]] = None,
 ) -> List[InstanceResult]:
     """Run all trials of all *heuristics* on one scenario.
@@ -325,7 +349,9 @@ def run_scenario(
     *share_availability* (the default) each trial's availability realisation
     is materialised once through the :class:`TraceBank` batch sampler and
     replayed for every heuristic — the paired comparison the paper relies
-    on, without re-sampling identical chains per heuristic.  Results are
+    on, without re-sampling identical chains per heuristic.  Trials with two
+    or more passive-contract heuristics additionally go through the one-pass
+    :class:`~repro.simulation.multirun.MultiHeuristicDriver`.  Results are
     bit-identical either way.  *on_result* is invoked after every finished
     instance (per-cell progress reporting).
     """
@@ -341,6 +367,7 @@ def run_scenario(
         scale=scale,
         mode=mode,
         share_availability=share_availability,
+        sampler=sampler,
         on_result=on_result,
     )
 
@@ -352,6 +379,7 @@ def _run_scenario_work(
     scale: CampaignScale,
     mode: ExpectationMode = ExpectationMode.PAPER,
     share_availability: bool = True,
+    sampler: str = "kernel",
     on_result: Optional[Callable[[InstanceResult], None]] = None,
 ) -> List[InstanceResult]:
     """Run an ordered subset of one scenario's (trial, heuristic) pairs.
@@ -360,9 +388,18 @@ def _run_scenario_work(
     scenario re-runs only its missing cells, while the per-trial trace-bank
     replay keeps every result bit-identical to a full run (the realisation
     depends only on the trial seed, never on which heuristics consume it).
+
+    When a trial's subset contains two or more passive-contract heuristics
+    (and *sampler* is a block driver), those are advanced in one pass by a
+    :class:`~repro.simulation.multirun.MultiHeuristicDriver` sharing the
+    trial's availability blocks; the remaining heuristics run solo against
+    the same realisation.  Either path yields bit-identical results — the
+    split is purely a cost optimisation.
     """
+    _require_sampler(sampler)
     platform = scenario.build_platform()
     analysis = AnalysisContext(platform, mode=mode)
+    application = scenario.build_application(iterations=scale.iterations)
     bank = TraceBank(platform, horizon=scale.makespan_cap) if share_availability else None
     results: List[InstanceResult] = []
     trial_order: List[int] = []
@@ -374,17 +411,45 @@ def _run_scenario_work(
         by_trial[trial].append(heuristic)
     for trial in trial_order:
         trace = bank.trace_for(scenario.trial_seed(trial)) if bank is not None else None
-        for heuristic in by_trial[trial]:
-            result = run_instance(
-                scenario,
-                heuristic,
-                trial,
-                scale=scale,
-                analysis=analysis,
-                platform=platform,
-                trace=trace,
-                mode=mode,
-            )
+        names = by_trial[trial]
+        one_pass: Dict[str, InstanceResult] = {}
+        if sampler != "perslot" and len(names) >= 2:
+            contract = [
+                (name, scheduler)
+                for name, scheduler in ((n, create_scheduler(n)) for n in names)
+                if getattr(scheduler, "passive_between_rebuilds", False)
+            ]
+            if len(contract) >= 2:
+                driver = MultiHeuristicDriver(
+                    platform,
+                    application,
+                    [scheduler for _, scheduler in contract],
+                    seed=scenario.trial_seed(trial),
+                    max_slots=scale.makespan_cap,
+                    trace=trace,
+                    analysis=analysis,
+                    sampler=sampler,
+                )
+                for (name, _), sim, wall in zip(
+                    contract, driver.run(), driver.wall_seconds
+                ):
+                    one_pass[name] = InstanceResult.from_simulation(
+                        scenario, trial, sim, wall
+                    )
+        for heuristic in names:
+            result = one_pass.get(heuristic)
+            if result is None:
+                result = run_instance(
+                    scenario,
+                    heuristic,
+                    trial,
+                    scale=scale,
+                    analysis=analysis,
+                    platform=platform,
+                    trace=trace,
+                    mode=mode,
+                    sampler=sampler,
+                )
             results.append(result)
             if on_result is not None:
                 on_result(result)
@@ -407,6 +472,7 @@ def _run_scenario_payload(payload: dict) -> List[dict]:
         payload["work"],
         scale=payload["scale"],
         mode=ExpectationMode(payload["mode"]),
+        sampler=payload.get("sampler", "kernel"),
     )
     return [result.as_dict() for result in results]
 
@@ -416,6 +482,7 @@ def _scenario_payload(
     work: Sequence[Tuple[int, str]],
     scale: CampaignScale,
     mode: ExpectationMode,
+    sampler: str = "kernel",
 ) -> dict:
     return {
         "params": scenario.params,
@@ -425,6 +492,7 @@ def _scenario_payload(
         "work": list(work),
         "scale": scale,
         "mode": mode.value,
+        "sampler": sampler,
     }
 
 
@@ -436,6 +504,7 @@ def run_campaign(
     label: str = "campaign",
     n_jobs: int = 1,
     mode: ExpectationMode = ExpectationMode.PAPER,
+    sampler: str = "kernel",
     progress: Optional[Callable[[int, int], None]] = None,
     cell_progress: Optional[Callable[[CellProgress], None]] = None,
 ) -> CampaignResult:
@@ -455,6 +524,9 @@ def run_campaign(
         Number of worker processes (1 = run in-process).
     mode:
         Estimator variant used by the heuristics (paper formula vs renewal).
+    sampler:
+        Engine availability driver (``block``/``kernel``/``perslot``); a
+        runtime option only — results are sampler-independent by contract.
     progress:
         Optional coarse callback ``(done_scenarios, total_scenarios)``.
     cell_progress:
@@ -462,6 +534,7 @@ def run_campaign(
         per finished (scenario, trial, heuristic) cell.
     """
     scale = scale or CampaignScale.reduced()
+    _require_sampler(sampler)
     # Validate and canonicalize through the component registry — the single
     # source of truth shared with create_scheduler and CampaignSpec.
     resolved: List[str] = []
@@ -504,6 +577,7 @@ def run_campaign(
                     heuristics,
                     scale=scale,
                     mode=mode,
+                    sampler=sampler,
                     on_result=lambda result, scenario=scenario: emit_cell(scenario, result),
                 )
             )
@@ -516,7 +590,9 @@ def run_campaign(
         for trial in range(scale.trials_per_scenario)
         for heuristic in heuristics
     ]
-    payloads = [_scenario_payload(scenario, work, scale, mode) for scenario in scenarios]
+    payloads = [
+        _scenario_payload(scenario, work, scale, mode, sampler) for scenario in scenarios
+    ]
     done = 0
     with ProcessPoolExecutor(max_workers=n_jobs) as executor:
         for scenario, chunk in zip(scenarios, executor.map(_run_scenario_payload, payloads)):
@@ -540,6 +616,7 @@ def run_campaign_spec(
     shard: Tuple[int, int] = (1, 1),
     n_jobs: int = 1,
     max_cells: Optional[int] = None,
+    sampler: str = "kernel",
     cell_progress: Optional[Callable[[CellProgress], None]] = None,
 ) -> List[InstanceResult]:
     """Run (or resume) the campaign described by a :class:`CampaignSpec`.
@@ -567,6 +644,10 @@ def run_campaign_spec(
     max_cells:
         Stop after this many newly-run cells (used by smoke tests to
         simulate an interrupted campaign deterministically).
+    sampler:
+        Engine availability driver; a runtime option that never enters the
+        spec identity (all samplers produce identical results by contract,
+        so stored and freshly-run cells mix freely).
     cell_progress:
         Per-cell callback; ``done``/``total`` cover this shard including
         store-skipped cells, so resumed runs report true remaining work.
@@ -576,6 +657,7 @@ def run_campaign_spec(
     result set.
     """
     mode = ExpectationMode(spec.estimator)
+    _require_sampler(sampler)
     mine = spec.shard_cells(*shard)
     completed = store.completed_cells() if store is not None else set()
     skipped = [cell for cell in mine if cell.index in completed]
@@ -637,6 +719,7 @@ def run_campaign_spec(
                 work,
                 scale=scale,
                 mode=mode,
+                sampler=sampler,
                 on_result=None,
             )
             for cell, result in zip(cells, results):
@@ -649,6 +732,7 @@ def run_campaign_spec(
                 [(cell.trial, cell.heuristic) for cell in cells],
                 spec.scale_for(scenario.params.num_processors),
                 mode,
+                sampler,
             )
             for scenario, cells in groups
         ]

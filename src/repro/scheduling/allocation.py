@@ -274,11 +274,17 @@ class IncrementalAllocator:
         max of a set of floats does not depend on evaluation order), and the
         per-candidate survival products / computation estimates go through
         the :class:`AnalysisContext` memos keyed on (frozen set, duration) and
-        (frozen set, workload).  Every candidate value is produced by the same
-        scalar float expressions as ``_allocate_scalar``, so the selected
-        worker — and therefore the returned configuration — is identical.
+        (frozen set, workload).  The memo dictionaries are probed directly
+        (``AnalysisContext.computation_cache`` and friends) so a cache hit —
+        the steady state of a long simulation — costs one dictionary lookup
+        instead of a method call; misses fall through to the owning
+        :class:`AnalysisContext` methods, which populate the same memos.
+        Every candidate value is produced by the same scalar float
+        expressions as ``_allocate_scalar``, so the selected worker — and
+        therefore the returned configuration — is identical.
         """
         capacities = self._capacities
+        speeds = self._speeds
         program_set = frozenset(int(w) for w in has_program)
         reusable = {int(k): int(v) for k, v in received_data.items()} if received_data else {}
         tprog = self.platform.tprog
@@ -287,25 +293,33 @@ class IncrementalAllocator:
         criterion_name = self.criterion.name
         higher_better = self.criterion.higher_is_better
         context = self.analysis
+        # Hot locals: bound methods and raw memo probes for the inner loop.
+        ceil = math.ceil
+        inf = math.inf
+        prefetch_groups = context.prefetch_groups
+        single_expected_time = context.single_expected_time
+        comm_survival = context.comm_survival
+        computation = context.computation
+        single_time_get = context.single_time_cache.get
+        survival_get = context.survival_cache.get
+        computation_get = context.computation_cache.get
+        reusable_get = reusable.get
 
         allocation: Dict[int, int] = {}
+        allocation_get = allocation.get
         worker_set: FrozenSet[int] = frozenset()
         loads: Dict[int, int] = {}
         comm_slots: Dict[int, int] = {}
+        comm_slots_get = comm_slots.get
         max_load = 0
         total_comm = 0
         per_worker_comm_time: Dict[int, float] = {}
-
-        def candidate_comm_slots(worker: int, tasks: int) -> int:
-            already = min(reusable.get(worker, 0), tasks)
-            program_cost = 0 if worker in program_set else tprog
-            return program_cost + (tasks - already) * tdata
 
         for _ in range(self.num_tasks):
             eligible = [
                 worker
                 for worker in up_workers
-                if allocation.get(worker, 0) < capacities[worker]
+                if allocation_get(worker, 0) < capacities[worker]
             ]
             if not eligible:
                 return None  # defensive: cannot happen after the capacity sum check
@@ -315,13 +329,13 @@ class IncrementalAllocator:
                 worker: (worker_set if worker in worker_set else worker_set | {worker})
                 for worker in eligible
             }
-            context.prefetch_groups(candidate_sets.values())
+            prefetch_groups(candidate_sets.values())
 
             # Top-two of the committed per-worker communication times: the
             # "slowest other transfer" for candidate w is the global max, or
             # the runner-up when w itself holds the max.
             slowest_worker = None
-            slowest_time = second_time = -math.inf
+            slowest_time = second_time = -inf
             for other, other_time in per_worker_comm_time.items():
                 if other_time > slowest_time:
                     slowest_worker, slowest_time, second_time = (
@@ -333,18 +347,27 @@ class IncrementalAllocator:
                     second_time = other_time
 
             best_worker: Optional[int] = None
-            best_value = -math.inf if higher_better else math.inf
+            best_value = -inf if higher_better else inf
             for worker in eligible:
-                new_tasks = allocation.get(worker, 0) + 1
+                new_tasks = allocation_get(worker, 0) + 1
                 # --- workload of the candidate configuration -------------
-                new_load = new_tasks * self._speeds[worker]
+                new_load = new_tasks * speeds[worker]
                 workload = new_load if new_load > max_load else max_load
                 # --- communication estimate -------------------------------
-                new_comm_q = candidate_comm_slots(worker, new_tasks)
-                old_comm_q = comm_slots.get(worker, 0)
-                candidate_total_comm = total_comm - old_comm_q + new_comm_q
+                already = reusable_get(worker, 0)
+                if already > new_tasks:
+                    already = new_tasks
+                new_comm_q = (0 if worker in program_set else tprog) + (
+                    new_tasks - already
+                ) * tdata
+                candidate_total_comm = total_comm - comm_slots_get(worker, 0) + new_comm_q
                 candidate_set = candidate_sets[worker]
-                comm_time = context.single_expected_time(worker, new_comm_q)
+                if new_comm_q <= 0:
+                    comm_time = 0.0
+                else:
+                    comm_time = single_time_get((worker, new_comm_q))
+                    if comm_time is None:
+                        comm_time = single_expected_time(worker, new_comm_q)
                 others_max = second_time if worker == slowest_worker else slowest_time
                 if others_max > comm_time:
                     comm_time = others_max
@@ -353,13 +376,20 @@ class IncrementalAllocator:
                     if bandwidth_bound > comm_time:
                         comm_time = bandwidth_bound
                 if candidate_total_comm > 0:
-                    duration = int(math.ceil(comm_time))
-                    comm_probability = context.comm_survival(candidate_set, duration)
+                    duration = int(ceil(comm_time))
+                    comm_probability = survival_get((candidate_set, duration))
+                    if comm_probability is None:
+                        comm_probability = comm_survival(candidate_set, duration)
                 else:
                     comm_time = 0.0
                     comm_probability = 1.0
                 # --- computation estimate ---------------------------------
-                comp_probability, comp_time = context.computation(candidate_set, workload)
+                # ``workload >= speed >= 1`` and the set is non-empty, so the
+                # uncached-trivial branch of ``computation`` never applies.
+                comp = computation_get((candidate_set, workload))
+                if comp is None:
+                    comp = computation(candidate_set, workload)
+                comp_probability, comp_time = comp
                 # --- criterion value ---------------------------------------
                 probability = comm_probability * comp_probability
                 expected = comm_time + comp_time
@@ -369,9 +399,9 @@ class IncrementalAllocator:
                     value = expected
                 elif criterion_name == "Y":
                     denominator = elapsed + expected
-                    value = probability / denominator if denominator > 0 else math.inf
+                    value = probability / denominator if denominator > 0 else inf
                 else:  # "AY"
-                    value = probability / expected if expected > 0 else math.inf
+                    value = probability / expected if expected > 0 else inf
 
                 if best_worker is None:
                     best_worker = worker
@@ -386,16 +416,21 @@ class IncrementalAllocator:
                         best_value = value
 
             # Commit the task to the winning worker and update the running state.
-            new_tasks = allocation.get(best_worker, 0) + 1
+            new_tasks = allocation_get(best_worker, 0) + 1
             allocation[best_worker] = new_tasks
             worker_set = worker_set | {best_worker}
-            loads[best_worker] = new_tasks * self._speeds[best_worker]
+            loads[best_worker] = new_tasks * speeds[best_worker]
             if loads[best_worker] > max_load:
                 max_load = loads[best_worker]
-            new_comm_q = candidate_comm_slots(best_worker, new_tasks)
-            total_comm += new_comm_q - comm_slots.get(best_worker, 0)
+            already = reusable_get(best_worker, 0)
+            if already > new_tasks:
+                already = new_tasks
+            new_comm_q = (0 if best_worker in program_set else tprog) + (
+                new_tasks - already
+            ) * tdata
+            total_comm += new_comm_q - comm_slots_get(best_worker, 0)
             comm_slots[best_worker] = new_comm_q
-            per_worker_comm_time[best_worker] = context.single_expected_time(
+            per_worker_comm_time[best_worker] = single_expected_time(
                 best_worker, new_comm_q
             )
 

@@ -43,8 +43,13 @@ class RandomScheduler(Scheduler):
         if sum(capacities.values()) < num_tasks:
             return None
         allocation = {w: 0 for w in up_workers}
+        integers = self.rng.integers
         for _ in range(num_tasks):
             eligible = [w for w in up_workers if allocation[w] < capacities[w]]
-            worker = int(self.rng.choice(eligible))
+            # Draw the index directly: ``Generator.choice(sequence)`` reduces
+            # to exactly one ``integers(0, len)`` draw, so this consumes the
+            # same stream (fixed seeds reproduce the same configurations)
+            # without paying ``choice``'s array conversion.
+            worker = eligible[int(integers(0, len(eligible)))]
             allocation[worker] += 1
         return Configuration(allocation)

@@ -18,15 +18,28 @@ The engine advances slot by slot:
    over and the makespan is reported.
 """
 
-from repro.simulation.engine import SimulationEngine, simulate
+from repro.simulation.engine import (
+    BLOCK_BOUNDARY,
+    SAMPLERS,
+    SimulationEngine,
+    simulate,
+)
 from repro.simulation.events import EventKind, SimulationEvent
 from repro.simulation.gantt import render_gantt
+from repro.simulation.kernels import HAVE_NUMBA, kernel_backend
+from repro.simulation.multirun import MultiHeuristicDriver, SharedBlockSource
 from repro.simulation.results import IterationRecord, SimulationResult
 from repro.simulation.state import WorkerRuntime
 
 __all__ = [
     "SimulationEngine",
     "simulate",
+    "SAMPLERS",
+    "BLOCK_BOUNDARY",
+    "MultiHeuristicDriver",
+    "SharedBlockSource",
+    "HAVE_NUMBA",
+    "kernel_backend",
     "SimulationResult",
     "IterationRecord",
     "SimulationEvent",

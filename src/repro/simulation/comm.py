@@ -40,6 +40,16 @@ class CommunicationManager:
         """Forget channel stickiness (called at the start of every run)."""
         self._previous_holders.clear()
 
+    def set_holders(self, worker_ids: Iterable[int]) -> None:
+        """Overwrite the sticky-holder set.
+
+        Used by the engine's whole-phase fast-forward
+        (:func:`repro.simulation.kernels.comm_phase_span`) to leave the
+        stickiness state exactly as the slot-by-slot :meth:`allocate` calls
+        would have: the grant set of the last consumed communication slot.
+        """
+        self._previous_holders = {int(worker) for worker in worker_ids}
+
     # ------------------------------------------------------------------
     def allocate(
         self,

@@ -43,11 +43,28 @@ set (they return the carried-over configuration whenever
 
 Both short-cuts are exact: they change neither the trajectory nor any
 counter of the run (golden-seed tests pin this down).
+
+``sampler="kernel"`` layers the primitives of
+:mod:`repro.simulation.kernels` on top of the block driver: a per-worker
+next-change table turns the uneventful-span search into an O(#enrolled)
+lookup, the computation phase jumps straight over UP/RECLAIMED flicker to
+the first enrolled DOWN transition or the iteration's completing slot, and
+only the enrolled workers' runtime states are synchronised per event.  The
+primitives are numba-compiled when numba is importable (``REPRO_NO_NUMBA=1``
+forces the pure-NumPy fallback); either way the trajectory is bit-identical
+to the ``block`` and ``perslot`` drivers.
+
+Decision points are exposed as an explicit step iterator: :meth:`run` is a
+thin driver over :meth:`SimulationEngine.steps`, which yields an
+:class:`~repro.scheduling.base.Observation` at every slot where the
+scheduler is consulted and receives the chosen configuration back.  External
+callers (an RL agent, the multi-heuristic driver) can therefore drive a run
+decision by decision without subclassing the engine.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 import numpy as np
 
@@ -61,12 +78,27 @@ from repro.platform.platform import Platform
 from repro.scheduling.base import Observation, Scheduler
 from repro.simulation.comm import CommunicationManager
 from repro.simulation.events import EventKind, EventLog
+from repro.simulation.kernels import (
+    BlockData,
+    comm_phase_span,
+    compute_span,
+    frozen_span,
+)
 from repro.simulation.results import IterationRecord, SimulationResult
 from repro.simulation.state import WorkerRuntime
 from repro.types import DOWN, RECLAIMED, UP, ProcessorState
 from repro.utils.rng import SeedLike, derive_run_streams
 
-__all__ = ["SimulationEngine", "simulate"]
+__all__ = ["SimulationEngine", "simulate", "SAMPLERS", "BLOCK_BOUNDARY"]
+
+#: The availability drivers understood by :class:`SimulationEngine`.
+SAMPLERS = ("block", "kernel", "perslot")
+
+#: Sentinel yielded by cooperative :meth:`SimulationEngine.steps` iterations
+#: right before a new availability block is fetched, so a multi-engine
+#: driver can interleave engines block by block (see
+#: :mod:`repro.simulation.multirun`).  Never yielded by :meth:`run`.
+BLOCK_BOUNDARY = object()
 
 #: Default makespan cap, matching the paper's 1,000,000-slot limit.
 DEFAULT_MAX_SLOTS = 1_000_000
@@ -120,11 +152,20 @@ class SimulationEngine:
         Number of slots of worker states prefetched per availability block.
     sampler:
         ``"block"`` (default) drives the models through their vectorised
-        :meth:`sample_block`; ``"perslot"`` retains the legacy
-        ``next_state``-per-slot driver.  Both produce identical
+        :meth:`sample_block`; ``"kernel"`` adds the accelerated span
+        primitives of :mod:`repro.simulation.kernels` on top of the block
+        driver (numba-compiled when available); ``"perslot"`` retains the
+        legacy ``next_state``-per-slot driver.  All three produce identical
         trajectories for a given seed (the models' block samplers are
-        stream-equivalent by contract); the switch exists for differential
-        tests and benchmarks.
+        stream-equivalent by contract and the kernel span jumps are exact);
+        the switch exists for differential tests and benchmarks.
+    shared_blocks:
+        Optional :class:`~repro.simulation.multirun.SharedBlockSource`
+        serving aligned availability windows (with their derived masks and
+        tables) computed once and shared by several engines simulating the
+        same realisation.  Internal to
+        :class:`~repro.simulation.multirun.MultiHeuristicDriver`; mutually
+        exclusive with *trace* (the source owns the availability).
     record_events:
         Keep a structured event log (off by default).
     record_activity:
@@ -144,6 +185,7 @@ class SimulationEngine:
         analysis: Optional[AnalysisContext] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         sampler: str = "block",
+        shared_blocks=None,
         record_events: bool = False,
         record_activity: bool = False,
     ) -> None:
@@ -151,9 +193,15 @@ class SimulationEngine:
             raise SimulationError(f"max_slots must be >= 1, got {max_slots}")
         if block_size < 1:
             raise SimulationError(f"block_size must be >= 1, got {block_size}")
-        if sampler not in ("block", "perslot"):
+        if sampler not in SAMPLERS:
             raise SimulationError(
-                f"sampler must be 'block' or 'perslot', got {sampler!r}"
+                f"unknown sampler {sampler!r}; available samplers: "
+                + ", ".join(SAMPLERS)
+            )
+        if shared_blocks is not None and trace is not None:
+            raise SimulationError(
+                "shared_blocks and trace are mutually exclusive; give the "
+                "trace to the SharedBlockSource instead"
             )
         platform.validate_for_tasks(application.tasks_per_iteration)
         if trace is not None and trace.num_processors != platform.num_processors:
@@ -171,6 +219,11 @@ class SimulationEngine:
         self.analysis = analysis if analysis is not None else AnalysisContext(platform)
         self.events = EventLog(enabled=record_events)
         self.record_activity = bool(record_activity)
+        self._shared_blocks = shared_blocks
+        self._kernel = sampler == "kernel"
+        #: Result of the most recently completed run (also the
+        #: ``StopIteration`` value of an exhausted :meth:`steps` iterator).
+        self.last_result: Optional[SimulationResult] = None
 
         # Independent streams: one per worker for availability, one for the
         # scheduler.  The recipe lives in utils.rng so the experiment layer
@@ -189,9 +242,12 @@ class SimulationEngine:
         # _block_down[j]  — does column j contain a DOWN worker?
         # _block_same[j]  — is column j identical to column j - 1?
         # _block_changes  — sorted positions j with _block_same[j] False.
+        # _block_data bundles all of it (plus the kernel sampler's lazy
+        # next-change table) so block sources can share one copy.
         self._block_down: Optional[np.ndarray] = None
         self._block_same: Optional[np.ndarray] = None
         self._block_changes: Optional[np.ndarray] = None
+        self._block_data: Optional[BlockData] = None
         self.activity_matrix: Optional[np.ndarray] = None
         self.state_matrix: Optional[np.ndarray] = None
 
@@ -208,6 +264,13 @@ class SimulationEngine:
 
     def _fetch_block(self, start: int) -> None:
         """Materialise worker states for slots ``[start, start + block)``."""
+        if self._shared_blocks is not None:
+            # The source serves aligned windows shared by every engine of a
+            # multi-heuristic pass; the window containing *start* may begin
+            # earlier (the caller recomputes the block-relative offset).
+            window_start, data = self._shared_blocks.window(start)
+            self._install_block(window_start, data)
+            return
         if self.trace is not None:
             horizon = self.trace.horizon
             if horizon < 1:
@@ -255,16 +318,16 @@ class SimulationEngine:
                         ProcessorState(int(previous[worker_id])),
                     )
         last_column = None if self._block is None else self._block[:, -1]
-        self._block = block
+        self._install_block(start, BlockData(block, last_column))
+
+    def _install_block(self, start: int, data: BlockData) -> None:
+        self._block = data.block
         self._block_start = start
-        self._block_len = length
-        self._block_down = (block == _DOWN_CODE).any(axis=0)
-        same = np.empty(length, dtype=bool)
-        same[0] = last_column is not None and bool(np.array_equal(block[:, 0], last_column))
-        if length > 1:
-            same[1:] = ~(block[:, 1:] != block[:, :-1]).any(axis=0)
-        self._block_same = same
-        self._block_changes = np.flatnonzero(~same)
+        self._block_len = data.length
+        self._block_down = data.down
+        self._block_same = data.same
+        self._block_changes = data.changes
+        self._block_data = data
 
     def _frozen_run(self, offset: int) -> int:
         """Slots after block-relative *offset* whose column equals column *offset*."""
@@ -274,7 +337,7 @@ class SimulationEngine:
         return next_change - offset - 1
 
     def _sample_worker(self, model, start_slot, horizon, rng, current) -> np.ndarray:
-        if self.sampler == "block":
+        if self.sampler != "perslot":
             return model.sample_block(start_slot, horizon, rng, current=current)
         # Legacy driver: the base class's slot-by-slot next_state loop,
         # invoked unbound so model overrides cannot shadow the reference
@@ -287,10 +350,49 @@ class SimulationEngine:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the run and return its :class:`SimulationResult`."""
+        """Execute the run and return its :class:`SimulationResult`.
+
+        Equivalent to driving :meth:`steps` with the engine's scheduler:
+        every yielded observation is answered with ``scheduler.select``.
+        """
+        stepper = self._drive()
+        select = self.scheduler.select
+        configuration: Optional[Configuration] = None
+        try:
+            while True:
+                configuration = select(stepper.send(configuration))
+        except StopIteration as stop:
+            return stop.value
+
+    def steps(
+        self,
+    ) -> Generator[Observation, Optional[Configuration], SimulationResult]:
+        """The run as an explicit decision-point iterator.
+
+        Yields an :class:`~repro.scheduling.base.Observation` at every slot
+        on which the scheduler would be consulted (for schedulers declaring
+        the passive contract that means rebuild points only; for the rest,
+        every slot) and expects a :class:`Configuration` — or ``None`` to
+        keep the current one — to be sent back.  The sent configuration
+        goes through the same validation as a scheduler's.  When the run
+        finishes, the generator returns its :class:`SimulationResult` (the
+        ``value`` of the final ``StopIteration``, also stored in
+        :attr:`last_result`).
+
+        The engine's scheduler still participates: it is bound and drives
+        the carried-over configuration between decision points.  External
+        steppers (an RL agent, a search procedure) simply override what
+        happens at the decision points themselves.
+        """
+        return self._drive()
+
+    def _drive(
+        self, cooperative: bool = False
+    ) -> Generator[Observation, Optional[Configuration], SimulationResult]:
         platform = self.platform
         application = self.application
         tprog, tdata = platform.tprog, platform.tdata
+        ncom = platform.ncom
         num_tasks = application.tasks_per_iteration
 
         self.scheduler.bind(platform, application, self.analysis, self._scheduler_rng)
@@ -315,6 +417,13 @@ class SimulationEngine:
         # requires that no per-slot record (events/activity) is kept.
         contract = bool(getattr(self.scheduler, "passive_between_rebuilds", False))
         can_fast_forward = contract and not self.events.enabled and not self.record_activity
+        # The kernel sampler synchronises only the *enrolled* workers'
+        # runtime states per column: nothing in the engine reads the state
+        # of a non-enrolled worker (observations and selection checks use
+        # the raw state column; offline program-holder failures read the
+        # block directly).  Newly enrolled workers are synchronised at the
+        # configuration change that enrols them.
+        kernel = self._kernel
 
         current_config = Configuration.empty()
         enrolled_runtimes: List[WorkerRuntime] = []
@@ -340,10 +449,15 @@ class SimulationEngine:
 
         slot = 0
         while slot < self.max_slots:
-            states = self._states_at(slot)
             rel = slot - self._block_start
+            if self._block is None or rel >= self._block_len:
+                if cooperative:
+                    yield BLOCK_BOUNDARY  # type: ignore[misc]
+                self._fetch_block(slot)
+                rel = slot - self._block_start
+            states = self._block[:, rel]
             if states_dirty or not self._block_same[rel]:
-                for runtime in runtimes:
+                for runtime in enrolled_runtimes if kernel else runtimes:
                     runtime.state = _STATE_OF_CODE[states[runtime.worker_id]]
                 states_dirty = False
             if self.record_activity:
@@ -415,7 +529,7 @@ class SimulationEngine:
                         if runtime.enrolled
                     },
                 )
-                new_config = self.scheduler.select(observation)
+                new_config = yield observation
                 if new_config is None:
                     new_config = current_config
                 self._validate_selection(new_config, current_config, states, num_tasks)
@@ -449,6 +563,11 @@ class SimulationEngine:
                 enrolled_ids = np.fromiter(
                     current_config.workers, dtype=np.intp, count=len(enrolled_runtimes)
                 )
+                if kernel:
+                    # Newly enrolled workers may carry a stale state under
+                    # the enrolled-only synchronisation; refresh the set.
+                    for runtime in enrolled_runtimes:
+                        runtime.state = _STATE_OF_CODE[states[runtime.worker_id]]
 
             # ---- 4. run the slot ---------------------------------------
             feasible = (
@@ -463,7 +582,47 @@ class SimulationEngine:
                 comm_remaining = 0
                 for runtime in enrolled_runtimes:
                     comm_remaining += runtime.comm_slots_remaining(tprog, tdata)
-                if comm_remaining:
+                if comm_remaining and (
+                    kernel
+                    and can_fast_forward
+                    and len(enrolled_runtimes) <= ncom
+                ):
+                    # ---- whole-phase jump (capacity surplus) ------------
+                    # With a channel for every enrolled worker the sticky
+                    # policy serves each needing UP worker on every slot,
+                    # so the complete communication phase collapses to
+                    # per-worker cumulative-UP searches over the block.
+                    # Valid on failure slots too: the failure scan already
+                    # pruned DOWN workers from the configuration, so the
+                    # current column is DOWN-free for the enrolled set.
+                    advance, units, holders = comm_phase_span(
+                        self._block,
+                        enrolled_ids,
+                        np.fromiter(
+                            (
+                                runtime.comm_slots_remaining(tprog, tdata)
+                                for runtime in enrolled_runtimes
+                            ),
+                            dtype=np.int64,
+                            count=len(enrolled_runtimes),
+                        ),
+                        rel,
+                        self._block_len,
+                    )
+                    for index, runtime in enumerate(enrolled_runtimes):
+                        used = int(units[index])
+                        if used:
+                            runtime.advance_communication(used, tprog, tdata)
+                    self._comm.set_holders(enrolled_ids[holders])
+                    if advance > 1:
+                        # Column ``rel`` itself was covered by this slot's
+                        # failure scan; batch the rest of the window.
+                        self._apply_offline_failures(rel, advance - 1, runtimes)
+                    total_comm_slots += advance
+                    record.communication_slots += advance
+                    slot += advance - 1
+                    states_dirty = True
+                elif comm_remaining:
                     granted = self._comm.allocate(enrolled_runtimes, tprog=tprog, tdata=tdata)
                     served = self._comm.serve(
                         runtime_by_id, granted, tprog=tprog, tdata=tdata
@@ -490,10 +649,20 @@ class SimulationEngine:
                         # finishes.  Drain whole grant intervals event by
                         # event.  The scan window is bounded by the work
                         # actually left (plus one slot of slack for stalls).
-                        span, _ = self._scan_uneventful(
-                            rel, enrolled_ids,
-                            min(comm_remaining + 1, _IDLE_SCAN_LIMIT),
-                        )
+                        if kernel:
+                            nc_span = frozen_span(
+                                self._block_data.ensure_next_change(),
+                                enrolled_ids,
+                                rel,
+                            )
+                            span = min(
+                                self._block_len - rel - 1, comm_remaining, nc_span
+                            )
+                        else:
+                            span, _ = self._scan_uneventful(
+                                rel, enrolled_ids,
+                                min(comm_remaining + 1, _IDLE_SCAN_LIMIT),
+                            )
                         consumed = self._comm.drain(
                             enrolled_runtimes, span, tprog=tprog, tdata=tdata
                         )
@@ -551,22 +720,48 @@ class SimulationEngine:
                             runtime.absorb_free_transfers(tprog, tdata)
                     elif can_fast_forward and not failure:
                         # ---- fast-forward uneventful compute/idle slots --
-                        advance, clean = self._scan_uneventful(
-                            rel,
-                            enrolled_ids,
-                            workload - progress if all_up else _IDLE_SCAN_LIMIT,
-                        )
-                        if advance > 0:
-                            self._apply_offline_failures(rel, advance, runtimes)
-                            if all_up:
-                                progress += advance
-                                total_compute_slots += advance
-                                record.computation_slots += advance
-                            else:
-                                total_idle_slots += advance
-                                record.idle_slots += advance
-                            slot += advance
-                            states_dirty = not clean
+                        if kernel:
+                            # Jump straight over UP/RECLAIMED flicker to the
+                            # first enrolled DOWN transition, the iteration's
+                            # completing slot, or the block end — whichever
+                            # comes first — splitting the consumed span into
+                            # compute (all-UP) and idle columns.
+                            advance, progressed = compute_span(
+                                self._block,
+                                enrolled_ids,
+                                rel,
+                                self._block_len,
+                                workload - progress,
+                            )
+                            if advance > 0:
+                                self._apply_offline_failures(rel, advance, runtimes)
+                                idled = advance - progressed
+                                if progressed:
+                                    progress += progressed
+                                    total_compute_slots += progressed
+                                    record.computation_slots += progressed
+                                if idled:
+                                    total_idle_slots += idled
+                                    record.idle_slots += idled
+                                slot += advance
+                                states_dirty = True
+                        else:
+                            advance, clean = self._scan_uneventful(
+                                rel,
+                                enrolled_ids,
+                                workload - progress if all_up else _IDLE_SCAN_LIMIT,
+                            )
+                            if advance > 0:
+                                self._apply_offline_failures(rel, advance, runtimes)
+                                if all_up:
+                                    progress += advance
+                                    total_compute_slots += advance
+                                    record.computation_slots += advance
+                                else:
+                                    total_idle_slots += advance
+                                    record.idle_slots += advance
+                                slot += advance
+                                states_dirty = not clean
             slot += 1
 
         if not success:
@@ -576,7 +771,7 @@ class SimulationEngine:
             self.activity_matrix = self.activity_matrix[:, :makespan]
             self.state_matrix = self.state_matrix[:, :makespan]
 
-        return SimulationResult(
+        self.last_result = SimulationResult(
             scheduler=self.scheduler.name,
             success=success,
             makespan=makespan,
@@ -590,6 +785,7 @@ class SimulationEngine:
             computation_slots=total_compute_slots,
             idle_slots=total_idle_slots,
         )
+        return self.last_result
 
     # ------------------------------------------------------------------
     def _scan_uneventful(

@@ -1,0 +1,384 @@
+"""Accelerated scan primitives for the block simulation core.
+
+The simulation engine consumes availability in ``(m, block_size)`` ``int8``
+blocks (see :mod:`repro.simulation.engine`).  This module hosts the numeric
+primitives of that consumption — the per-block companion masks, the
+per-worker next-change table, and the span searches used by the
+``sampler="kernel"`` fast paths:
+
+``block_companions``
+    The DOWN / column-identical masks the per-slot loop reads at O(1).
+
+``next_change_table``
+    ``nc[q, j]`` = first slot after ``j`` at which worker ``q`` changes
+    state (``L`` when it never does inside the block).  Turns the engine's
+    uneventful-span search into an O(#enrolled) gather + min.
+
+``frozen_span``
+    Slots after ``j`` during which every *enrolled* worker provably holds
+    its current state (the exact condition of the engine's fast-forward).
+
+``compute_span``
+    Computation-phase window search: how many slots after ``j`` can be
+    consumed before the first enrolled DOWN transition or the iteration's
+    completing slot, and how many of them are all-UP compute slots.  Unlike
+    ``frozen_span`` it jumps straight over UP/RECLAIMED flicker.
+
+``comm_phase_span``
+    Whole-communication-phase jump for the capacity-surplus case
+    (``ncom >= #enrolled``): with a channel for everybody, the sticky
+    policy degenerates to "every needing UP worker is served every slot",
+    so worker ``q``'s transfer completes on its ``N_q``-th UP slot and the
+    phase collapses to per-worker cumulative-UP searches.
+
+Every primitive has a pure-NumPy implementation; the hot loop variants are
+additionally compiled with :mod:`numba` when it is importable.  Compilation
+is eager (explicit signatures) inside a ``try``/``except`` so that *any*
+numba problem — missing package, unsupported version, typing error — falls
+back to the NumPy implementations silently.  Set ``REPRO_NO_NUMBA=1`` to
+force the fallback even when numba is installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.types import DOWN, UP
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_DISABLED_BY_ENV",
+    "kernel_backend",
+    "BlockData",
+    "block_companions",
+    "next_change_table",
+    "frozen_span",
+    "compute_span",
+    "comm_phase_span",
+]
+
+_UP_CODE = int(UP)
+_DOWN_CODE = int(DOWN)
+
+#: Chunk width of the NumPy ``compute_span`` scan: bounds the temporaries
+#: (and the overshoot past an in-window iteration completion) without giving
+#: up the vectorised inner comparisons.
+_SPAN_CHUNK = 512
+
+
+def _detect_numba():
+    if os.environ.get("REPRO_NO_NUMBA"):
+        return None
+    try:
+        import numba  # noqa: F401  (optional accelerator)
+    except Exception:
+        return None
+    return numba
+
+
+_numba = _detect_numba()
+
+#: Whether ``REPRO_NO_NUMBA`` suppressed an otherwise usable numba install
+#: (kept distinct from "numba is simply not installed" for diagnostics).
+NUMBA_DISABLED_BY_ENV = bool(os.environ.get("REPRO_NO_NUMBA"))
+
+
+# ----------------------------------------------------------------------
+# Pure-NumPy reference implementations
+# ----------------------------------------------------------------------
+def block_companions(
+    block: np.ndarray, last_column: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-block masks read by the engine's slot loop.
+
+    Returns ``(down, same, changes)`` where ``down[j]`` flags a DOWN worker
+    in column ``j``, ``same[j]`` flags a column identical to its
+    predecessor (``last_column`` supplies the predecessor of column 0), and
+    ``changes`` lists the positions where ``same`` is False, sorted.
+    """
+    length = block.shape[1]
+    down = (block == _DOWN_CODE).any(axis=0)
+    same = np.empty(length, dtype=bool)
+    same[0] = last_column is not None and bool(np.array_equal(block[:, 0], last_column))
+    if length > 1:
+        same[1:] = ~(block[:, 1:] != block[:, :-1]).any(axis=0)
+    changes = np.flatnonzero(~same)
+    return down, same, changes
+
+
+def next_change_table(block: np.ndarray) -> np.ndarray:
+    """``nc[q, j]`` = smallest ``k > j`` with ``block[q, k] != block[q, j]``, else ``L``.
+
+    Built with one reversed ``minimum.accumulate`` suffix scan, so the cost
+    is a handful of vectorised passes over the block regardless of how the
+    change positions are distributed.
+    """
+    num_workers, length = block.shape
+    table = np.full((num_workers, length), length, dtype=np.int32)
+    if length > 1:
+        positions = np.arange(1, length, dtype=np.int32)
+        candidates = np.where(
+            block[:, 1:] != block[:, :-1], positions, np.int32(length)
+        )
+        table[:, : length - 1] = np.minimum.accumulate(
+            candidates[:, ::-1], axis=1
+        )[:, ::-1]
+    return table
+
+
+def _frozen_span_numpy(table: np.ndarray, enrolled_ids: np.ndarray, rel: int) -> int:
+    """Slots after *rel* during which no enrolled worker changes state."""
+    if enrolled_ids.size == 0:
+        return int(table.shape[1]) - rel - 1
+    return int(table[enrolled_ids, rel].min()) - rel - 1
+
+
+def _compute_span_numpy(
+    block: np.ndarray,
+    enrolled_ids: np.ndarray,
+    rel: int,
+    length: int,
+    needed: int,
+) -> Tuple[int, int]:
+    """Computation-phase window after *rel*: ``(advance, progressed)``.
+
+    Consumes columns ``rel+1, rel+2, ...`` while no enrolled worker is DOWN
+    and the iteration cannot complete, stopping *before* the first enrolled
+    DOWN column and *before* the all-UP column on which cumulative progress
+    would reach *needed* (both are left to the engine's per-slot path), and
+    at the block end.  ``progressed`` counts the all-UP columns among the
+    ``advance`` consumed ones; the rest are idle (RECLAIMED flicker).
+
+    Scanned in bounded chunks so the temporaries stay small and an early
+    stop does not pay for the rest of the block.
+    """
+    needed_eff = needed if needed > 1 else 1
+    advance = 0
+    progressed = 0
+    start = rel + 1
+    while start < length:
+        stop = start + _SPAN_CHUNK
+        if stop > length:
+            stop = length
+        window = block[enrolled_ids, start:stop]
+        down = (window == _DOWN_CODE).any(axis=0)
+        limit = window.shape[1]
+        if down.any():
+            limit = int(np.argmax(down))
+        all_up = (window[:, :limit] == _UP_CODE).all(axis=0)
+        cumulative = np.cumsum(all_up)
+        room = needed_eff - progressed
+        if cumulative.size and cumulative[-1] >= room:
+            # The column where progress would hit ``needed`` completes the
+            # iteration: consume everything before it and stop.
+            cut = int(np.searchsorted(cumulative, room))
+            advance += cut
+            progressed += int(cumulative[cut - 1]) if cut else 0
+            return advance, progressed
+        advance += limit
+        if cumulative.size:
+            progressed += int(cumulative[-1])
+        if limit < window.shape[1]:  # stopped at an enrolled DOWN column
+            return advance, progressed
+        start = stop
+    return advance, progressed
+
+
+#: First chunk width of the ``comm_phase_span`` scan; typical phases are a
+#: few tens of slots, so start small and grow geometrically for stalls.
+_PHASE_CHUNK = 64
+
+
+def _comm_phase_span_numpy(
+    block: np.ndarray,
+    enrolled_ids: np.ndarray,
+    needs: np.ndarray,
+    rel: int,
+    length: int,
+) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Jump a whole communication phase, starting *at* column *rel*.
+
+    Valid only while every needing UP worker is guaranteed a channel
+    (``ncom >= #enrolled``): then worker ``i`` receives exactly one unit on
+    each of its UP columns until its ``needs[i]`` units are done, and the
+    phase ends on the column where the last transfer completes.  The scan
+    stops *before* the first column with an enrolled DOWN worker (the
+    caller guarantees column *rel* has none) and at the block end.
+
+    Returns ``(advance, units, holders)``: the number of columns consumed
+    (all of them communication slots), the per-worker units served, and the
+    per-worker "granted a channel on the last consumed column" mask — the
+    sticky-holder set the slot-by-slot policy would have left behind.
+    """
+    count = enrolled_ids.shape[0]
+    carry = np.zeros(count, dtype=np.int64)
+    last_up = np.zeros(count, dtype=bool)
+    advance = 0
+    start = rel
+    chunk = _PHASE_CHUNK
+    while start < length:
+        stop = start + chunk
+        if stop > length:
+            stop = length
+        chunk *= 2
+        window = block[enrolled_ids, start:stop]
+        width = window.shape[1]
+        down = (window == _DOWN_CODE).any(axis=0)
+        limit = width
+        if down.any():
+            limit = int(np.argmax(down))
+            if limit == 0:
+                break
+        up = window[:, :limit] == _UP_CODE
+        cumulative = np.cumsum(up, axis=1) + carry[:, None]
+        met = (cumulative >= needs[:, None]).all(axis=0)
+        if met.any():
+            done = int(np.argmax(met))  # the column completing the phase
+            advance += done + 1
+            carry = cumulative[:, done]
+            holders = up[:, done] & (carry <= needs) & (needs > 0)
+            return advance, np.minimum(needs, carry), holders
+        advance += limit
+        carry = cumulative[:, limit - 1]
+        last_up = up[:, limit - 1]
+        if limit < width:  # stopped at an enrolled DOWN column
+            break
+        start = stop
+    holders = last_up & (carry <= needs) & (needs > 0)
+    return advance, np.minimum(needs, carry), holders
+
+
+# ----------------------------------------------------------------------
+# numba-compilable loop variants (plain Python when numba is absent)
+# ----------------------------------------------------------------------
+def _frozen_span_loop(table, enrolled_ids, rel):  # pragma: no cover - numba twin
+    length = table.shape[1]
+    best = length
+    for index in range(enrolled_ids.shape[0]):
+        value = table[enrolled_ids[index], rel]
+        if value < best:
+            best = value
+    return best - rel - 1
+
+
+def _compute_span_loop(block, enrolled_ids, rel, length, needed):  # pragma: no cover
+    needed_eff = needed if needed > 1 else 1
+    advance = 0
+    progressed = 0
+    for column in range(rel + 1, length):
+        all_up = True
+        for index in range(enrolled_ids.shape[0]):
+            state = block[enrolled_ids[index], column]
+            if state == 2:  # DOWN stops the window at this column
+                return advance, progressed
+            if state != 0:
+                all_up = False
+        if all_up:
+            if progressed + 1 >= needed_eff:
+                return advance, progressed  # completing slot: leave it per-slot
+            progressed += 1
+        advance += 1
+    return advance, progressed
+
+
+def _comm_phase_span_loop(block, enrolled_ids, needs, rel, length):  # pragma: no cover
+    count = enrolled_ids.shape[0]
+    units = np.zeros(count, dtype=np.int64)
+    holders = np.zeros(count, dtype=np.bool_)
+    met = 0
+    for index in range(count):
+        if needs[index] <= 0:
+            met += 1
+    advance = 0
+    for column in range(rel, length):
+        down = False
+        for index in range(count):
+            if block[enrolled_ids[index], column] == 2:
+                down = True
+                break
+        if down:
+            break
+        for index in range(count):
+            holders[index] = False
+            if block[enrolled_ids[index], column] == 0 and units[index] < needs[index]:
+                units[index] += 1
+                holders[index] = True
+                if units[index] == needs[index]:
+                    met += 1
+        advance += 1
+        if met == count:
+            break
+    return advance, units, holders
+
+
+def _compile_kernels(numba):
+    """Eagerly compile the loop variants; any failure falls back to NumPy."""
+    frozen = numba.njit(
+        "int64(int32[:, ::1], int64[::1], int64)", cache=False, nogil=True
+    )(_frozen_span_loop)
+    span = numba.njit(
+        "UniTuple(int64, 2)(int8[:, ::1], int64[::1], int64, int64, int64)",
+        cache=False,
+        nogil=True,
+    )(_compute_span_loop)
+    phase = numba.njit(
+        "Tuple((int64, int64[::1], b1[::1]))"
+        "(int8[:, ::1], int64[::1], int64[::1], int64, int64)",
+        cache=False,
+        nogil=True,
+    )(_comm_phase_span_loop)
+    return frozen, span, phase
+
+
+if _numba is not None:
+    try:
+        frozen_span, compute_span, comm_phase_span = _compile_kernels(_numba)
+        HAVE_NUMBA = True
+    except Exception:  # pragma: no cover - depends on the numba install
+        frozen_span = _frozen_span_numpy
+        compute_span = _compute_span_numpy
+        comm_phase_span = _comm_phase_span_numpy
+        HAVE_NUMBA = False
+else:
+    frozen_span = _frozen_span_numpy
+    compute_span = _compute_span_numpy
+    comm_phase_span = _comm_phase_span_numpy
+    HAVE_NUMBA = False
+
+
+def kernel_backend() -> str:
+    """``"numba"`` when the compiled kernels are active, else ``"numpy"``."""
+    return "numba" if HAVE_NUMBA else "numpy"
+
+
+# ----------------------------------------------------------------------
+# Shared per-block bundle
+# ----------------------------------------------------------------------
+class BlockData:
+    """One prefetched availability block plus its derived structures.
+
+    Bundles what the engine installs per prefetch so the multi-heuristic
+    driver can compute everything once and hand the same bundle to every
+    engine.  The next-change table is built lazily — only the kernel
+    sampler reads it — and exactly once per block no matter how many
+    engines ask.
+    """
+
+    __slots__ = ("block", "down", "same", "changes", "_next_change")
+
+    def __init__(self, block: np.ndarray, last_column: Optional[np.ndarray]) -> None:
+        self.block = block
+        self.down, self.same, self.changes = block_companions(block, last_column)
+        self._next_change: Optional[np.ndarray] = None
+
+    @property
+    def length(self) -> int:
+        return self.block.shape[1]
+
+    def ensure_next_change(self) -> np.ndarray:
+        if self._next_change is None:
+            self._next_change = next_change_table(self.block)
+        return self._next_change

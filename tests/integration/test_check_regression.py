@@ -198,6 +198,84 @@ class TestMultiBenchmarkGate:
         assert speedups["group_quantities_cold_8of20"] >= 2.0
 
 
+def make_fingerprint(**overrides):
+    fingerprint = {
+        "cpu_model": "Test CPU @ 2.0GHz",
+        "cpu_count": 4,
+        "platform": "x86_64",
+        "python": "3.11.0",
+        "numpy": "2.0.0",
+        "numba": None,
+        "kernel_backend": "numpy",
+    }
+    fingerprint.update(overrides)
+    return fingerprint
+
+
+class TestFingerprintWarnings:
+    def test_mismatch_warns_but_does_not_fail(self, tmp_path):
+        baseline = make_report()
+        baseline["machine"] = make_fingerprint()
+        current = make_report()
+        current["machine"] = make_fingerprint(
+            cpu_model="Other CPU", numba="0.60.0", kernel_backend="numba"
+        )
+        proc = run_gate(tmp_path, baseline, current)
+        assert proc.returncode == 0, proc.stderr
+        assert "WARNING" in proc.stdout
+        assert "fingerprint mismatch" in proc.stdout
+        assert "cpu_model" in proc.stdout
+        assert "kernel_backend" in proc.stdout
+
+    def test_matching_fingerprints_stay_silent(self, tmp_path):
+        baseline = make_report()
+        baseline["machine"] = make_fingerprint()
+        current = make_report()
+        current["machine"] = make_fingerprint()
+        proc = run_gate(tmp_path, baseline, current)
+        assert proc.returncode == 0
+        assert "WARNING" not in proc.stdout
+
+    def test_reports_without_fingerprint_stay_silent(self, tmp_path):
+        proc = run_gate(tmp_path, make_report(), make_report())
+        assert proc.returncode == 0
+        assert "WARNING" not in proc.stdout
+
+    def test_mismatch_does_not_mask_a_regression(self, tmp_path):
+        baseline = make_report()
+        baseline["machine"] = make_fingerprint()
+        current = make_report(scale=0.5)
+        current["machine"] = make_fingerprint(cpu_count=96)
+        proc = run_gate(tmp_path, baseline, current)
+        assert proc.returncode == 1
+        assert "WARNING" in proc.stdout
+        assert "FAIL" in proc.stderr
+
+
+class TestCommittedSimulatorBaseline:
+    def test_rows_fingerprint_and_aggregate_formula(self):
+        """Acceptance pins: kernel + multiheuristic rows are tracked, the
+        legacy mode is not, and the report carries a machine fingerprint."""
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "results" / "BENCH_simulator.json").read_text()
+        )
+        modes = {run["mode"] for run in baseline["runs"]}
+        assert {"perslot", "block", "kernel", "multiheuristic"} <= modes
+        assert "legacy" not in modes  # opt-in via --include-legacy, not gated
+        machine = baseline["machine"]
+        for field in ("cpu_model", "cpu_count", "python", "numpy", "numba",
+                      "kernel_backend"):
+            assert field in machine, field
+        cell = next(run for run in baseline["runs"] if run["mode"] == "multiheuristic")
+        assert cell["throughput_formula"] == "len(heuristics) * slots / wall_seconds"
+        assert len(cell["heuristics"]) >= 8
+        expected = len(cell["heuristics"]) * cell["slots"] / cell["wall_seconds"]
+        assert abs(cell["slots_per_second"] - expected) < 1.0
+        # The one-pass cell must beat the per-heuristic block sweep.
+        for speedup in baseline["speedup_multiheuristic_over_block"].values():
+            assert speedup > 1.0
+
+
 class TestCompareReports:
     def test_compare_function_importable(self):
         sys.path.insert(0, str(REPO_ROOT / "benchmarks"))

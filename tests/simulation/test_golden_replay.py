@@ -100,19 +100,28 @@ def test_perslot_sampler_reproduces_golden_run(case):
         assert getattr(result, field) == case[field], field
 
 
+@pytest.mark.parametrize("case", GOLDEN_CASES, ids=case_id)
+def test_kernel_sampler_reproduces_golden_run(case):
+    result = run_case(case, sampler="kernel")
+    for field in RESULT_FIELDS:
+        assert getattr(result, field) == case[field], field
+
+
+@pytest.mark.parametrize("sampler", ["block", "kernel"])
 @pytest.mark.parametrize("block_size", [1, 17, 512])
-def test_block_size_does_not_change_results(block_size):
+def test_block_size_does_not_change_results(block_size, sampler):
     """The chunk decomposition is an implementation detail, not a parameter."""
     for case in GOLDEN_CASES[:6]:
-        result = run_case(case, sampler="block", block_size=block_size)
+        result = run_case(case, sampler=sampler, block_size=block_size)
         for field in RESULT_FIELDS:
             assert getattr(result, field) == case[field], (case_id(case), field)
 
 
 @pytest.mark.parametrize("heuristic", ["RANDOM", "IE", "Y-IE", "E-IAY", "THRESHOLD-IE"])
-def test_block_and_perslot_samplers_agree(heuristic):
+def test_all_samplers_agree(heuristic):
     """Differential check on a fresh platform, including proactive heuristics."""
     results = [run_case({"kind": "markov", "heuristic": heuristic, "seed": 1234},
-                        sampler=sampler) for sampler in ("block", "perslot")]
-    for field in RESULT_FIELDS:
-        assert getattr(results[0], field) == getattr(results[1], field), field
+                        sampler=sampler) for sampler in ("block", "perslot", "kernel")]
+    for other in results[1:]:
+        for field in RESULT_FIELDS:
+            assert getattr(results[0], field) == getattr(other, field), field

@@ -1,0 +1,271 @@
+"""Multi-heuristic one-pass driver: bit-identity against sequential runs.
+
+The acceptance bar of the one-pass driver is *exactness*: for every contract
+(``passive_between_rebuilds``) heuristic, driving N schedulers over one
+shared availability realisation must produce ``SimulationResult``s equal —
+field for field, iteration record for iteration record — to N sequential
+``SimulationEngine.run()`` calls with the same seed.  The suite pins that
+over every registered passive heuristic plus the contract-flagged extension
+heuristics (``RANDOM``, ``FAST``, ``STICKY``, ``THRESHOLD-IE(tau=0.5)``),
+in model and replay-trace mode, on the golden-seed platform, and through
+the campaign layer's ``ProcessPoolExecutor`` fan-out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import AnalysisContext
+from repro.application import Application
+from repro.availability.trace import AvailabilityTrace
+from repro.exceptions import SimulationError
+from repro.experiments import CampaignScale
+from repro.experiments.runner import run_campaign
+from repro.platform import PlatformSpec, paper_platform
+from repro.scheduling import PASSIVE_HEURISTICS, create_scheduler
+from repro.simulation import MultiHeuristicDriver, SharedBlockSource, SimulationEngine
+
+pytestmark = pytest.mark.slow
+
+#: Every registered passive heuristic plus the contract-flagged extensions.
+CONTRACT_HEURISTICS = list(PASSIVE_HEURISTICS) + [
+    "RANDOM",
+    "FAST",
+    "STICKY",
+    "THRESHOLD-IE(tau=0.5)",
+]
+
+MAX_SLOTS = 20_000
+
+
+def golden_setup():
+    """The golden-replay markov platform (20 workers, m=5)."""
+    platform = paper_platform(
+        PlatformSpec(num_processors=20, ncom=10, wmin=2), num_tasks=5, seed=123
+    )
+    return platform, Application(tasks_per_iteration=5, iterations=10)
+
+
+def sequential_results(platform, application, names, *, seed, sampler, trace=None):
+    analysis = AnalysisContext(platform)
+    results = []
+    for name in names:
+        engine = SimulationEngine(
+            platform,
+            application,
+            create_scheduler(name),
+            seed=seed,
+            max_slots=MAX_SLOTS,
+            analysis=analysis,
+            sampler=sampler,
+            trace=trace,
+        )
+        results.append(engine.run())
+    return results
+
+
+def one_pass_results(platform, application, names, *, seed, sampler, trace=None):
+    driver = MultiHeuristicDriver(
+        platform,
+        application,
+        [create_scheduler(name) for name in names],
+        seed=seed,
+        max_slots=MAX_SLOTS,
+        trace=trace,
+        sampler=sampler,
+    )
+    results = driver.run()
+    assert len(driver.wall_seconds) == len(names)
+    assert all(wall >= 0.0 for wall in driver.wall_seconds)
+    return results
+
+
+@pytest.mark.parametrize("sampler", ["kernel", "block"])
+@pytest.mark.parametrize("seed", [7, 1234])
+def test_one_pass_bit_identical_to_sequential(sampler, seed):
+    platform, application = golden_setup()
+    solo = sequential_results(
+        platform, application, CONTRACT_HEURISTICS, seed=seed, sampler=sampler
+    )
+    shared = one_pass_results(
+        platform, application, CONTRACT_HEURISTICS, seed=seed, sampler=sampler
+    )
+    for name, expected, got in zip(CONTRACT_HEURISTICS, solo, shared):
+        assert got == expected, name  # dataclass eq: every field + every record
+
+
+def test_one_pass_matches_block_sampler_sequential():
+    """The one-pass kernel realisation equals per-heuristic *block* runs."""
+    platform, application = golden_setup()
+    solo = sequential_results(
+        platform, application, CONTRACT_HEURISTICS, seed=7, sampler="block"
+    )
+    shared = one_pass_results(
+        platform, application, CONTRACT_HEURISTICS, seed=7, sampler="kernel"
+    )
+    for name, expected, got in zip(CONTRACT_HEURISTICS, solo, shared):
+        assert got == expected, name
+
+
+def random_trace(num_processors, horizon, seed):
+    rng = np.random.default_rng(seed)
+    states = np.empty((num_processors, horizon), dtype=np.int8)
+    for q in range(num_processors):
+        col = 0
+        while col < horizon:
+            state = int(rng.choice([0, 0, 0, 1, 2]))
+            run = int(rng.integers(5, 40))
+            states[q, col : col + run] = state
+            col += run
+    return AvailabilityTrace(states)
+
+
+@pytest.mark.parametrize("sampler", ["kernel", "block"])
+def test_one_pass_trace_mode_bit_identical(sampler):
+    platform, application = golden_setup()
+    trace = random_trace(20, MAX_SLOTS, seed=99)
+    solo = sequential_results(
+        platform, application, CONTRACT_HEURISTICS, seed=5, sampler=sampler,
+        trace=trace,
+    )
+    shared = one_pass_results(
+        platform, application, CONTRACT_HEURISTICS, seed=5, sampler=sampler,
+        trace=trace,
+    )
+    for name, expected, got in zip(CONTRACT_HEURISTICS, solo, shared):
+        assert got == expected, name
+
+
+def test_short_trace_raises_like_solo_engine():
+    platform, application = golden_setup()
+    trace = random_trace(20, 64, seed=3)  # far too short for ten iterations
+    with pytest.raises(SimulationError, match="provide a longer trace"):
+        one_pass_results(
+            platform, application, ["IE", "IP"], seed=5, sampler="kernel",
+            trace=trace,
+        )
+
+
+def test_perslot_sampler_rejected():
+    platform, application = golden_setup()
+    with pytest.raises(SimulationError, match="available samplers: block, kernel"):
+        MultiHeuristicDriver(
+            platform, application, [create_scheduler("IE")], sampler="perslot"
+        )
+
+
+def test_empty_scheduler_list_rejected():
+    platform, application = golden_setup()
+    with pytest.raises(SimulationError, match="at least one scheduler"):
+        MultiHeuristicDriver(platform, application, [])
+
+
+class TestSharedBlockSource:
+    def test_windows_are_aligned_and_cached(self):
+        platform, _ = golden_setup()
+        source = SharedBlockSource(platform, seed=1, block_size=128, max_slots=1000)
+        start, data = source.window(300)
+        assert start == 256
+        assert data.length == 128
+        again_start, again = source.window(256)
+        assert again_start == start and again is data  # same object, not a copy
+
+    def test_model_mode_matches_solo_engine_blocks(self):
+        platform, application = golden_setup()
+        engine = SimulationEngine(
+            platform, application, create_scheduler("IE"), seed=11,
+            max_slots=2048, block_size=512, sampler="block",
+        )
+        engine._fetch_block(0)
+        source = SharedBlockSource(platform, seed=11, block_size=512, max_slots=2048)
+        _, data = source.window(0)
+        assert np.array_equal(data.block, engine._block)
+        _, later = source.window(1536)
+        engine._fetch_block(512)
+        engine._fetch_block(1024)
+        engine._fetch_block(1536)
+        assert np.array_equal(later.block, engine._block)
+
+    def test_release_below_frees_and_rejects_stale_windows(self):
+        platform, _ = golden_setup()
+        source = SharedBlockSource(platform, seed=1, block_size=100, max_slots=1000)
+        source.window(250)
+        source.release_below(200)
+        source.window(250)  # still live
+        with pytest.raises(SimulationError, match="already released"):
+            source.window(50)
+
+    def test_out_of_range_slot_rejected(self):
+        platform, _ = golden_setup()
+        source = SharedBlockSource(platform, seed=1, max_slots=500)
+        with pytest.raises(SimulationError, match="outside the source's range"):
+            source.window(500)
+
+    def test_trace_processor_mismatch_rejected(self):
+        platform, _ = golden_setup()
+        with pytest.raises(SimulationError, match="processors"):
+            SharedBlockSource(platform, trace=random_trace(3, 100, seed=0))
+
+
+CAMPAIGN_SCALE = CampaignScale(
+    ncom_values=(5,),
+    wmin_values=(1,),
+    scenarios_per_cell=1,
+    trials_per_scenario=2,
+    iterations=2,
+    makespan_cap=20_000,
+    num_processors=8,
+)
+
+CAMPAIGN_HEURISTICS = ("IE", "IY", "RANDOM")
+
+
+def _campaign_map(campaign):
+    return {
+        (r.heuristic,) + r.instance_key(): (
+            r.makespan,
+            r.success,
+            r.completed_iterations,
+            r.total_restarts,
+            r.total_configuration_changes,
+        )
+        for r in campaign.results
+    }
+
+
+class TestCampaignOnePassRouting:
+    def test_cell_matches_per_heuristic_campaigns(self):
+        """A multi-heuristic cell (one-pass routed) equals solo campaigns."""
+        together = run_campaign(
+            4, heuristics=CAMPAIGN_HEURISTICS, scale=CAMPAIGN_SCALE, label="multi"
+        )
+        solo = {}
+        for name in CAMPAIGN_HEURISTICS:
+            campaign = run_campaign(
+                4, heuristics=(name,), scale=CAMPAIGN_SCALE, label="multi"
+            )
+            solo.update(_campaign_map(campaign))
+        assert _campaign_map(together) == solo
+
+    def test_process_pool_fanout_matches_serial(self):
+        serial = run_campaign(
+            4, heuristics=CAMPAIGN_HEURISTICS, scale=CAMPAIGN_SCALE, label="pool"
+        )
+        parallel = run_campaign(
+            4, heuristics=CAMPAIGN_HEURISTICS, scale=CAMPAIGN_SCALE, label="pool",
+            n_jobs=2,
+        )
+        assert _campaign_map(serial) == _campaign_map(parallel)
+
+    def test_block_sampler_campaign_matches_kernel(self):
+        kernel = run_campaign(
+            4, heuristics=CAMPAIGN_HEURISTICS, scale=CAMPAIGN_SCALE, label="s",
+        )
+        block = run_campaign(
+            4, heuristics=CAMPAIGN_HEURISTICS, scale=CAMPAIGN_SCALE, label="s",
+            sampler="block",
+        )
+        perslot = run_campaign(
+            4, heuristics=CAMPAIGN_HEURISTICS, scale=CAMPAIGN_SCALE, label="s",
+            sampler="perslot",
+        )
+        assert _campaign_map(kernel) == _campaign_map(block) == _campaign_map(perslot)
