@@ -28,6 +28,12 @@ tracked across PRs:
   ``--include-legacy``: the mode exists for historical comparison and was
   dropped from the CI gate (the ``reference_seed_baseline`` entry keeps the
   true seed-engine numbers on record).
+* ``metrics_overhead`` — the kernel driver re-measured with a live
+  :class:`~repro.metrics.collector.MetricsCollector` at the default stride;
+  the row records collector-on/off slots/second and ``overhead_percent``,
+  which ``check_regression.py`` gates in *both* directions (an expensive
+  collector is a regression, a suspiciously free one means it stopped
+  sampling).
 
 Each report also embeds a ``machine`` fingerprint (CPU model, core count,
 numpy/numba versions, active kernel backend) so the regression gate can
@@ -51,6 +57,7 @@ import pytest
 
 from repro.analysis.cache import AnalysisContext
 from repro.application import Application
+from repro.metrics.collector import MetricsCollector
 from repro.platform import PlatformSpec, paper_platform
 from repro.scheduling import create_scheduler
 from repro.simulation import MultiHeuristicDriver, SimulationEngine, kernel_backend
@@ -201,6 +208,51 @@ def _measure_mode(mode: str, heuristic: str, max_slots: int, repeats: int = 3) -
     }
 
 
+def _measure_metrics_overhead(heuristic: str, max_slots: int, repeats: int = 3) -> dict:
+    """The ``metrics_overhead`` report row: collector on vs off on ``kernel``.
+
+    Off/on repeats are interleaved (off, on, off, on, ...) so slow drift of
+    the machine hits both sides equally instead of biasing one.  The row
+    carries ``overhead_percent`` instead of ``slots_per_second`` — the gate
+    in ``check_regression.py`` treats these rows specially (two-sided: a
+    collector that suddenly got expensive *or* suspiciously free both fail).
+    """
+    platform = paper_platform(
+        PlatformSpec(num_processors=THROUGHPUT_WORKERS, ncom=10, wmin=2),
+        num_tasks=5,
+        seed=123,
+    )
+    analysis = AnalysisContext(platform)
+    application = Application(tasks_per_iteration=5, iterations=max_slots)
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(repeats):
+        for collect in (False, True):
+            engine = SimulationEngine(
+                platform,
+                application,
+                create_scheduler(heuristic),
+                seed=7,
+                max_slots=max_slots,
+                analysis=analysis,
+                sampler="kernel",
+                metrics=MetricsCollector() if collect else None,
+            )
+            start = time.perf_counter()
+            engine.run()
+            best[collect] = min(best[collect], time.perf_counter() - start)
+    off_sps = max_slots / best[False]
+    on_sps = max_slots / best[True]
+    return {
+        "mode": "metrics_overhead",
+        "heuristic": heuristic,
+        "workers": THROUGHPUT_WORKERS,
+        "slots": max_slots,
+        "collector_off_slots_per_second": round(off_sps, 1),
+        "collector_on_slots_per_second": round(on_sps, 1),
+        "overhead_percent": round(100.0 * (off_sps / on_sps - 1.0), 2),
+    }
+
+
 def _measure_multiheuristic(max_slots: int, repeats: int = 3) -> dict:
     """Best-of-*repeats* one-pass run of the full contract cell."""
     platform = paper_platform(
@@ -251,6 +303,11 @@ def measure_throughput(
             runs.append(_measure_mode(mode, heuristic, max_slots, repeats))
     runs.append(_measure_multiheuristic(max_slots, repeats))
     by_key = {(r["heuristic"], r["mode"]): r["slots_per_second"] for r in runs}
+    overhead_rows = [
+        _measure_metrics_overhead(heuristic, max_slots, repeats)
+        for heuristic in ("RANDOM", "IE")
+    ]
+    runs.extend(overhead_rows)
     report = {
         "benchmark": "simulator_throughput",
         "machine": machine_fingerprint(),
@@ -265,6 +322,11 @@ def measure_throughput(
         "speedup_multiheuristic_over_block": {
             heuristic: round(by_key[("cell", "multiheuristic")] / by_key[(heuristic, "block")], 2)
             for heuristic in ("RANDOM", "IE")
+        },
+        # Collector cost on the kernel driver (the campaign default); the
+        # acceptance budget is < 5% on this workload.
+        "metrics_overhead_percent": {
+            row["heuristic"]: row["overhead_percent"] for row in overhead_rows
         },
         # The in-tree "legacy" mode still benefits from structural engine
         # improvements (per-block DOWN/column-change masks, cheaper state

@@ -48,6 +48,28 @@ REPORT_SCHEMAS: Dict[str, Tuple[Tuple[str, ...], str]] = {
     "traces_throughput": (("case",), "ops_per_second"),
 }
 
+#: benchmark name -> (discriminator field, discriminator value, metric field)
+#: for *overhead* rows: percentages gated two-sided on absolute change, not
+#: throughputs gated one-sided on relative drop.  An overhead that balloons
+#: is a regression; one that collapses to nothing usually means the measured
+#: feature silently stopped doing its work.
+OVERHEAD_SCHEMAS: Dict[str, Tuple[str, str, str]] = {
+    "simulator_throughput": ("mode", "metrics_overhead", "overhead_percent"),
+}
+
+
+def _split_runs(report: dict) -> Tuple[List[dict], List[dict]]:
+    """Partition ``runs`` into (throughput rows, overhead rows)."""
+    schema = OVERHEAD_SCHEMAS.get(report.get("benchmark"))
+    runs = report.get("runs", [])
+    if schema is None:
+        return list(runs), []
+    field, value, _ = schema
+    return (
+        [run for run in runs if run.get(field) != value],
+        [run for run in runs if run.get(field) == value],
+    )
+
 
 def _schema(report: dict) -> Tuple[Tuple[str, ...], str]:
     kind = report.get("benchmark")
@@ -61,9 +83,25 @@ def _schema(report: dict) -> Tuple[Tuple[str, ...], str]:
 def _throughputs(report: dict) -> Dict[Tuple[str, ...], float]:
     """Map run-identity tuple -> throughput metric for any known report."""
     key_fields, metric = _schema(report)
+    normal_runs, _ = _split_runs(report)
     return {
         tuple(str(run[field]) for field in key_fields): float(run[metric])
-        for run in report.get("runs", [])
+        for run in normal_runs
+    }
+
+
+def _overheads(report: dict) -> Dict[Tuple[str, ...], float]:
+    """Map run-identity tuple -> overhead percentage for the report's overhead rows."""
+    schema = OVERHEAD_SCHEMAS.get(report.get("benchmark"))
+    if schema is None:
+        return {}
+    key_fields, _ = _schema(report)
+    _, overhead_runs = _split_runs(report)
+    metric = schema[2]
+    return {
+        tuple(str(run[field]) for field in key_fields): float(run[metric])
+        for run in overhead_runs
+        if metric in run
     }
 
 
@@ -73,8 +111,9 @@ def compare_reports(
     """Return ``(failures, lines)`` comparing *current* against *baseline*.
 
     ``failures`` lists every run key whose throughput dropped by more than
-    ``max_drop`` (a fraction); ``lines`` is the full human-readable
-    comparison table.
+    ``max_drop`` (a fraction), plus every overhead row whose percentage moved
+    by more than ``100 * max_drop`` percentage points in *either* direction;
+    ``lines`` is the full human-readable comparison table.
     """
     if not (0.0 < max_drop < 1.0):
         raise ValueError(f"max_drop must be a fraction in (0, 1), got {max_drop}")
@@ -87,9 +126,14 @@ def compare_reports(
     base = _throughputs(baseline)
     fresh = _throughputs(current)
     common = sorted(set(base) & set(fresh))
-    if not common:
+    base_overhead = _overheads(baseline)
+    fresh_overhead = _overheads(current)
+    common_overhead = sorted(set(base_overhead) & set(fresh_overhead))
+    if not common and not common_overhead:
         raise ValueError("baseline and current reports share no run keys")
-    key_width = max(10, *(len(" ".join(key)) for key in common))
+    key_width = max(
+        10, *(len(" ".join(key)) for key in common + common_overhead)
+    )
     failures: List[str] = []
     lines: List[str] = [
         f"[{baseline['benchmark']}] metric: {metric}",
@@ -109,6 +153,23 @@ def compare_reports(
         lines.append(
             f"{' '.join(key):<{key_width}} {reference:>12.1f} {measured:>12.1f} "
             f"{100 * change:>+7.1f}%{verdict}"
+        )
+    max_shift = 100.0 * max_drop  # percentage points, two-sided
+    for key in common_overhead:
+        reference = base_overhead[key]
+        measured = fresh_overhead[key]
+        shift = measured - reference
+        verdict = ""
+        if abs(shift) > max_shift:
+            verdict = "  REGRESSION"
+            failures.append(
+                f"{'/'.join(key)}: overhead {measured:+.2f}% moved "
+                f"{shift:+.2f}pp from baseline {reference:+.2f}% "
+                f"(two-sided limit {max_shift:.0f}pp)"
+            )
+        lines.append(
+            f"{' '.join(key):<{key_width}} {reference:>11.2f}% {measured:>11.2f}% "
+            f"{shift:>+6.2f}pp{verdict}"
         )
     return failures, lines
 
@@ -161,6 +222,17 @@ def summary_table(baseline: dict, current: dict, *, max_drop: float) -> List[str
         lines.append(
             f"| {' '.join(key)} | {reference:,.1f} | {measured:,.1f} "
             f"| {100 * change:+.1f}%{marker} |"
+        )
+    base_overhead = _overheads(baseline)
+    fresh_overhead = _overheads(current)
+    for key in sorted(set(base_overhead) & set(fresh_overhead)):
+        reference = base_overhead[key]
+        measured = fresh_overhead[key]
+        shift = measured - reference
+        marker = " :warning:" if abs(shift) > 100.0 * max_drop else ""
+        lines.append(
+            f"| {' '.join(key)} | {reference:+.2f}% | {measured:+.2f}% "
+            f"| {shift:+.2f}pp{marker} |"
         )
     lines.append("")
     return lines

@@ -61,6 +61,7 @@ from repro.experiments.spec import (
 )
 from repro.experiments.store import ResultStore
 from repro.experiments.tables import format_spec_report, format_summaries
+from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.platform.builders import PlatformSpec, paper_platform
 from repro.platform.platform import Platform
 from repro.scheduling.registry import (
@@ -117,9 +118,12 @@ class RunResult:
     total_configuration_changes: int
     simulation: SimulationResult
     platform: Platform
+    #: Sampled per-slot series (:class:`~repro.metrics.collector.RunMetrics`)
+    #: when the run was invoked with ``collect_metrics=True``, else ``None``.
+    metrics: Optional[RunMetrics] = None
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "heuristic": self.heuristic,
             "seed": self.seed,
             "success": self.success,
@@ -128,6 +132,9 @@ class RunResult:
             "total_restarts": self.total_restarts,
             "total_configuration_changes": self.total_configuration_changes,
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.as_dict()
+        return payload
 
 
 @dataclass
@@ -251,6 +258,8 @@ def run(
     max_slots: int = 200_000,
     estimator: str = "paper",
     sampler: str = "kernel",
+    collect_metrics: bool = False,
+    metrics_stride: int = 64,
 ) -> RunResult:
     """Simulate one heuristic on one platform and return a :class:`RunResult`.
 
@@ -265,6 +274,12 @@ def run(
     seeds.  Results are deterministic in ``(platform, heuristic, seed)`` —
     *sampler* picks the engine's availability driver
     (``block``/``kernel``/``perslot``) without affecting any of them.
+
+    With ``collect_metrics=True`` the run additionally samples per-slot
+    series (pool availability, active set, work, communication backlog)
+    every *metrics_stride* slots into ``RunResult.metrics`` — a
+    :class:`~repro.metrics.collector.RunMetrics` — without changing any
+    other field of the result.
     """
     availability_spec = _as_availability(availability)
     if platform is None:
@@ -281,6 +296,7 @@ def run(
     scheduler = create_scheduler(heuristic)
     application = Application(tasks_per_iteration=m, iterations=iterations)
     analysis = AnalysisContext(platform, mode=ExpectationMode(estimator))
+    collector = MetricsCollector(metrics_stride) if collect_metrics else None
     engine = SimulationEngine(
         platform,
         application,
@@ -289,9 +305,11 @@ def run(
         max_slots=max_slots,
         analysis=analysis,
         sampler=sampler,
+        metrics=collector,
     )
     result = engine.run()
     return RunResult(
+        metrics=collector.result() if collector is not None else None,
         heuristic=scheduler.name,
         seed=seed,
         success=result.success,
@@ -313,6 +331,8 @@ def sweep(
     jobs: int = 1,
     max_cells: Optional[int] = None,
     sampler: str = "kernel",
+    collect_metrics: Optional[bool] = None,
+    metrics_stride: Optional[int] = None,
     progress: Optional[Callable[[CellProgress], None]] = None,
 ) -> SweepResult:
     """Run (or resume) a declarative campaign and return a :class:`SweepResult`.
@@ -326,6 +346,10 @@ def sweep(
     multi-machine campaigns.  *sampler* is a runtime engine option (not part
     of the spec identity); trials whose cells cover two or more
     passive-contract heuristics are advanced in one multi-heuristic pass.
+    *collect_metrics* / *metrics_stride* attach a per-run metrics collector
+    (``InstanceResult.metrics``); ``None`` defers to the spec's own
+    settings.  Like the sampler these are runtime options: metric series
+    are volatile store fields, outside the spec identity.
     """
     campaign_spec = _as_spec(spec)
     owned_store: Optional[ResultStore] = None
@@ -343,6 +367,8 @@ def sweep(
             n_jobs=jobs,
             max_cells=max_cells,
             sampler=sampler,
+            collect_metrics=collect_metrics,
+            metrics_stride=metrics_stride,
             cell_progress=progress,
         )
     finally:

@@ -9,6 +9,9 @@ Commands
               optionally against a persistent result store (resume) and as
               one shard of a multi-machine run.
 ``merge``     Combine shard stores into one store and report on it.
+``report``    Render a result store as summary tables (text) or as a
+              self-contained HTML dashboard with Monte Carlo bands and
+              Gantt drill-downs (``--html``).
 ``demo``      Simulate one instance under one heuristic and print a Gantt chart.
 ``offline``   Solve a random small off-line instance exactly (Theorem 4.1 artefacts).
 ``heuristics``  List the registered heuristics (family, parameters, description).
@@ -173,6 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
         "runtime-only, results are bit-identical)",
     )
     campaign.add_argument(
+        "--collect-metrics", action="store_true",
+        help="sample per-slot metric series during every run (stored with the "
+        "results; scalar results stay bit-identical)",
+    )
+    campaign.add_argument(
+        "--metrics-stride", type=int, default=None, metavar="N",
+        help="slots between metric samples (default: the spec's stride, 64)",
+    )
+    campaign.add_argument(
         "--output", default=None, help="write the raw shard results to this JSON file"
     )
 
@@ -188,6 +200,25 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument(
         "--report", choices=("tables", "none"), default="tables",
         help="print Table-I-style summaries of the merged store (default: tables)",
+    )
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a result store as text tables or an HTML dashboard",
+    )
+    report.add_argument("store", help="result store directory (from campaign --store or merge)")
+    report.add_argument(
+        "--html", action="store_true",
+        help="write a self-contained HTML dashboard (Monte Carlo band plots, "
+        "Gantt drill-down) instead of printing text tables",
+    )
+    report.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="HTML destination (default: <store>/report.html)",
+    )
+    report.add_argument(
+        "--gantt", type=int, default=2, metavar="N",
+        help="runs to re-simulate for the Gantt drill-down (default 2, 0 disables)",
     )
 
     demo = subparsers.add_parser("demo", help="simulate one instance and print a Gantt chart")
@@ -447,6 +478,9 @@ def _cmd_campaign_spec(args: argparse.Namespace) -> int:
             max_cells=args.max_cells,
             cell_progress=cell_progress,
             sampler=args.sampler,
+            # None defers to the spec's own settings.
+            collect_metrics=True if args.collect_metrics else None,
+            metrics_stride=args.metrics_stride,
         )
     finally:
         if store is not None:
@@ -463,6 +497,31 @@ def _cmd_campaign_spec(args: argparse.Namespace) -> int:
             )
         else:
             print(format_spec_report(results, spec))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore.open(args.store)
+    try:
+        results = store.results()
+        spec = store.spec
+    finally:
+        store.close()
+    if not results:
+        print(f"Campaign {spec.name!r}: no completed cells yet (store {args.store})")
+        return 0
+    if not args.html:
+        print(format_spec_report(results, spec))
+        return 0
+    from pathlib import Path
+
+    from repro.metrics.html import render_html_report
+
+    html = render_html_report(results, spec, gantt_runs=args.gantt)
+    destination = Path(args.output) if args.output else Path(args.store) / "report.html"
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(html, encoding="utf-8")
+    print(f"report written to {destination}")
     return 0
 
 
@@ -770,10 +829,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("table1", "table2", "figure2", "campaign", "merge", "demo"):
+    if args.command in ("table1", "table2", "figure2", "campaign", "merge", "report", "demo"):
         handler = {
             "campaign": _cmd_campaign_spec,
             "merge": _cmd_merge,
+            "report": _cmd_report,
             "demo": _cmd_demo,
         }.get(args.command, _cmd_campaign)
         try:

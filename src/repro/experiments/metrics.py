@@ -33,7 +33,14 @@ from repro.exceptions import ExperimentError
 from repro.experiments.runner import InstanceResult
 from repro.scheduling.registry import canonical_heuristic
 
-__all__ = ["HeuristicSummary", "summarize_results", "relative_difference", "filter_results"]
+__all__ = [
+    "HeuristicSummary",
+    "MetricBands",
+    "aggregate_metric_bands",
+    "summarize_results",
+    "relative_difference",
+    "filter_results",
+]
 
 #: The reference heuristic of the paper's tables.
 DEFAULT_REFERENCE = "IE"
@@ -220,3 +227,130 @@ def summarize_results(
         key=lambda s: (s.pct_diff is None, s.pct_diff if s.pct_diff is not None else math.inf)
     )
     return summaries
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo confidence bands over sampled per-slot series
+# ----------------------------------------------------------------------
+#: Default band quantiles: an 80% interval around the median.
+DEFAULT_BAND_QUANTILES = (0.1, 0.5, 0.9)
+
+
+@dataclass(frozen=True)
+class MetricBands:
+    """Per-slot quantile bands of one ``(grid cell, heuristic)`` group.
+
+    Aggregates the :class:`~repro.metrics.collector.RunMetrics` series of
+    every repetition (scenario × trial) of one grid cell run under one
+    heuristic.  ``series[name][q]`` is the per-grid-point *q*-quantile of
+    metric ``name`` across repetitions; runs end at different slots, so
+    shorter series are NaN-padded and each grid point aggregates only the
+    runs still alive there (``alive`` counts them).  ``makespan_quantiles``
+    holds the same quantiles of the successful repetitions' makespans.
+    """
+
+    m: int
+    ncom: int
+    wmin: int
+    num_processors: int
+    heuristic: str
+    stride: int
+    num_runs: int
+    quantiles: Tuple[float, ...]
+    #: metric name -> quantile -> per-grid-point values.
+    series: Dict[str, Dict[float, List[float]]]
+    #: Number of runs still alive (not yet ended) at each grid point.
+    alive: List[int]
+    makespan_quantiles: Dict[float, Optional[float]]
+    successes: int
+    failures: int
+
+    def slots(self) -> List[int]:
+        """The sampled slot indices (shared x axis of every band)."""
+        return [index * self.stride for index in range(len(self.alive))]
+
+    def cell_label(self) -> str:
+        return (
+            f"m={self.m} ncom={self.ncom} wmin={self.wmin} "
+            f"p={self.num_processors}"
+        )
+
+
+def aggregate_metric_bands(
+    results: Sequence[InstanceResult],
+    *,
+    quantiles: Sequence[float] = DEFAULT_BAND_QUANTILES,
+) -> List[MetricBands]:
+    """Aggregate per-run metric series into Monte Carlo bands.
+
+    Results without a ``metrics`` payload are skipped (a store may mix runs
+    recorded with and without the collector).  Groups are the report's
+    natural unit: one ``(m, ncom, wmin, num_processors, heuristic)`` cell
+    aggregated over its scenario × trial repetitions.  All series of a
+    group must share one sampling stride; mixing strides raises
+    :class:`~repro.exceptions.ExperimentError`.
+    """
+    quantiles = tuple(float(q) for q in quantiles)
+    if not quantiles or any(not (0.0 <= q <= 1.0) for q in quantiles):
+        raise ExperimentError(f"band quantiles must lie in [0, 1], got {quantiles}")
+    groups: Dict[Tuple, List[InstanceResult]] = defaultdict(list)
+    for result in results:
+        if result.metrics:
+            key = (result.m, result.ncom, result.wmin, result.num_processors, result.heuristic)
+            groups[key].append(result)
+
+    bands: List[MetricBands] = []
+    for key in sorted(groups):
+        entries = groups[key]
+        strides = {int(entry.metrics["stride"]) for entry in entries}
+        if len(strides) != 1:
+            raise ExperimentError(
+                f"cannot band cell {key}: series sampled at mixed strides {sorted(strides)}"
+            )
+        stride = strides.pop()
+        names = list(entries[0].metrics["series"])
+        lengths = [
+            max(len(values) for values in entry.metrics["series"].values())
+            for entry in entries
+        ]
+        width = max(lengths)
+        series: Dict[str, Dict[float, List[float]]] = {}
+        for name in names:
+            stacked = np.full((len(entries), width), np.nan)
+            for row, entry in enumerate(entries):
+                values = entry.metrics["series"].get(name, [])
+                stacked[row, : len(values)] = values
+            levels = np.nanquantile(stacked, quantiles, axis=0)
+            series[name] = {
+                q: [float(v) for v in levels[i]] for i, q in enumerate(quantiles)
+            }
+        alive = np.zeros(width, dtype=np.int64)
+        for length in lengths:
+            alive[:length] += 1
+        makespans = [
+            float(entry.makespan)
+            for entry in entries
+            if entry.success and entry.makespan is not None
+        ]
+        makespan_quantiles: Dict[float, Optional[float]] = {
+            q: (float(np.quantile(makespans, q)) if makespans else None)
+            for q in quantiles
+        }
+        bands.append(
+            MetricBands(
+                m=key[0],
+                ncom=key[1],
+                wmin=key[2],
+                num_processors=key[3],
+                heuristic=key[4],
+                stride=stride,
+                num_runs=len(entries),
+                quantiles=quantiles,
+                series=series,
+                alive=[int(v) for v in alive],
+                makespan_quantiles=makespan_quantiles,
+                successes=len(makespans),
+                failures=len(entries) - len(makespans),
+            )
+        )
+    return bands

@@ -51,6 +51,7 @@ from repro.experiments.scenarios import CampaignScale, ExperimentScenario, gener
 from repro.experiments.spec import CampaignCell, CampaignSpec
 from repro.platform.platform import Platform
 from repro.components import ComponentError
+from repro.metrics.collector import DEFAULT_STRIDE, MetricsCollector
 from repro.scheduling.registry import ALL_HEURISTICS, canonical_heuristic, create_scheduler
 from repro.simulation.engine import SAMPLERS, SimulationEngine
 from repro.simulation.multirun import MultiHeuristicDriver
@@ -89,6 +90,12 @@ class InstanceResult:
     #: campaigns may sweep it).  Not part of the legacy scenario/instance
     #: keys — reports group by it explicitly instead.
     num_processors: int = 20
+    #: Sampled per-slot series of the run as a JSON-ready payload
+    #: (:meth:`~repro.metrics.collector.RunMetrics.as_dict`), present only
+    #: when the campaign ran with a metrics collector attached.  Volatile
+    #: like the wall time: stores treat records with and without series as
+    #: the same result.
+    metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def scenario_key(self) -> Tuple[int, int, int, int]:
@@ -100,7 +107,7 @@ class InstanceResult:
         return (self.m, self.ncom, self.wmin, self.scenario_index, self.trial_index)
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "heuristic": self.heuristic,
             "m": self.m,
             "ncom": self.ncom,
@@ -115,6 +122,11 @@ class InstanceResult:
             "wall_time_seconds": self.wall_time_seconds,
             "num_processors": self.num_processors,
         }
+        # Omitted (not null) when absent, so records written before the
+        # metrics layer existed serialise byte-identically.
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "InstanceResult":
@@ -127,8 +139,10 @@ class InstanceResult:
         trial: int,
         result: SimulationResult,
         wall_time: float,
+        metrics: Optional[dict] = None,
     ) -> "InstanceResult":
         return cls(
+            metrics=metrics,
             heuristic=result.scheduler,
             m=scenario.params.m,
             ncom=scenario.params.ncom,
@@ -298,6 +312,8 @@ def run_instance(
     trace=None,
     mode: ExpectationMode = ExpectationMode.PAPER,
     sampler: str = "kernel",
+    collect_metrics: bool = False,
+    metrics_stride: int = DEFAULT_STRIDE,
 ) -> InstanceResult:
     """Run one (scenario, trial, heuristic) instance.
 
@@ -307,7 +323,11 @@ def run_instance(
     realisation (see :class:`TraceBank`); passing it skips re-sampling the
     availability chains without changing the result.  *sampler* selects the
     engine's availability driver (results are sampler-independent by
-    contract; see :data:`~repro.simulation.engine.SAMPLERS`).
+    contract; see :data:`~repro.simulation.engine.SAMPLERS`).  With
+    *collect_metrics* the run carries a
+    :class:`~repro.metrics.collector.MetricsCollector` sampling per-slot
+    series every *metrics_stride* slots into ``InstanceResult.metrics``;
+    all scalar fields stay bit-identical either way.
     """
     scale = scale or CampaignScale.reduced()
     _require_sampler(sampler)
@@ -317,6 +337,7 @@ def run_instance(
         analysis = AnalysisContext(platform, mode=mode)
     application = scenario.build_application(iterations=scale.iterations)
     scheduler = create_scheduler(heuristic)
+    collector = MetricsCollector(metrics_stride) if collect_metrics else None
     engine = SimulationEngine(
         platform,
         application,
@@ -326,11 +347,13 @@ def run_instance(
         trace=trace,
         analysis=analysis,
         sampler=sampler,
+        metrics=collector,
     )
     start = time.perf_counter()
     result = engine.run()
     elapsed = time.perf_counter() - start
-    return InstanceResult.from_simulation(scenario, trial, result, elapsed)
+    metrics = collector.result().as_dict() if collector is not None else None
+    return InstanceResult.from_simulation(scenario, trial, result, elapsed, metrics=metrics)
 
 
 def run_scenario(
@@ -341,6 +364,8 @@ def run_scenario(
     mode: ExpectationMode = ExpectationMode.PAPER,
     share_availability: bool = True,
     sampler: str = "kernel",
+    collect_metrics: bool = False,
+    metrics_stride: int = DEFAULT_STRIDE,
     on_result: Optional[Callable[[InstanceResult], None]] = None,
 ) -> List[InstanceResult]:
     """Run all trials of all *heuristics* on one scenario.
@@ -368,6 +393,8 @@ def run_scenario(
         mode=mode,
         share_availability=share_availability,
         sampler=sampler,
+        collect_metrics=collect_metrics,
+        metrics_stride=metrics_stride,
         on_result=on_result,
     )
 
@@ -380,6 +407,8 @@ def _run_scenario_work(
     mode: ExpectationMode = ExpectationMode.PAPER,
     share_availability: bool = True,
     sampler: str = "kernel",
+    collect_metrics: bool = False,
+    metrics_stride: int = DEFAULT_STRIDE,
     on_result: Optional[Callable[[InstanceResult], None]] = None,
 ) -> List[InstanceResult]:
     """Run an ordered subset of one scenario's (trial, heuristic) pairs.
@@ -420,6 +449,11 @@ def _run_scenario_work(
                 if getattr(scheduler, "passive_between_rebuilds", False)
             ]
             if len(contract) >= 2:
+                collectors = (
+                    [MetricsCollector(metrics_stride) for _ in contract]
+                    if collect_metrics
+                    else None
+                )
                 driver = MultiHeuristicDriver(
                     platform,
                     application,
@@ -429,12 +463,18 @@ def _run_scenario_work(
                     trace=trace,
                     analysis=analysis,
                     sampler=sampler,
+                    metrics=collectors,
                 )
-                for (name, _), sim, wall in zip(
-                    contract, driver.run(), driver.wall_seconds
+                for index, ((name, _), sim, wall) in enumerate(
+                    zip(contract, driver.run(), driver.wall_seconds)
                 ):
+                    metrics = (
+                        collectors[index].result().as_dict()
+                        if collectors is not None
+                        else None
+                    )
                     one_pass[name] = InstanceResult.from_simulation(
-                        scenario, trial, sim, wall
+                        scenario, trial, sim, wall, metrics=metrics
                     )
         for heuristic in names:
             result = one_pass.get(heuristic)
@@ -449,6 +489,8 @@ def _run_scenario_work(
                     trace=trace,
                     mode=mode,
                     sampler=sampler,
+                    collect_metrics=collect_metrics,
+                    metrics_stride=metrics_stride,
                 )
             results.append(result)
             if on_result is not None:
@@ -473,6 +515,8 @@ def _run_scenario_payload(payload: dict) -> List[dict]:
         scale=payload["scale"],
         mode=ExpectationMode(payload["mode"]),
         sampler=payload.get("sampler", "kernel"),
+        collect_metrics=payload.get("collect_metrics", False),
+        metrics_stride=payload.get("metrics_stride", DEFAULT_STRIDE),
     )
     return [result.as_dict() for result in results]
 
@@ -483,6 +527,8 @@ def _scenario_payload(
     scale: CampaignScale,
     mode: ExpectationMode,
     sampler: str = "kernel",
+    collect_metrics: bool = False,
+    metrics_stride: int = DEFAULT_STRIDE,
 ) -> dict:
     return {
         "params": scenario.params,
@@ -493,6 +539,8 @@ def _scenario_payload(
         "scale": scale,
         "mode": mode.value,
         "sampler": sampler,
+        "collect_metrics": collect_metrics,
+        "metrics_stride": metrics_stride,
     }
 
 
@@ -617,6 +665,8 @@ def run_campaign_spec(
     n_jobs: int = 1,
     max_cells: Optional[int] = None,
     sampler: str = "kernel",
+    collect_metrics: Optional[bool] = None,
+    metrics_stride: Optional[int] = None,
     cell_progress: Optional[Callable[[CellProgress], None]] = None,
 ) -> List[InstanceResult]:
     """Run (or resume) the campaign described by a :class:`CampaignSpec`.
@@ -648,6 +698,13 @@ def run_campaign_spec(
         Engine availability driver; a runtime option that never enters the
         spec identity (all samplers produce identical results by contract,
         so stored and freshly-run cells mix freely).
+    collect_metrics, metrics_stride:
+        Attach a per-run metrics collector sampling per-slot series into
+        ``InstanceResult.metrics``.  ``None`` (the default) defers to the
+        spec's own ``collect_metrics`` / ``metrics_stride`` settings.  Like
+        the sampler, this is a runtime option outside the spec identity:
+        the series are volatile store fields, so runs with and without them
+        resume and merge interchangeably.
     cell_progress:
         Per-cell callback; ``done``/``total`` cover this shard including
         store-skipped cells, so resumed runs report true remaining work.
@@ -658,6 +715,10 @@ def run_campaign_spec(
     """
     mode = ExpectationMode(spec.estimator)
     _require_sampler(sampler)
+    if collect_metrics is None:
+        collect_metrics = spec.collect_metrics
+    if metrics_stride is None:
+        metrics_stride = spec.metrics_stride
     mine = spec.shard_cells(*shard)
     completed = store.completed_cells() if store is not None else set()
     skipped = [cell for cell in mine if cell.index in completed]
@@ -720,6 +781,8 @@ def run_campaign_spec(
                 scale=scale,
                 mode=mode,
                 sampler=sampler,
+                collect_metrics=collect_metrics,
+                metrics_stride=metrics_stride,
                 on_result=None,
             )
             for cell, result in zip(cells, results):
@@ -733,6 +796,8 @@ def run_campaign_spec(
                 spec.scale_for(scenario.params.num_processors),
                 mode,
                 sampler,
+                collect_metrics,
+                metrics_stride,
             )
             for scenario, cells in groups
         ]

@@ -136,6 +136,14 @@ class CampaignSpec:
     #: spec file checked out at different locations on different shard
     #: machines still hashes (and therefore merges) identically.
     base_dir: Optional[str] = field(default=None, compare=False)
+    #: Observability toggles: attach a per-run metrics collector sampling
+    #: per-slot series every ``metrics_stride`` slots.  Runtime options, not
+    #: campaign identity (excluded from equality, ``as_dict`` and
+    #: ``spec_hash`` like ``base_dir``): the series are volatile store
+    #: fields, so stores written with and without them resume and merge
+    #: interchangeably.
+    collect_metrics: bool = field(default=False, compare=False)
+    metrics_stride: int = field(default=64, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "m_values", _int_tuple(self.m_values, "m_values"))
@@ -171,6 +179,10 @@ class CampaignSpec:
         if self.estimator not in ("paper", "renewal"):
             raise ExperimentError(
                 f"estimator must be 'paper' or 'renewal', got {self.estimator!r}"
+            )
+        if int(self.metrics_stride) < 1:
+            raise ExperimentError(
+                f"metrics_stride must be >= 1, got {self.metrics_stride}"
             )
         if not isinstance(self.availability, AvailabilitySpec):
             object.__setattr__(
@@ -327,6 +339,8 @@ class CampaignSpec:
             "iterations": "iterations",
             "makespan_cap": "makespan_cap",
             "estimator": "estimator",
+            "collect_metrics": "collect_metrics",
+            "metrics_stride": "metrics_stride",
         }
         known_grid = {
             "ncom": "ncom_values",

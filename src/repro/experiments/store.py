@@ -44,7 +44,7 @@ BACKENDS = ("jsonl", "sqlite")
 
 #: Record fields that are measurements of the run, not of the result; they
 #: are ignored when checking records for equivalence (resume / merge).
-VOLATILE_FIELDS = ("wall_time_seconds",)
+VOLATILE_FIELDS = ("wall_time_seconds", "metrics")
 
 
 def _record_payload(cell: CampaignCell, result: InstanceResult) -> dict:

@@ -109,6 +109,10 @@ def format_spec_report(results: Sequence[InstanceResult], spec: CampaignSpec) ->
     multi-``num_processors`` campaign is reported slice by slice.  The
     reference heuristic is the paper's IE when the spec includes it,
     otherwise the spec's first heuristic.
+
+    A slice whose completed cells do not yet include the reference (a
+    partially-run or sharded store) is reported as pending instead of
+    raising, so ``--report`` stays usable mid-campaign.
     """
     reference = DEFAULT_REFERENCE if DEFAULT_REFERENCE in spec.heuristics else spec.heuristics[0]
     sections: List[str] = []
@@ -121,10 +125,16 @@ def format_spec_report(results: Sequence[InstanceResult], spec: CampaignSpec) ->
             if len(spec.num_processors_values) > 1:
                 title += f", p = {num_processors}"
             title += f" ({len(subset)} results, reference {reference})"
+            if not any(result.heuristic == reference for result in subset):
+                sections.append(
+                    f"{title}\n  no completed {reference} cells yet — "
+                    "comparison metrics pending"
+                )
+                continue
             summaries = summarize_results(subset, reference=reference)
             sections.append(format_summaries(summaries, title=title))
     if not sections:
-        return f"Campaign {spec.name!r}: no results to report"
+        return f"Campaign {spec.name!r}: no completed cells to report"
     return "\n\n".join(sections)
 
 

@@ -1,0 +1,34 @@
+"""Observability layer: sampled per-slot series and campaign dashboards.
+
+:mod:`repro.metrics.collector` holds the engine-facing
+:class:`MetricsCollector` / :class:`RunMetrics` pair;
+:mod:`repro.metrics.html` renders a store as a self-contained HTML
+dashboard.  The dashboard renderer is imported lazily — it depends on the
+experiments layer, which itself imports the collector, and an eager import
+here would be circular.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collector import (
+    DEFAULT_STRIDE,
+    SERIES_NAMES,
+    MetricsCollector,
+    RunMetrics,
+)
+
+__all__ = [
+    "DEFAULT_STRIDE",
+    "MetricsCollector",
+    "RunMetrics",
+    "SERIES_NAMES",
+    "render_html_report",
+]
+
+
+def __getattr__(name: str):
+    if name == "render_html_report":
+        from repro.metrics.html import render_html_report
+
+        return render_html_report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

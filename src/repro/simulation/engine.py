@@ -171,6 +171,13 @@ class SimulationEngine:
     record_activity:
         Keep per-worker per-slot activity and state matrices, enabling Gantt
         rendering (off by default; memory grows with the makespan).
+    metrics:
+        Optional :class:`~repro.metrics.collector.MetricsCollector` sampling
+        per-slot series (pool availability, active set, work, backlog) at a
+        fixed stride while the run executes.  The collector is strictly
+        read-only — attaching one never changes the trajectory or the
+        result — and when ``None`` (the default) the hooks cost a single
+        predicted-not-taken branch per visited slot.
     """
 
     def __init__(
@@ -188,6 +195,7 @@ class SimulationEngine:
         shared_blocks=None,
         record_events: bool = False,
         record_activity: bool = False,
+        metrics=None,
     ) -> None:
         if max_slots < 1:
             raise SimulationError(f"max_slots must be >= 1, got {max_slots}")
@@ -219,6 +227,7 @@ class SimulationEngine:
         self.analysis = analysis if analysis is not None else AnalysisContext(platform)
         self.events = EventLog(enabled=record_events)
         self.record_activity = bool(record_activity)
+        self.metrics = metrics
         self._shared_blocks = shared_blocks
         self._kernel = sampler == "kernel"
         #: Result of the most recently completed run (also the
@@ -328,6 +337,11 @@ class SimulationEngine:
         self._block_same = data.same
         self._block_changes = data.changes
         self._block_data = data
+        if self.metrics is not None:
+            # Every availability block of a run funnels through here (model
+            # sampling, trace replay and shared windows alike), so this is
+            # where the collector sees exact pool states.
+            self.metrics.on_block(start, data.block)
 
     def _frozen_run(self, offset: int) -> int:
         """Slots after block-relative *offset* whose column equals column *offset*."""
@@ -403,6 +417,10 @@ class SimulationEngine:
         self._block = None
         self._block_start = 0
         self._block_len = 0
+
+        collector = self.metrics
+        if collector is not None:
+            collector.begin(tprog, tdata, self.max_slots, self.scheduler.name)
 
         if self.record_activity:
             self.activity_matrix = np.full(
@@ -762,6 +780,12 @@ class SimulationEngine:
                                     record.idle_slots += advance
                                 slot += advance
                                 states_dirty = not clean
+            if collector is not None:
+                # ``slot`` is now the last slot this loop pass covered
+                # (fast-forward branches advance it past the entry slot).
+                collector.on_step(
+                    slot, enrolled_runtimes, enrolled_ids, total_compute_slots, iteration_index
+                )
             slot += 1
 
         if not success:
@@ -770,6 +794,15 @@ class SimulationEngine:
         if self.record_activity and makespan is not None:
             self.activity_matrix = self.activity_matrix[:, :makespan]
             self.state_matrix = self.state_matrix[:, :makespan]
+
+        if collector is not None:
+            collector.finish(
+                makespan if success else self.max_slots,
+                enrolled_runtimes,
+                enrolled_ids,
+                total_compute_slots,
+                iteration_index,
+            )
 
         self.last_result = SimulationResult(
             scheduler=self.scheduler.name,
@@ -909,6 +942,7 @@ def simulate(
     sampler: str = "block",
     record_events: bool = False,
     record_activity: bool = False,
+    metrics=None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`SimulationEngine`."""
     engine = SimulationEngine(
@@ -923,5 +957,6 @@ def simulate(
         sampler=sampler,
         record_events=record_events,
         record_activity=record_activity,
+        metrics=metrics,
     )
     return engine.run()

@@ -222,6 +222,12 @@ class MultiHeuristicDriver:
         ``"kernel"`` (default) or ``"block"`` — the per-engine driver.
         ``"perslot"`` is rejected: the legacy driver resamples per slot and
         cannot share blocks.
+    metrics:
+        Optional sequence of per-scheduler
+        :class:`~repro.metrics.collector.MetricsCollector` instances (or
+        ``None`` entries), one per scheduler, attached to the matching
+        engine.  Collectors are read-only observers, so attaching them
+        keeps every result bit-identical.
 
     After :meth:`run`, :attr:`wall_seconds` holds the per-scheduler driving
     time (the shared window generation is attributed to the engine that
@@ -240,6 +246,7 @@ class MultiHeuristicDriver:
         analysis: Optional[AnalysisContext] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         sampler: str = "kernel",
+        metrics: Optional[Sequence] = None,
     ) -> None:
         if not schedulers:
             raise SimulationError("MultiHeuristicDriver needs at least one scheduler")
@@ -247,6 +254,11 @@ class MultiHeuristicDriver:
             raise SimulationError(
                 f"unknown sampler {sampler!r} for a multi-heuristic pass; "
                 "available samplers: block, kernel"
+            )
+        if metrics is not None and len(metrics) != len(schedulers):
+            raise SimulationError(
+                f"metrics must provide one collector per scheduler "
+                f"({len(metrics)} given for {len(schedulers)} schedulers)"
             )
         self.source = SharedBlockSource(
             platform,
@@ -267,8 +279,9 @@ class MultiHeuristicDriver:
                 block_size=block_size,
                 sampler=sampler,
                 shared_blocks=self.source,
+                metrics=metrics[index] if metrics is not None else None,
             )
-            for scheduler in schedulers
+            for index, scheduler in enumerate(schedulers)
         ]
         #: Per-scheduler driving wall time of the last :meth:`run`.
         self.wall_seconds: List[float] = []

@@ -1,5 +1,6 @@
 """Tests for the persistent campaign result store (JSONL and sqlite)."""
 
+import dataclasses
 import json
 
 import pytest
@@ -258,3 +259,89 @@ class TestStatus:
         manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
         assert manifest["backend"] == "jsonl"
         assert manifest["spec"]["name"] == "store-unit"
+
+
+def fake_metrics(stride=32, end_slot=100, scheduler="IE"):
+    count = (end_slot - 1) // stride + 1
+    return {
+        "stride": stride,
+        "end_slot": end_slot,
+        "scheduler": scheduler,
+        "series": {
+            "pool_up": [float(i % 8) for i in range(count)],
+            "work_completed": [round(1.5 * i, 3) for i in range(count)],
+        },
+    }
+
+
+class TestMetricsPersistence:
+    def test_series_round_trip(self, tmp_path, backend):
+        spec = unit_spec()
+        cells = spec.cells()
+        store = ResultStore.create(tmp_path / "c", spec, backend=backend)
+        originals = []
+        for cell in cells:
+            result = dataclasses.replace(
+                fake_result(cell, makespan=100 + cell.index),
+                metrics=fake_metrics(end_slot=100 + cell.index, scheduler=cell.heuristic),
+            )
+            originals.append(result)
+            store.append(cell, result)
+        store.close()
+        reopened = ResultStore.open(tmp_path / "c")
+        assert reopened.backend == backend
+        assert reopened.results() == originals
+        for stored, original in zip(reopened.results(), originals):
+            assert stored.metrics == original.metrics
+
+    def test_metrics_key_omitted_when_absent(self):
+        """Records written before the metrics layer must stay byte-identical,
+        so as_dict omits (not nulls) a missing payload."""
+        cell = unit_spec().cells()[0]
+        result = fake_result(cell)
+        assert "metrics" not in result.as_dict()
+        result = dataclasses.replace(result, metrics=fake_metrics())
+        assert result.as_dict()["metrics"] == fake_metrics()
+        assert InstanceResult.from_dict(result.as_dict()) == result
+
+    def test_metrics_are_volatile_for_idempotent_appends(self, tmp_path, backend):
+        """Re-running a cell with the collector toggled differently must not
+        conflict: series (like wall time) are not part of a cell's identity."""
+        spec = unit_spec()
+        cell = spec.cells()[0]
+        store = ResultStore.create(tmp_path / "c", spec, backend=backend)
+        bare = fake_result(cell)
+        store.append(cell, bare)
+        with_series = dataclasses.replace(fake_result(cell), metrics=fake_metrics())
+        store.append(cell, with_series)  # accepted silently
+        assert len(store) == 1
+        # A genuinely different scalar result still conflicts.
+        with pytest.raises(ExperimentError):
+            store.append(cell, fake_result(cell, makespan=999))
+        store.close()
+
+    def test_truncated_trailing_metrics_record_recovers(self, tmp_path):
+        """Series make records long; a mid-write kill still only drops the
+        final fragment on resume."""
+        spec = unit_spec()
+        cells = spec.cells()
+        store = ResultStore.create(tmp_path / "c", spec)
+        for cell in cells[:2]:
+            result = dataclasses.replace(
+                fake_result(cell), metrics=fake_metrics(end_slot=2000)
+            )
+            store.append(cell, result)
+        store.close()
+        path = tmp_path / "c" / "results.jsonl"
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40])  # chop inside the series
+        resumed = ResultStore.open(tmp_path / "c")
+        assert resumed.completed_cells() == {cells[0].index}
+        repaired = dataclasses.replace(
+            fake_result(cells[1]), metrics=fake_metrics(end_slot=2000)
+        )
+        resumed.append(cells[1], repaired)
+        resumed.close()
+        final = ResultStore.open(tmp_path / "c")
+        assert final.completed_cells() == {cells[0].index, cells[1].index}
+        assert final.results()[1].metrics == repaired.metrics

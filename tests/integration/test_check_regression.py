@@ -287,3 +287,93 @@ class TestCompareReports:
             assert any("REGRESSION" in line for line in lines)
         finally:
             sys.path.pop(0)
+
+
+def make_overhead_report(scale=1.0, overheads=(2.0, 4.0)):
+    """A simulator report carrying both throughput and metrics_overhead rows."""
+    report = make_report(scale=scale)
+    for heuristic, overhead in zip(("RANDOM", "IE"), overheads):
+        report["runs"].append(
+            {
+                "mode": "metrics_overhead",
+                "heuristic": heuristic,
+                "workers": 20,
+                "slots": 100_000,
+                "collector_off_slots_per_second": 40_000.0,
+                "collector_on_slots_per_second": 40_000.0 / (1 + overhead / 100.0),
+                "overhead_percent": overhead,
+            }
+        )
+    return report
+
+
+class TestOverheadGate:
+    def test_identical_overheads_pass(self, tmp_path):
+        proc = run_gate(tmp_path, make_overhead_report(), make_overhead_report())
+        assert proc.returncode == 0, proc.stderr
+        assert "+0.00pp" in proc.stdout
+
+    def test_overhead_rows_do_not_feed_throughput_gate(self, tmp_path):
+        """overhead_percent rows are compared as shifts, never as slowdowns —
+        a tiny on-throughput must not trip the ratio check."""
+        current = make_overhead_report()
+        for run in current["runs"]:
+            if run["mode"] == "metrics_overhead":
+                run["collector_on_slots_per_second"] = 1.0
+        proc = run_gate(tmp_path, make_overhead_report(), current)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_overhead_increase_beyond_limit_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, make_overhead_report(), make_overhead_report(overheads=(32.0, 4.0))
+        )
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+        assert "two-sided limit 25pp" in proc.stderr
+
+    def test_overhead_decrease_beyond_limit_fails(self, tmp_path):
+        """A large *drop* is suspicious too: it usually means the collector
+        silently stopped collecting, so the gate is two-sided."""
+        proc = run_gate(
+            tmp_path,
+            make_overhead_report(overheads=(28.0, 4.0)),
+            make_overhead_report(overheads=(1.0, 4.0)),
+        )
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+
+    def test_small_shift_tolerated_both_ways(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            make_overhead_report(overheads=(2.0, 14.0)),
+            make_overhead_report(overheads=(12.0, 4.0)),
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_summary_includes_overhead_rows(self, tmp_path):
+        summary = tmp_path / "summary.md"
+        proc = run_gate(
+            tmp_path, make_overhead_report(), make_overhead_report(),
+            "--summary", str(summary),
+        )
+        assert proc.returncode == 0, proc.stderr
+        text = summary.read_text()
+        assert "metrics_overhead" in text
+        assert "pp" in text
+
+    def test_committed_baseline_overhead_under_budget(self):
+        """Acceptance pin: the collector costs <5% on the 20-worker bench,
+        measured and committed for both gated heuristics."""
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "results" / "BENCH_simulator.json").read_text()
+        )
+        rows = [run for run in baseline["runs"] if run["mode"] == "metrics_overhead"]
+        assert {row["heuristic"] for row in rows} == {"RANDOM", "IE"}
+        for row in rows:
+            assert 0.0 <= row["overhead_percent"] < 5.0, row
+            ratio = (
+                row["collector_off_slots_per_second"]
+                / row["collector_on_slots_per_second"]
+            )
+            assert abs(100.0 * (ratio - 1.0) - row["overhead_percent"]) < 0.01
+        assert set(baseline["metrics_overhead_percent"]) == {"RANDOM", "IE"}

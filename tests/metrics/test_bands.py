@@ -1,0 +1,182 @@
+"""Tests for Monte Carlo band aggregation and the metrics campaign options."""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.metrics import (
+    DEFAULT_BAND_QUANTILES,
+    aggregate_metric_bands,
+)
+from repro.experiments.runner import InstanceResult
+from repro.experiments.spec import CampaignSpec, load_spec
+
+
+def make_result(
+    *,
+    heuristic="IE",
+    trial=0,
+    series=None,
+    stride=32,
+    makespan=200,
+    success=True,
+    metrics=True,
+):
+    end_slot = makespan if success else 300
+    payload = None
+    if metrics:
+        values = series if series is not None else [1.0, 2.0, 3.0]
+        payload = {
+            "stride": stride,
+            "end_slot": end_slot,
+            "scheduler": heuristic,
+            "series": {"pool_up": list(values), "work_completed": list(values)},
+        }
+    return InstanceResult(
+        heuristic=heuristic,
+        m=4,
+        ncom=5,
+        wmin=1,
+        scenario_index=0,
+        trial_index=trial,
+        success=success,
+        makespan=makespan if success else None,
+        completed_iterations=3,
+        total_restarts=0,
+        total_configuration_changes=1,
+        wall_time_seconds=0.1,
+        num_processors=8,
+        metrics=payload,
+    )
+
+
+class TestAggregation:
+    def test_hand_computed_quantiles(self):
+        """Two runs with values 10 and 20: with numpy's default linear
+        interpolation q0.1 = 11, q0.5 = 15, q0.9 = 19 at every grid point."""
+        results = [
+            make_result(trial=0, series=[10.0, 10.0]),
+            make_result(trial=1, series=[20.0, 20.0]),
+        ]
+        bands = aggregate_metric_bands(results)
+        assert len(bands) == 1
+        band = bands[0]
+        assert band.num_runs == 2
+        assert band.quantiles == DEFAULT_BAND_QUANTILES
+        assert band.series["pool_up"][0.1] == [11.0, 11.0]
+        assert band.series["pool_up"][0.5] == [15.0, 15.0]
+        assert band.series["pool_up"][0.9] == [19.0, 19.0]
+        assert band.alive == [2, 2]
+        assert band.makespan_quantiles[0.5] == 200.0
+
+    def test_ragged_series_are_nan_padded(self):
+        """A shorter run stops contributing where it ends; trailing grid
+        points aggregate only the runs still alive."""
+        results = [
+            make_result(trial=0, series=[10.0, 10.0]),
+            make_result(trial=1, series=[20.0, 20.0, 40.0]),
+        ]
+        band = aggregate_metric_bands(results)[0]
+        assert band.alive == [2, 2, 1]
+        assert band.series["pool_up"][0.5] == [15.0, 15.0, 40.0]
+        assert band.slots() == [0, 32, 64]
+
+    def test_groups_split_by_heuristic(self):
+        results = [
+            make_result(heuristic="IE", series=[1.0]),
+            make_result(heuristic="RANDOM", series=[2.0]),
+        ]
+        bands = aggregate_metric_bands(results)
+        assert [band.heuristic for band in bands] == ["IE", "RANDOM"]
+        assert all(band.num_runs == 1 for band in bands)
+
+    def test_mixed_strides_rejected(self):
+        results = [
+            make_result(trial=0, stride=32),
+            make_result(trial=1, stride=64),
+        ]
+        with pytest.raises(ExperimentError):
+            aggregate_metric_bands(results)
+
+    def test_results_without_metrics_are_skipped(self):
+        assert aggregate_metric_bands([make_result(metrics=False)]) == []
+        mixed = [make_result(metrics=False), make_result(trial=1)]
+        assert aggregate_metric_bands(mixed)[0].num_runs == 1
+
+    def test_invalid_quantiles_rejected(self):
+        with pytest.raises(ExperimentError):
+            aggregate_metric_bands([make_result()], quantiles=(0.5, 1.5))
+        with pytest.raises(ExperimentError):
+            aggregate_metric_bands([make_result()], quantiles=())
+
+    def test_failed_runs_have_no_makespan_quantiles(self):
+        band = aggregate_metric_bands([make_result(success=False)])[0]
+        assert band.failures == 1 and band.successes == 0
+        assert band.makespan_quantiles[0.5] is None
+
+
+class TestSpecOptions:
+    def base_spec(self, **overrides):
+        defaults = dict(
+            name="bands-unit",
+            m_values=(4,),
+            ncom_values=(5,),
+            wmin_values=(1,),
+            num_processors_values=(8,),
+            heuristics=("IE",),
+            scenarios_per_cell=1,
+            trials_per_scenario=1,
+            iterations=3,
+            makespan_cap=20_000,
+        )
+        defaults.update(overrides)
+        return CampaignSpec(**defaults)
+
+    def test_metrics_options_do_not_change_identity(self):
+        """collect_metrics/metrics_stride are runtime options like base_dir:
+        excluded from equality, as_dict and the resume-compatibility hash."""
+        plain = self.base_spec()
+        collecting = self.base_spec(collect_metrics=True, metrics_stride=16)
+        assert plain == collecting
+        assert plain.spec_hash() == collecting.spec_hash()
+        assert "collect_metrics" not in plain.as_dict()
+        assert "metrics_stride" not in collecting.as_dict()
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ExperimentError):
+            self.base_spec(metrics_stride=0)
+
+    def test_toml_keys_parse(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "[campaign]\n"
+            'name = "toml-metrics"\n'
+            "m = [4]\n"
+            'heuristics = ["IE"]\n'
+            "scenarios_per_cell = 1\n"
+            "trials = 1\n"
+            "iterations = 3\n"
+            "makespan_cap = 20000\n"
+            "collect_metrics = true\n"
+            "metrics_stride = 16\n"
+            "[grid]\n"
+            "ncom = [5]\n"
+            "wmin = [1]\n"
+            "num_processors = [8]\n"
+        )
+        spec = load_spec(path)
+        assert spec.collect_metrics is True
+        assert spec.metrics_stride == 16
+
+    def test_example_report_spec_collects_metrics(self):
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        spec = load_spec(examples / "campaign_report.toml")
+        assert spec.collect_metrics is True
+        assert spec.metrics_stride == 32
+        assert spec.num_cells() == 2
+        # The runtime options must not leak into the resume hash.
+        assert spec.spec_hash() == dataclasses.replace(
+            spec, collect_metrics=False, metrics_stride=64
+        ).spec_hash()

@@ -67,7 +67,7 @@ def build_setup(case):
     return platform, application
 
 
-def run_case(case, *, sampler, block_size=4096):
+def run_case(case, *, sampler, block_size=4096, metrics=None):
     platform, application = build_setup(case)
     engine = SimulationEngine(
         platform,
@@ -78,6 +78,7 @@ def run_case(case, *, sampler, block_size=4096):
         analysis=AnalysisContext(platform),
         sampler=sampler,
         block_size=block_size,
+        metrics=metrics,
     )
     return engine.run()
 
