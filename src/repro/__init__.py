@@ -58,6 +58,12 @@ from repro.availability import (
     random_markov_model,
     random_markov_models,
 )
+from repro.hazards import (
+    ChurnProcess,
+    DegradationAvailabilityModel,
+    DomainOutageProcess,
+    GroupHazardProcess,
+)
 from repro.exceptions import (
     InfeasibleProblemError,
     InvalidApplicationError,
@@ -122,6 +128,11 @@ __all__ = [
     "AvailabilityTrace",
     "random_markov_model",
     "random_markov_models",
+    # hazards
+    "GroupHazardProcess",
+    "DomainOutageProcess",
+    "ChurnProcess",
+    "DegradationAvailabilityModel",
     # platform / application
     "Processor",
     "Platform",

@@ -17,7 +17,9 @@ Component discovery goes through the same facade: :func:`heuristics` and
 :func:`availability_models` list the registered components (the CLI's
 ``repro heuristics`` / ``repro models`` render exactly these), and every
 heuristic argument accepts the parameterized expression grammar
-(``"THRESHOLD-IE(tau=0.5)"``, ``"STICKY(patience=3)"``).
+(``"THRESHOLD-IE(tau=0.5)"``, ``"STICKY(patience=3)"``).  Availability
+arguments accept the same grammar over substrate names
+(``"correlated(domains=4, rate=0.002)"``, ``"degradation(wear_rate=0.05)"``).
 
 Quickstart
 ----------
@@ -92,7 +94,7 @@ __all__ = [
     "load_spec",
 ]
 
-AvailabilityLike = Union[None, AvailabilitySpec, Mapping]
+AvailabilityLike = Union[None, AvailabilitySpec, Mapping, str]
 SpecLike = Union[CampaignSpec, Mapping, str, Path]
 
 
@@ -195,11 +197,16 @@ class ComparisonResult:
 def _as_availability(availability: AvailabilityLike) -> Optional[AvailabilitySpec]:
     if availability is None or isinstance(availability, AvailabilitySpec):
         return availability
+    if isinstance(availability, str):
+        # The registry expression grammar: "correlated(domains=4, rate=0.002)",
+        # "semi-markov", "degradation(wear_rate=0.05)", ...
+        resolved = AVAILABILITY_MODELS.resolve(availability)
+        return AvailabilitySpec(kind=resolved.name, parameters=tuple(resolved.arguments))
     if isinstance(availability, Mapping):
         return AvailabilitySpec.from_mapping(availability)
     raise ExperimentError(
-        f"availability must be None, an AvailabilitySpec or a mapping, "
-        f"got {type(availability).__name__}"
+        f"availability must be None, an AvailabilitySpec, a mapping or an "
+        f"expression string, got {type(availability).__name__}"
     )
 
 

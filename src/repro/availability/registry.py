@@ -2,10 +2,11 @@
 
 Mirrors the heuristic registry (:mod:`repro.scheduling.registry`): each
 availability *kind* a scenario can request — ``markov`` (the paper's
-Section V chain), ``semi-markov``, ``diurnal``, ``trace`` — is registered
-in :data:`AVAILABILITY_MODELS` with a description and its parameter
-catalogue, replacing the hard-coded if/elif over kinds that used to live in
-:mod:`repro.experiments.scenarios`.
+Section V chain), ``semi-markov``, ``diurnal``, ``trace`` and friends, plus
+the :mod:`repro.hazards` substrates ``degradation``, ``correlated`` and
+``churn`` — is registered in :data:`AVAILABILITY_MODELS` with a description
+and its parameter catalogue, replacing the hard-coded if/elif over kinds
+that used to live in :mod:`repro.experiments.scenarios`.
 
 A registered entry is a *builder*: given the scenario's availability
 parameters (any object with a ``get(name, default)`` accessor, such as
@@ -450,12 +451,14 @@ def _trace_bootstrap_models(spec):
 
 @register_availability_model(
     "fitted",
-    description="fit a synthetic family (markov / semi-markov / diurnal) to "
-    "a recorded dataset, then sample fresh trajectories from the fit",
+    description="fit a synthetic family (markov / semi-markov / diurnal / "
+    "correlated / degradation) to a recorded dataset, then sample fresh "
+    "trajectories from the fit",
     parameters=(
         ComponentParameter(
             "model", str, aliases=("kind",),
-            description="family to calibrate: markov, semi-markov or diurnal",
+            description="family to calibrate: markov, semi-markov, diurnal, "
+            "correlated or degradation",
         ),
         ComponentParameter(
             "path", str,
@@ -478,6 +481,15 @@ def _trace_bootstrap_models(spec):
             "prior", float, default=0.0,
             description="Laplace smoothing count for the markov/diurnal fits",
         ),
+        ComponentParameter(
+            "pm_level", int, default=3,
+            description="assumed preventive-maintenance wear level for the "
+            "degradation fit",
+        ),
+        ComponentParameter(
+            "fail_level", int, default=6,
+            description="assumed failure wear level for the degradation fit",
+        ),
     ) + _INGEST_PARAMETERS,
 )
 def _fitted_models(spec):
@@ -495,6 +507,9 @@ def _fitted_models(spec):
     if kind == "diurnal":
         options["day_length"] = int(spec.get("day_length", 96))
         options["num_phases"] = int(spec.get("num_phases", 2))
+    if kind == "degradation":
+        options["pm_level"] = int(spec.get("pm_level", 3))
+        options["fail_level"] = int(spec.get("fail_level", 6))
     # The builder runs once per scenario platform; the fit itself (scipy MLE
     # over the whole recording) is memoised on the immutable cached trace.
     fitted = _fit_cached(trace, kind, tuple(sorted(options.items())))
@@ -504,7 +519,205 @@ def _fitted_models(spec):
         # sampling state (holding counters, phase clocks).
         return fitted.make_models(count)
 
+    # A correlated fit reconstructs the platform-level outage overlay on top
+    # of its per-worker base chains, just like the native substrate.
+    if fitted.hazard_builder is not None:
+        factory.hazard_factory = fitted.hazard_builder
+
     return factory
+
+
+# ----------------------------------------------------------------------
+# Hazard substrates (repro.hazards): degradation, correlated outages, churn
+# ----------------------------------------------------------------------
+@register_availability_model(
+    "degradation",
+    description="per-worker wear levels advanced by usage, with "
+    "condition-based preventive maintenance (RECLAIMED) and corrective "
+    "repair (DOWN) sojourns",
+    family="hazard",
+    parameters=(
+        ComponentParameter(
+            "wear_rate", float, default=(0.02, 0.05),
+            description="per-UP-slot probability of advancing one wear level",
+        ),
+        ComponentParameter(
+            "pm_level", int, default=3,
+            description="wear level from which preventive maintenance triggers",
+        ),
+        ComponentParameter(
+            "fail_level", int, default=6,
+            description="wear level at which the worker fails (must exceed pm_level)",
+        ),
+        ComponentParameter(
+            "compliance", float, default=(0.6, 0.9),
+            description="probability a preventive-maintenance opportunity is taken",
+        ),
+        ComponentParameter(
+            "pm_mean", float, default=4.0,
+            description="mean preventive-maintenance sojourn (slots)",
+        ),
+        ComponentParameter(
+            "cm_mean", float, default=25.0,
+            description="mean corrective-repair sojourn (slots)",
+        ),
+        ComponentParameter(
+            "pm_dist", str, default="lognormal",
+            description="PM sojourn family: geometric, deterministic, lognormal, weibull",
+        ),
+        ComponentParameter(
+            "cm_dist", str, default="lognormal",
+            description="CM sojourn family: geometric, deterministic, lognormal, weibull",
+        ),
+    ),
+)
+def _degradation_models(spec):
+    from repro.hazards.degradation import DegradationAvailabilityModel, sojourn_distribution
+
+    pm_dist = str(spec.get("pm_dist", "lognormal"))
+    cm_dist = str(spec.get("cm_dist", "lognormal"))
+
+    def factory(rng, count):
+        models = []
+        for _ in range(count):
+            models.append(
+                DegradationAvailabilityModel(
+                    wear_rate=draw_parameter(
+                        rng, spec.get("wear_rate", (0.02, 0.05)), "wear_rate"
+                    ),
+                    pm_level=int(draw_parameter(rng, spec.get("pm_level", 3), "pm_level")),
+                    fail_level=int(
+                        draw_parameter(rng, spec.get("fail_level", 6), "fail_level")
+                    ),
+                    compliance=draw_parameter(
+                        rng, spec.get("compliance", (0.6, 0.9)), "compliance"
+                    ),
+                    pm_time=sojourn_distribution(
+                        pm_dist, draw_parameter(rng, spec.get("pm_mean", 4.0), "pm_mean")
+                    ),
+                    cm_time=sojourn_distribution(
+                        cm_dist, draw_parameter(rng, spec.get("cm_mean", 25.0), "cm_mean")
+                    ),
+                )
+            )
+        return models
+
+    return factory
+
+
+#: Base-chain stay-probability parameters shared by the overlay substrates
+#: (the overlays force DOWN on top of an ordinary per-worker Markov base).
+_OVERLAY_BASE_PARAMETERS = (
+    ComponentParameter(
+        "stay_low", float, default=0.90,
+        description="lower bound of the base chain's stay-probability draw",
+    ),
+    ComponentParameter(
+        "stay_high", float, default=0.99,
+        description="upper bound of the base chain's stay-probability draw",
+    ),
+)
+
+
+def _platform_scalar(spec, name: str, default) -> float:
+    """A platform-level hazard parameter: scalar only (one process per run)."""
+    value = spec.get(name, default)
+    if isinstance(value, tuple):
+        raise ExperimentError(
+            f"availability parameter {name!r} is platform-level and must be a "
+            f"scalar, not a [low, high] range (got {list(value)!r})"
+        )
+    return float(value)
+
+
+def _overlay_base_factory(spec, hazard_factory):
+    """A Section-V Markov base factory carrying a platform hazard overlay."""
+    stay_low = _platform_scalar(spec, "stay_low", 0.90)
+    stay_high = _platform_scalar(spec, "stay_high", 0.99)
+
+    def factory(rng, count):
+        return random_markov_models(count, rng, stay_low=stay_low, stay_high=stay_high)
+
+    factory.hazard_factory = hazard_factory
+    return factory
+
+
+@register_availability_model(
+    "correlated",
+    description="correlated outages: per-domain event process forcing "
+    "simultaneous DOWN spans onto member workers over a Markov base",
+    family="hazard",
+    parameters=(
+        ComponentParameter(
+            "domains", int, default=4,
+            description="number of shared failure domains (round-robin membership)",
+        ),
+        ComponentParameter(
+            "rate", float, default=0.002,
+            description="per-slot probability a healthy domain starts an outage",
+        ),
+        ComponentParameter(
+            "mean_outage", float, default=8.0,
+            description="mean domain-outage duration (slots)",
+        ),
+    ) + _OVERLAY_BASE_PARAMETERS,
+)
+def _correlated_models(spec):
+    from repro.hazards.process import DomainOutageProcess
+
+    domains = int(_platform_scalar(spec, "domains", 4))
+    rate = _platform_scalar(spec, "rate", 0.002)
+    mean_outage = _platform_scalar(spec, "mean_outage", 8.0)
+    # Validate eagerly (at scenario-build time) with a representative size.
+    DomainOutageProcess(max(domains, 1), domains=domains, rate=rate, mean_outage=mean_outage)
+
+    return _overlay_base_factory(
+        spec,
+        lambda num_workers: DomainOutageProcess(
+            num_workers, domains=domains, rate=rate, mean_outage=mean_outage
+        ),
+    )
+
+
+@register_availability_model(
+    "churn",
+    description="non-stationary pool churn: workers enrol and leave "
+    "mid-application via a birth-death overlay on a Markov base",
+    family="hazard",
+    parameters=(
+        ComponentParameter(
+            "mean_present", float, default=400.0,
+            description="mean enrolled sojourn per worker (slots)",
+        ),
+        ComponentParameter(
+            "mean_absent", float, default=150.0,
+            description="mean absent sojourn per worker (slots)",
+        ),
+        ComponentParameter(
+            "present0", float, default=0.8,
+            description="probability a worker is enrolled at slot 0",
+        ),
+    ) + _OVERLAY_BASE_PARAMETERS,
+)
+def _churn_models(spec):
+    from repro.hazards.process import ChurnProcess
+
+    mean_present = _platform_scalar(spec, "mean_present", 400.0)
+    mean_absent = _platform_scalar(spec, "mean_absent", 150.0)
+    present0 = _platform_scalar(spec, "present0", 0.8)
+    ChurnProcess(
+        1, mean_present=mean_present, mean_absent=mean_absent, present0=present0
+    )
+
+    return _overlay_base_factory(
+        spec,
+        lambda num_workers: ChurnProcess(
+            num_workers,
+            mean_present=mean_present,
+            mean_absent=mean_absent,
+            present0=present0,
+        ),
+    )
 
 
 #: (trace id, kind, options) -> (trace, FittedModel).  The stored trace

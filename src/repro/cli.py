@@ -262,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     models.add_argument(
         "--names-only", action="store_true", help="print bare names, one per line"
     )
+    models.add_argument(
+        "--family", default=None,
+        help="restrict to one family (synthetic, trace, hazard, ...)",
+    )
 
     traces = subparsers.add_parser(
         "traces",
@@ -317,8 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_input_arguments(fit)
     fit.add_argument(
-        "--kind", choices=("markov", "semi-markov", "diurnal", "all"), default="all",
-        help="model family to calibrate (default: all three)",
+        "--kind",
+        choices=("markov", "semi-markov", "diurnal", "correlated", "degradation", "all"),
+        default="all",
+        help="model family to calibrate (default: all families)",
     )
     fit.add_argument(
         "--day-length", type=int, default=96,
@@ -332,6 +338,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--prior", type=float, default=0.0,
         help="Laplace smoothing count for the markov/diurnal fits (default 0)",
     )
+    fit.add_argument(
+        "--pm-level", type=int, default=3,
+        help="assumed preventive-maintenance wear level for the degradation fit (default 3)",
+    )
+    fit.add_argument(
+        "--fail-level", type=int, default=6,
+        help="assumed failure wear level for the degradation fit (default 6)",
+    )
 
     sample = traces_sub.add_parser(
         "sample", help="generate a calibrated substrate from a recorded trace"
@@ -339,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_input_arguments(sample)
     sample.add_argument(
         "--kind",
-        choices=("bootstrap", "markov", "semi-markov", "diurnal"),
+        choices=("bootstrap", "markov", "semi-markov", "diurnal", "correlated", "degradation"),
         default="bootstrap",
         help="generator: bootstrap resampling or a fitted family (default bootstrap)",
     )
@@ -372,6 +386,14 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument(
         "--phases", type=int, default=2,
         help="phase bins per day for the diurnal fit (default 2)",
+    )
+    sample.add_argument(
+        "--pm-level", type=int, default=3,
+        help="assumed preventive-maintenance wear level for the degradation fit (default 3)",
+    )
+    sample.add_argument(
+        "--fail-level", type=int, default=6,
+        help="assumed failure wear level for the degradation fit (default 6)",
     )
 
     return parser
@@ -638,23 +660,55 @@ def _cmd_heuristics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parameter_default_text(parameter) -> str:
+    if parameter.required:
+        return "(required)"
+    default = parameter.default
+    if isinstance(default, tuple):
+        # [low, high] per-processor ranges, in the spec-file spelling.
+        return "[" + ", ".join(repr(value) for value in default) + "]"
+    return repr(default)
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
+    if args.family is not None and args.family not in AVAILABILITY_MODELS.families():
+        print(
+            f"models: unknown family {args.family!r}; "
+            f"expected one of {AVAILABILITY_MODELS.families()}",
+            file=sys.stderr,
+        )
+        return 2
+    infos = AVAILABILITY_MODELS.infos(family=args.family)
     if args.names_only:
-        for name in AVAILABILITY_MODELS.names():
-            print(name)
+        for info in infos:
+            print(info.name)
         return 0
-    rows = [
-        [info.name, _parameters_column(info), info.description]
-        for info in AVAILABILITY_MODELS.infos()
-    ]
-    print(format_table(
-        rows,
-        headers=["kind", "parameters", "description"],
-        align_right=[False] * 3,
-    ))
-    print()
+    for info in infos:
+        print(f"{info.name} [{info.family}] - {info.description}")
+        if not info.parameters:
+            print("  (no parameters)")
+        else:
+            rows = [
+                [
+                    parameter.name,
+                    parameter.kind.__name__,
+                    _parameter_default_text(parameter),
+                    ", ".join(parameter.aliases) if parameter.aliases else "-",
+                    parameter.description,
+                ]
+                for parameter in info.parameters
+            ]
+            table = format_table(
+                rows,
+                headers=["parameter", "type", "default", "aliases", "description"],
+                align_right=[False] * 5,
+            )
+            print("\n".join("  " + line for line in table.splitlines()))
+        print()
     print("Numeric parameters accept a scalar or a [low, high] per-processor range")
     print('in campaign specs, e.g. [availability] kind = "semi-markov", mean_up = [25.0, 60.0].')
+    print('Expression spellings work anywhere a kind is accepted, e.g.')
+    print('"correlated(domains=4, rate=0.002)" or "degradation(wear_rate=0.05)".')
     return 0
 
 
@@ -727,6 +781,8 @@ def _cmd_traces(args: argparse.Namespace) -> int:
             options = {}
             if args.kind == "diurnal":
                 options = {"day_length": args.day_length, "num_phases": args.phases}
+            if args.kind == "degradation":
+                options = {"pm_level": args.pm_level, "fail_level": args.fail_level}
             generated = fitted_trace(
                 args.kind, trace, processors, length, args.seed, **options
             )
@@ -787,7 +843,7 @@ def _cmd_traces_stats(trace, args: argparse.Namespace) -> int:
 
 
 def _cmd_traces_fit(trace, args: argparse.Namespace) -> int:
-    from repro.traces.fit import FIT_KINDS, fit_model
+    from repro.traces.fit import FIT_KINDS, TraceFitError, fit_model
 
     kinds = FIT_KINDS if args.kind == "all" else (args.kind,)
     rows = []
@@ -798,7 +854,17 @@ def _cmd_traces_fit(trace, args: argparse.Namespace) -> int:
         if kind == "diurnal":
             options["day_length"] = args.day_length
             options["num_phases"] = args.phases
-        fitted = fit_model(kind, trace, **options)
+        if kind == "degradation":
+            options["pm_level"] = args.pm_level
+            options["fail_level"] = args.fail_level
+        try:
+            fitted = fit_model(kind, trace, **options)
+        except TraceFitError as error:
+            # Structural families (correlated outage domains, wear cycles)
+            # legitimately fail on recordings without that structure: report
+            # the reason as a row instead of aborting the whole table.
+            rows.append([kind, "-", "-", "-", "-", "-", f"not fitted: {error}"])
+            continue
 
         def ks_text(value: float) -> str:
             return "-" if value != value else f"{value:.3f}"

@@ -222,7 +222,19 @@ class _BankTrace:
         if horizon < 1:
             raise ExperimentError(f"trace bank horizon must be >= 1, got {horizon}")
         self._models = [processor.availability for processor in platform.processors]
-        self._rngs, _ = derive_run_streams(seed, platform.num_processors)
+        # A platform-level hazard overlay is baked into the bank's states
+        # during materialisation (its master stream is the extra hazard
+        # child of the run's streams), so replaying this trace through an
+        # engine reproduces a hazard-aware solo run bit-for-bit.
+        self._hazard = platform.hazard
+        if self._hazard is not None:
+            self._rngs, _, self._hazard_rng = derive_run_streams(
+                seed, platform.num_processors, hazard=True
+            )
+        else:
+            self._rngs, _ = derive_run_streams(seed, platform.num_processors)
+            self._hazard_rng = None
+        self._base_last: Optional[np.ndarray] = None
         self._horizon = int(horizon)
         self._chunk = int(chunk)
         self._buffer = np.empty((platform.num_processors, 0), dtype=np.int8)
@@ -258,17 +270,33 @@ class _BankTrace:
             self._buffer = grown
         if self._filled == 0:
             self._buffer[:, 0] = sample_initial_states(self._models, self._rngs)
+            if self._hazard is not None:
+                self._hazard.reset(self._hazard_rng)
+                self._base_last = self._buffer[:, 0].copy()
+                self._hazard.overlay(0, self._buffer[:, 0:1])
             self._filled = 1
         capacity = self._buffer.shape[1]
         while self._filled < upto:
             length = min(self._chunk, self._horizon - self._filled, capacity - self._filled)
-            self._buffer[:, self._filled: self._filled + length] = sample_state_block(
+            # Base chains continue from the raw pre-overlay column (the
+            # hazard realisation is chunk-boundary independent, so the bank's
+            # chunking may differ from the engine's windows).
+            current = (
+                self._base_last
+                if self._hazard is not None
+                else self._buffer[:, self._filled - 1]
+            )
+            chunk = self._buffer[:, self._filled: self._filled + length]
+            chunk[:] = sample_state_block(
                 self._models,
                 self._filled,
                 length,
                 self._rngs,
-                self._buffer[:, self._filled - 1],
+                current,
             )
+            if self._hazard is not None:
+                self._base_last = chunk[:, -1].copy()
+                self._hazard.overlay(self._filled, chunk)
             self._filled += length
 
 

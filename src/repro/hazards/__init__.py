@@ -1,0 +1,33 @@
+"""Hazard substrates: degradation, correlated outages, and pool churn.
+
+This subpackage leaves the paper's per-worker-independent comfort zone
+(ROADMAP item 3) with three availability substrates real desktop grids and
+fleets actually exhibit:
+
+* :class:`DegradationAvailabilityModel` — per-worker discrete wear levels
+  advanced by usage, with condition-based preventive maintenance and
+  corrective repair sojourns (a drop-in
+  :class:`~repro.availability.model.AvailabilityModel`);
+* :class:`DomainOutageProcess` — correlated outages: a platform-level event
+  process taking whole failure domains (racks, power domains) ``DOWN``
+  simultaneously, applied as a :class:`GroupHazardProcess` overlay on every
+  materialised availability window;
+* :class:`ChurnProcess` — non-stationary pool churn: workers enter and
+  leave the pool mid-application via a birth–death overlay.
+
+All three are registered in the availability registry (``degradation(...)``,
+``correlated(...)``, ``churn(...)``), addressable from the campaign TOML
+grammar, fittable from traces via :mod:`repro.traces.fit`, and observable
+through the metrics collector series.
+"""
+
+from repro.hazards.degradation import DegradationAvailabilityModel, sojourn_distribution
+from repro.hazards.process import ChurnProcess, DomainOutageProcess, GroupHazardProcess
+
+__all__ = [
+    "ChurnProcess",
+    "DegradationAvailabilityModel",
+    "DomainOutageProcess",
+    "GroupHazardProcess",
+    "sojourn_distribution",
+]

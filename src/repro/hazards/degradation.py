@@ -1,0 +1,254 @@
+"""Degradation availability: wear levels, preventive and corrective repair.
+
+Models a worker as a machine that *wears out with use* (simantha-style
+discrete degradation states) rather than flipping states memorylessly:
+
+* While in service (``UP``) the worker advances one **wear level** after a
+  geometric number of slots (per-slot increment probability ``wear_rate``).
+* At each increment at or above ``pm_level`` a **condition-based preventive
+  maintenance** (PM) opportunity arises and is taken with probability
+  ``compliance``: the worker is pulled into ``RECLAIMED`` (the owner
+  services it; program and data survive) for a sojourn drawn from
+  ``pm_time``, after which wear resets to zero.
+* If wear reaches ``fail_level`` the worker breaks: ``DOWN`` (program and
+  data lost) for a **corrective maintenance** (CM) sojourn drawn from
+  ``cm_time``, then back in service with zero wear.
+
+The process is a per-worker :class:`~repro.availability.model.AvailabilityModel`
+— unlike the overlays in :mod:`repro.hazards.process` it needs no platform
+plumbing — and honours the library's stream-equivalence contract: a single
+``_next_segment`` routine drives both :meth:`next_state` and the
+run-length-filling :meth:`sample_block`, so both paths consume the RNG in
+exactly the same order (pinned by ``tests/hazards/test_degradation.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.availability.model import AvailabilityModel
+from repro.availability.semi_markov import (
+    DeterministicHolding,
+    GeometricHolding,
+    HoldingTimeDistribution,
+    LogNormalHolding,
+    WeibullHolding,
+)
+from repro.exceptions import InvalidModelError
+from repro.types import DOWN, RECLAIMED, UP, ProcessorState
+
+__all__ = ["DegradationAvailabilityModel", "sojourn_distribution"]
+
+#: Sojourn families accepted by :func:`sojourn_distribution`.
+SOJOURN_KINDS = ("geometric", "deterministic", "lognormal", "weibull")
+
+
+def sojourn_distribution(kind: str, mean: float) -> HoldingTimeDistribution:
+    """Build a repair-sojourn distribution of *kind* with the given *mean*.
+
+    ``lognormal`` uses a fixed shape (``sigma = 0.5``) and ``weibull`` a
+    fixed heavy-ish tail (``shape = 1.5``); both are solved for the scale
+    that yields *mean*.  This keeps the registry grammar down to one number
+    per sojourn while still covering the qualitative families reported for
+    desktop-grid repair times.
+    """
+    if mean < 1.0:
+        raise InvalidModelError(f"sojourn mean must be >= 1 slot, got {mean}")
+    kind = str(kind).lower()
+    if kind == "geometric":
+        return GeometricHolding(1.0 / mean)
+    if kind == "deterministic":
+        return DeterministicHolding(int(round(mean)))
+    if kind == "lognormal":
+        sigma = 0.5
+        return LogNormalHolding(math.log(mean) - sigma**2 / 2.0, sigma)
+    if kind == "weibull":
+        shape = 1.5
+        return WeibullHolding(shape, mean / math.gamma(1.0 + 1.0 / shape))
+    raise InvalidModelError(
+        f"unknown sojourn distribution {kind!r}; expected one of "
+        f"{', '.join(SOJOURN_KINDS)}"
+    )
+
+
+class DegradationAvailabilityModel(AvailabilityModel):
+    """Wear-level degradation with condition-based PM and corrective repair.
+
+    Parameters
+    ----------
+    wear_rate:
+        Per-UP-slot probability of advancing one wear level (``0 < wear_rate
+        <= 1``); the time between increments is geometric with mean
+        ``1/wear_rate`` slots.
+    pm_level:
+        Wear level (``>= 1``) from which preventive-maintenance
+        opportunities arise.
+    fail_level:
+        Wear level (``> pm_level``) at which the worker fails.
+    compliance:
+        Probability that a PM opportunity is taken (``0 <= compliance <=
+        1``).  ``1`` means maintenance always happens at ``pm_level``;
+        ``0`` means the worker always runs to failure.
+    pm_time, cm_time:
+        :class:`~repro.availability.semi_markov.HoldingTimeDistribution`
+        for the preventive (``RECLAIMED``) and corrective (``DOWN``) repair
+        sojourns.
+    """
+
+    def __init__(
+        self,
+        *,
+        wear_rate: float,
+        pm_level: int = 3,
+        fail_level: int = 6,
+        compliance: float = 0.8,
+        pm_time: Optional[HoldingTimeDistribution] = None,
+        cm_time: Optional[HoldingTimeDistribution] = None,
+    ) -> None:
+        if not 0.0 < wear_rate <= 1.0:
+            raise InvalidModelError(f"wear_rate must be in (0, 1], got {wear_rate}")
+        pm_level = int(pm_level)
+        fail_level = int(fail_level)
+        if pm_level < 1:
+            raise InvalidModelError(f"pm_level must be >= 1, got {pm_level}")
+        if fail_level <= pm_level:
+            raise InvalidModelError(
+                f"fail_level must be > pm_level, got fail_level={fail_level} "
+                f"with pm_level={pm_level}"
+            )
+        if not 0.0 <= compliance <= 1.0:
+            raise InvalidModelError(f"compliance must be in [0, 1], got {compliance}")
+        self.wear_rate = float(wear_rate)
+        self.pm_level = pm_level
+        self.fail_level = fail_level
+        self.compliance = float(compliance)
+        self.pm_time = pm_time if pm_time is not None else sojourn_distribution("lognormal", 4.0)
+        self.cm_time = cm_time if cm_time is not None else sojourn_distribution("lognormal", 25.0)
+        self._fitted: Optional[np.ndarray] = None
+        self.reset()
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self) -> None:
+        self._wear = 0
+        self._state = UP
+        self._remaining = 0
+
+    @property
+    def wear(self) -> int:
+        """Current wear level (diagnostics; reset on any repair)."""
+        return self._wear
+
+    def initial_state(self, rng: np.random.Generator) -> ProcessorState:
+        self._wear = 0
+        self._state = UP
+        self._remaining = max(0, int(rng.geometric(self.wear_rate)) - 1)
+        return UP
+
+    # -- the single event routine shared by both sampling paths --------
+    def _next_segment(self, rng: np.random.Generator) -> ProcessorState:
+        """Finish the current segment, draw the next; return its state.
+
+        A *segment* is a maximal run of slots with no internal event: an
+        inter-increment run of ``UP`` slots, a PM sojourn, or a CM sojourn.
+        Sets ``self._remaining`` to the segment length minus the slot being
+        emitted, exactly like
+        :class:`~repro.availability.semi_markov.SemiMarkovAvailabilityModel`.
+        """
+        if self._state is UP:
+            # The UP segment ended with a wear increment.
+            self._wear += 1
+            if self._wear >= self.fail_level:
+                self._state = DOWN
+                holding = self.cm_time.sample(rng)
+            elif self._wear >= self.pm_level and rng.random() < self.compliance:
+                self._state = RECLAIMED
+                holding = self.pm_time.sample(rng)
+            else:
+                holding = int(rng.geometric(self.wear_rate))
+        else:
+            # Maintenance or repair completed: back in service, like new.
+            self._wear = 0
+            self._state = UP
+            holding = int(rng.geometric(self.wear_rate))
+        self._remaining = max(0, int(holding) - 1)
+        return self._state
+
+    def next_state(self, current: ProcessorState, rng: np.random.Generator) -> ProcessorState:
+        if self._remaining > 0:
+            self._remaining -= 1
+            return self._state
+        return self._next_segment(rng)
+
+    def sample_block(
+        self,
+        start_slot: int,
+        horizon: int,
+        rng: np.random.Generator,
+        *,
+        current: ProcessorState,
+    ) -> np.ndarray:
+        """Segment-run block sampling, stream-equivalent to :meth:`next_state`."""
+        if start_slot < 1:
+            raise ValueError(f"start_slot must be >= 1, got {start_slot}")
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        states = np.empty(horizon, dtype=np.int8)
+        filled = 0
+        while filled < horizon:
+            if self._remaining > 0:
+                run = min(self._remaining, horizon - filled)
+                states[filled : filled + run] = int(self._state)
+                self._remaining -= run
+                filled += run
+            else:
+                states[filled] = int(self._next_segment(rng))
+                filled += 1
+        return states
+
+    # -- analysis ------------------------------------------------------
+    def _cycle_moments(self) -> "tuple[float, float]":
+        """``(E[increments per service cycle], P(cycle ends in failure))``."""
+        span = self.fail_level - self.pm_level
+        c = self.compliance
+        if c <= 0.0:
+            return float(self.fail_level), 1.0
+        p_cm = (1.0 - c) ** span
+        # Extra increments beyond pm_level: j < span w.p. c(1-c)^j, span w.p. p_cm.
+        extra = sum((1.0 - c) ** j for j in range(1, span + 1))
+        return self.pm_level + extra, p_cm
+
+    def markov_approximation(self) -> np.ndarray:
+        """Geometric 3-state fit matching the mean sojourns and repair split.
+
+        The natural "flawed" Markov model a scheduler would estimate from a
+        degradation trace: UP sojourns of mean ``E[N]/wear_rate`` slots
+        (``E[N]`` increments per service cycle) leaving towards DOWN with
+        the run-to-failure probability and towards RECLAIMED otherwise;
+        repair states leave at one over their mean sojourn.
+        """
+        if self._fitted is None:
+            mean_increments, p_cm = self._cycle_moments()
+            mean_up = max(1.0, mean_increments / self.wear_rate)
+            leave_up = 1.0 / mean_up
+            leave_pm = 1.0 / max(1.0, self.pm_time.mean())
+            leave_cm = 1.0 / max(1.0, self.cm_time.mean())
+            matrix = np.array(
+                [
+                    [1.0 - leave_up, leave_up * (1.0 - p_cm), leave_up * p_cm],
+                    [leave_pm, 1.0 - leave_pm, 0.0],
+                    [leave_cm, 0.0, 1.0 - leave_cm],
+                ]
+            )
+            self._fitted = matrix
+        return self._fitted.copy()
+
+    def describe(self) -> str:
+        return (
+            f"Degradation(wear_rate={self.wear_rate:g}, "
+            f"pm_level={self.pm_level}, fail_level={self.fail_level}, "
+            f"compliance={self.compliance:g}, pm={self.pm_time.describe()}, "
+            f"cm={self.cm_time.describe()})"
+        )

@@ -125,6 +125,13 @@ def availability_platform(
     lets declarative campaign specs swap the Markov substrate for
     semi-Markov, diurnal or trace-replay models while keeping the speed /
     capacity / communication methodology of Section VII-A.
+
+    A factory may additionally carry a ``hazard_factory`` attribute (a
+    callable ``num_workers -> GroupHazardProcess``); the built process is
+    attached to the platform as its :attr:`~repro.platform.Platform.hazard`
+    overlay.  Hazard construction happens *after* the model and speed draws
+    and consumes no RNG, so hazard-free substrates keep bit-identical
+    platforms.
     """
     if num_tasks < 1:
         raise InvalidPlatformError("num_tasks must be >= 1")
@@ -140,7 +147,11 @@ def availability_platform(
         Processor(speed=int(speed), capacity=int(capacity), availability=model)
         for speed, model in zip(speeds, models)
     ]
-    return Platform(processors, ncom=spec.ncom, tprog=spec.tprog, tdata=spec.tdata)
+    hazard_factory = getattr(model_factory, "hazard_factory", None)
+    hazard = hazard_factory(spec.num_processors) if hazard_factory is not None else None
+    return Platform(
+        processors, ncom=spec.ncom, tprog=spec.tprog, tdata=spec.tdata, hazard=hazard
+    )
 
 
 def uniform_platform(

@@ -47,6 +47,12 @@ class Platform:
     tdata:
         ``Tdata`` — whole time-slots needed to transfer one task's input data
         to one worker.  May be 0 (compute-only application).
+    hazard:
+        Optional platform-level
+        :class:`~repro.hazards.GroupHazardProcess` (correlated outages,
+        pool churn).  When present, the simulation layer overlays it on
+        every availability window it materialises from the per-processor
+        models; replay traces already carry the overlay baked in.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class Platform:
         ncom: int,
         tprog: int,
         tdata: int,
+        hazard=None,
     ) -> None:
         processors = list(processors)
         if not processors:
@@ -73,6 +80,13 @@ class Platform:
         self._ncom = int(ncom)
         self._tprog = int(tprog)
         self._tdata = int(tdata)
+        if hazard is not None and not (
+            hasattr(hazard, "reset") and hasattr(hazard, "overlay")
+        ):
+            raise InvalidPlatformError(
+                f"hazard must provide reset()/overlay(), got {type(hazard).__name__}"
+            )
+        self._hazard = hazard
 
     # ------------------------------------------------------------------
     # Alternative constructor from physical quantities
@@ -135,6 +149,11 @@ class Platform:
     def tdata(self) -> int:
         """Slots needed to send one task's input data to one worker."""
         return self._tdata
+
+    @property
+    def hazard(self):
+        """Platform-level hazard overlay (``None`` on hazard-free platforms)."""
+        return self._hazard
 
     def processor(self, worker: int) -> Processor:
         return self._processors[worker]
@@ -209,16 +228,25 @@ class Platform:
     # Serialisation / display
     # ------------------------------------------------------------------
     def describe(self) -> str:
-        return (
+        base = (
             f"Platform(p={self.num_processors}, ncom={self._ncom}, "
-            f"Tprog={self._tprog}, Tdata={self._tdata})"
+            f"Tprog={self._tprog}, Tdata={self._tdata}"
         )
+        if self._hazard is not None:
+            hazard = getattr(self._hazard, "describe", lambda: type(self._hazard).__name__)()
+            return f"{base}, hazard={hazard})"
+        return base + ")"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{self.describe()}>"
 
     def to_dict(self) -> dict:
         """JSON-serialisable description (availability must support ``to_dict``)."""
+        if self._hazard is not None:
+            raise InvalidPlatformError(
+                "platform-level hazard processes are not serialisable; "
+                "rebuild the platform from its AvailabilitySpec instead"
+            )
         processors = []
         for proc in self._processors:
             availability = proc.availability

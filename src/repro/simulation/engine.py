@@ -236,14 +236,29 @@ class SimulationEngine:
 
         # Independent streams: one per worker for availability, one for the
         # scheduler.  The recipe lives in utils.rng so the experiment layer
-        # can rebuild the exact availability realisation of a seed.
-        self._availability_rngs, self._scheduler_rng = derive_run_streams(
-            seed, platform.num_processors
-        )
+        # can rebuild the exact availability realisation of a seed.  A
+        # platform-level hazard overlay gets its own master stream — an
+        # additional SeedSequence child, so the worker and scheduler streams
+        # (and every hazard-free run) are unaffected.
+        self._hazard = platform.hazard if trace is None and shared_blocks is None else None
+        if self._hazard is not None:
+            (
+                self._availability_rngs,
+                self._scheduler_rng,
+                self._hazard_rng,
+            ) = derive_run_streams(seed, platform.num_processors, hazard=True)
+        else:
+            self._availability_rngs, self._scheduler_rng = derive_run_streams(
+                seed, platform.num_processors
+            )
+            self._hazard_rng = None
 
         self._comm = CommunicationManager(platform.ncom)
         self._runtimes: List[WorkerRuntime] = []
         self._block: Optional[np.ndarray] = None
+        # Raw (pre-overlay) last column of the previous window: what the
+        # base availability chains continue from when a hazard is active.
+        self._base_last_column: Optional[np.ndarray] = None
         self._block_start = 0
         self._block_len = 0
         # Per-block companions, computed once per prefetch so the per-slot
@@ -317,7 +332,17 @@ class SimulationEngine:
                             model, 1, length - 1, rng, state
                         )
             else:
-                previous = self._block[:, -1]
+                # The base chains continue from the *raw* sampled states: a
+                # hazard overlay is an exogenous forcing that does not alter
+                # the workers' intrinsic processes.  This also keeps the
+                # realisation independent of window boundaries (the bank
+                # trace chunks differently), so every consumption path stays
+                # bit-identical.
+                previous = (
+                    self._base_last_column
+                    if self._hazard is not None
+                    else self._block[:, -1]
+                )
                 for worker_id, processor in enumerate(self.platform.processors):
                     block[worker_id] = self._sample_worker(
                         processor.availability,
@@ -326,6 +351,15 @@ class SimulationEngine:
                         self._availability_rngs[worker_id],
                         ProcessorState(int(previous[worker_id])),
                     )
+            if self._hazard is not None:
+                # Platform-level overlay (correlated outages, churn): applied
+                # once per freshly sampled window, before the per-column
+                # companions are derived, so schedulers, kernels and metrics
+                # all see the overlaid states.
+                if start == 0:
+                    self._hazard.reset(self._hazard_rng)
+                self._base_last_column = block[:, -1].copy()
+                self._hazard.overlay(start, block)
         last_column = None if self._block is None else self._block[:, -1]
         self._install_block(start, BlockData(block, last_column))
 

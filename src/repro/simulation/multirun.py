@@ -106,10 +106,23 @@ class SharedBlockSource:
         self._windows: Dict[int, BlockData] = {}
         self._next_index = 0
         self._last_column: Optional[np.ndarray] = None
+        self._base_last_column: Optional[np.ndarray] = None
+        # Platform-level hazard overlay: materialised once per window and
+        # shared by every engine of the pass (replay traces carry it baked
+        # in).  Deriving the extra hazard stream leaves the worker streams
+        # bit-identical, so hazard-free sources are unchanged.
+        self._hazard = platform.hazard if trace is None else None
         if trace is None:
-            self._rngs, _ = derive_run_streams(seed, platform.num_processors)
+            if self._hazard is not None:
+                self._rngs, _, self._hazard_rng = derive_run_streams(
+                    seed, platform.num_processors, hazard=True
+                )
+            else:
+                self._rngs, _ = derive_run_streams(seed, platform.num_processors)
+                self._hazard_rng = None
         else:
             self._rngs = None
+            self._hazard_rng = None
 
     # ------------------------------------------------------------------
     def window(self, slot: int) -> Tuple[int, BlockData]:
@@ -185,7 +198,14 @@ class SharedBlockSource:
                             1, length - 1, rng, current=state
                         )
             else:
-                previous = self._last_column
+                # With a hazard, the base chains continue from the raw
+                # pre-overlay states — same discipline as the solo engine,
+                # which keeps the realisation window-boundary independent.
+                previous = (
+                    self._base_last_column
+                    if self._hazard is not None
+                    else self._last_column
+                )
                 for worker_id, processor in enumerate(self.platform.processors):
                     block[worker_id] = processor.availability.sample_block(
                         start,
@@ -193,6 +213,11 @@ class SharedBlockSource:
                         self._rngs[worker_id],
                         current=ProcessorState(int(previous[worker_id])),
                     )
+            if self._hazard is not None:
+                if start == 0:
+                    self._hazard.reset(self._hazard_rng)
+                self._base_last_column = block[:, -1].copy()
+                self._hazard.overlay(start, block)
         self._windows[self._next_index] = BlockData(block, self._last_column)
         self._last_column = block[:, -1]
         self._next_index += 1

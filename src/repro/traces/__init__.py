@@ -29,6 +29,8 @@ from repro.traces.fit import (
     FittedModel,
     SojournFit,
     TraceFitError,
+    fit_correlated,
+    fit_degradation,
     fit_diurnal,
     fit_markov,
     fit_model,
@@ -67,6 +69,8 @@ __all__ = [
     "bootstrap_models",
     "bootstrap_rows",
     "bootstrap_trace",
+    "fit_correlated",
+    "fit_degradation",
     "fit_diurnal",
     "fit_markov",
     "fit_model",

@@ -60,13 +60,15 @@ __all__ = [
     "fit_markov",
     "fit_semi_markov",
     "fit_diurnal",
+    "fit_correlated",
+    "fit_degradation",
     "fit_model",
     "fit_per_processor",
     "ks_distance",
 ]
 
 #: The model kinds :func:`fit_model` dispatches over (registered substrate names).
-FIT_KINDS = ("markov", "semi-markov", "diurnal")
+FIT_KINDS = ("markov", "semi-markov", "diurnal", "correlated", "degradation")
 
 #: Sojourn-distribution families the semi-Markov fitter can use per state.
 SOJOURN_FAMILIES = ("weibull", "lognormal", "geometric")
@@ -158,10 +160,18 @@ class FittedModel:
     ks: Dict[str, float]
     sojourns: Tuple[SojournFit, ...] = ()
     _builder: Callable[[], AvailabilityModel] = field(repr=False, compare=False, default=None)
+    #: Optional platform-hazard constructor (``num_workers -> GroupHazardProcess``)
+    #: carried by fits of overlay substrates such as ``correlated``.
+    _hazard_builder: Optional[Callable] = field(repr=False, compare=False, default=None)
 
     def instantiate(self) -> AvailabilityModel:
         """A fresh, independently-sampleable model with the fitted parameters."""
         return self._builder()
+
+    @property
+    def hazard_builder(self) -> Optional[Callable]:
+        """``num_workers -> GroupHazardProcess`` for overlay fits, else ``None``."""
+        return self._hazard_builder
 
     @property
     def model(self) -> AvailabilityModel:
@@ -484,6 +494,344 @@ def fit_diurnal(
 
 
 # ----------------------------------------------------------------------
+# Correlated outages (domain events from simultaneous DOWN onsets)
+# ----------------------------------------------------------------------
+def fit_correlated(
+    data: Union[AvailabilityTrace, np.ndarray, Sequence],
+    *,
+    min_workers: int = 2,
+    min_coincidences: int = 2,
+    assoc_threshold: float = 0.5,
+) -> FittedModel:
+    """Fit a :class:`~repro.hazards.DomainOutageProcess` over a Markov base.
+
+    Detection works from *simultaneous DOWN onsets*: slots where at least
+    ``min_workers`` workers transition into DOWN together are treated as
+    candidate domain events.  Workers are clustered into domains by
+    co-onset association — two workers are linked when they co-onset in at
+    least ``min_coincidences`` events *and* in at least ``assoc_threshold``
+    of the event participations of the rarer of the two (per-worker base
+    failures coincide occasionally by chance; domain members co-onset
+    almost always, so the normalised association separates them cleanly).
+
+    Per event, the outage duration is the span all onsetting members stay
+    simultaneously DOWN, corrected for the expected geometric tail the
+    members' base chains add after the overlay ends (estimated from the
+    trace's pooled DOWN self-transition probability).  The base chain is
+    fitted over the transitions *outside* detected events.
+    """
+    sequences = _sequences_of(data)
+    if len(sequences) < 2:
+        raise TraceFitError(
+            "fitting correlated outages needs a multi-worker trace "
+            f"(got {len(sequences)} row)"
+        )
+    horizon = sequences[0].size
+    if any(sequence.size != horizon for sequence in sequences):
+        raise TraceFitError("correlated fit needs equal-length trace rows")
+    if horizon < 2:
+        raise TraceFitError("trace too short to detect outage events")
+    matrix = np.vstack(sequences)
+    num_workers = matrix.shape[0]
+
+    down = matrix == int(DOWN)
+    onsets = np.zeros_like(down)
+    onsets[:, 0] = down[:, 0]
+    onsets[:, 1:] = down[:, 1:] & ~down[:, :-1]
+    event_slots = np.flatnonzero(onsets.sum(axis=0) >= max(2, int(min_workers)))
+    if event_slots.size == 0:
+        raise TraceFitError(
+            "no simultaneous DOWN onsets found: the trace shows no "
+            "correlated-outage structure"
+        )
+
+    # Cluster workers by normalised co-onset association (union-find).
+    participation = onsets[:, event_slots]
+    co_onsets = participation.astype(np.int64) @ participation.astype(np.int64).T
+    totals = np.diag(co_onsets)
+    parent = list(range(num_workers))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for i in range(num_workers):
+        for j in range(i + 1, num_workers):
+            smaller = min(totals[i], totals[j])
+            if smaller == 0:
+                continue
+            if co_onsets[i, j] >= min_coincidences and (
+                co_onsets[i, j] >= assoc_threshold * smaller
+            ):
+                parent[find(i)] = find(j)
+    clusters: Dict[int, List[int]] = {}
+    for worker in range(num_workers):
+        clusters.setdefault(find(worker), []).append(worker)
+    domains = sorted(
+        (sorted(members) for members in clusters.values() if len(members) >= 2),
+        key=lambda members: members[0],
+    )
+    if not domains:
+        raise TraceFitError(
+            "simultaneous DOWN onsets never cluster: no stable outage "
+            "domains detected"
+        )
+
+    # Pooled DOWN self-transition probability: the base chains extend each
+    # member's DOWN run past the overlay's end by a geometric tail.
+    counts = np.zeros((3, 3), dtype=np.int64)
+    for sequence in sequences:
+        counts += transition_counts(sequence)
+    down_row = counts[int(DOWN)].sum()
+    stay_dd = float(counts[int(DOWN), int(DOWN)] / down_row) if down_row else 0.0
+    stay_dd = min(stay_dd, 1.0 - 1e-9)
+
+    overlay_mask = np.zeros_like(down)
+    durations: List[float] = []
+    gaps: List[int] = []
+    num_events = 0
+    for members in domains:
+        rows = np.array(members)
+        member_onsets = onsets[rows][:, :]
+        # A domain event: at least half of the members (>= 2) onset together.
+        quorum = max(2, (len(members) + 1) // 2)
+        domain_events = np.flatnonzero(member_onsets.sum(axis=0) >= quorum)
+        previous_start = None
+        for slot in domain_events:
+            starters = rows[member_onsets[:, slot]]
+            # Common-DOWN span: until the first onsetting member recovers.
+            span = horizon - slot
+            for worker in starters:
+                run = slot
+                while run < horizon and down[worker, run]:
+                    run += 1
+                span = min(span, run - slot)
+            overlay_mask[np.ix_(rows, np.arange(slot, slot + span))] = True
+            # Subtract the expected geometric tail min over k member chains.
+            tail = stay_dd ** len(starters)
+            correction = tail / (1.0 - tail) if tail < 1.0 else 0.0
+            durations.append(max(1.0, span - correction))
+            if previous_start is not None:
+                gaps.append(int(slot - previous_start))
+            previous_start = slot
+            num_events += 1
+    if num_events == 0:
+        raise TraceFitError("no domain reached its event quorum")
+
+    mean_outage = float(max(1.0, np.mean(durations)))
+    outage_per_domain = sum(durations) / len(domains)
+    rate = float(
+        min(1.0, (num_events / len(domains)) / max(1.0, horizon - outage_per_domain))
+    )
+
+    # Base chain: pooled transitions outside the detected overlay spans.
+    base_counts = np.zeros((3, 3), dtype=np.int64)
+    clean = ~overlay_mask
+    usable = clean[:, :-1] & clean[:, 1:]
+    np.add.at(base_counts, (matrix[:, :-1][usable], matrix[:, 1:][usable]), 1)
+    base_matrix = np.eye(3)
+    for index in range(3):
+        total = base_counts[index].sum()
+        if total > 0:
+            base_matrix[index] = base_counts[index] / total
+
+    duration_samples = np.asarray(durations)
+    gap_cdf = _geometric_cdf(rate)
+    duration_cdf = _geometric_cdf(1.0 / mean_outage)
+    ks = {
+        "duration": ks_distance(duration_samples, duration_cdf),
+        "gap": ks_distance(gaps, gap_cdf) if gaps else float("nan"),
+        "UP": float("nan"),
+        "RECLAIMED": float("nan"),
+        "DOWN": ks_distance(duration_samples, duration_cdf),
+    }
+    log_likelihood = _sojourn_log_likelihood(
+        "geometric", GeometricHolding(min(1.0, 1.0 / mean_outage)), duration_samples
+    )
+    if gaps:
+        log_likelihood += _sojourn_log_likelihood(
+            "geometric", GeometricHolding(rate), np.asarray(gaps, dtype=float)
+        )
+
+    def hazard_builder(workers: int):
+        from repro.hazards.process import DomainOutageProcess
+
+        return DomainOutageProcess(
+            workers, domains=len(domains), rate=rate, mean_outage=mean_outage
+        )
+
+    return FittedModel(
+        kind="correlated",
+        parameters={
+            "domains": len(domains),
+            "rate": rate,
+            "mean_outage": mean_outage,
+            "members": [list(map(int, members)) for members in domains],
+            "num_events": num_events,
+            "stay_dd": stay_dd,
+            "base_matrix": base_matrix.tolist(),
+        },
+        log_likelihood=log_likelihood,
+        num_transitions=num_events,
+        ks=ks,
+        _builder=lambda: MarkovAvailabilityModel(base_matrix),
+        _hazard_builder=hazard_builder,
+    )
+
+
+# ----------------------------------------------------------------------
+# Degradation (wear levels from sojourn statistics)
+# ----------------------------------------------------------------------
+def fit_degradation(
+    data: Union[AvailabilityTrace, np.ndarray, Sequence],
+    *,
+    pm_level: int = 3,
+    fail_level: int = 6,
+    pm_family: str = "lognormal",
+    cm_family: str = "lognormal",
+    censor_edges: bool = True,
+) -> FittedModel:
+    """Fit a :class:`~repro.hazards.DegradationAvailabilityModel`.
+
+    Wear levels are latent, so ``pm_level`` and ``fail_level`` are
+    *structural* options (only their gap and the observable sojourn/repair
+    statistics are identifiable).  The estimator inverts the model's
+    observable laws: the fraction of interruptions that are corrective
+    (DOWN) rather than preventive (RECLAIMED) determines ``compliance``
+    through :math:`p_{cm} = (1 - c)^{fail - pm}`; the mean UP sojourn then
+    determines ``wear_rate`` through the expected number of wear increments
+    per service cycle; the repair sojourn families are fitted to the
+    RECLAIMED and DOWN interval lengths.
+    """
+    pm_level = int(pm_level)
+    fail_level = int(fail_level)
+    if pm_level < 1 or fail_level <= pm_level:
+        raise TraceFitError(
+            f"need fail_level > pm_level >= 1, got pm_level={pm_level}, "
+            f"fail_level={fail_level}"
+        )
+    for family in (pm_family, cm_family):
+        if family not in _SOJOURN_FITTERS:
+            raise TraceFitError(
+                f"unknown sojourn family {family!r}; expected one of {SOJOURN_FAMILIES}"
+            )
+    sequences = _sequences_of(data)
+
+    # Interruption split: UP -> RECLAIMED (preventive) vs UP -> DOWN (corrective).
+    num_pm = 0
+    num_cm = 0
+    for sequence in sequences:
+        runs = state_runs(sequence)
+        for (state, _), (target, _) in zip(runs, runs[1:]):
+            if state is UP and target is RECLAIMED:
+                num_pm += 1
+            elif state is UP and target is DOWN:
+                num_cm += 1
+    interruptions = num_pm + num_cm
+    if interruptions == 0:
+        raise TraceFitError(
+            "cannot fit a degradation model: the trace has no UP interruptions"
+        )
+    span = fail_level - pm_level
+    p_cm = num_cm / interruptions
+    if p_cm >= 1.0:
+        compliance = 0.0
+    elif p_cm <= 0.0:
+        compliance = 1.0
+    else:
+        compliance = float(1.0 - p_cm ** (1.0 / span))
+
+    # Expected wear increments per service cycle under the fitted compliance.
+    if compliance <= 0.0:
+        mean_increments = float(fail_level)
+    else:
+        mean_increments = pm_level + sum(
+            (1.0 - compliance) ** j for j in range(1, span + 1)
+        )
+
+    intervals = _pooled_intervals(sequences, censor_edges=censor_edges)
+    up_lengths = np.asarray(intervals[UP], dtype=float)
+    if up_lengths.size == 0:
+        raise TraceFitError("no complete UP sojourn observed; trace too short")
+    mean_up = float(np.mean(up_lengths))
+    wear_rate = float(min(1.0, mean_increments / mean_up))
+
+    sojourns: List[SojournFit] = []
+    ks: Dict[str, float] = {}
+    # The UP-cycle law has no closed form; diagnose against its geometric
+    # approximation (same convention as the diurnal fitter's marginals).
+    up_cdf = _geometric_cdf(min(1.0, 1.0 / mean_up))
+    ks["UP"] = ks_distance(up_lengths, up_cdf)
+    log_likelihood = _sojourn_log_likelihood(
+        "geometric", GeometricHolding(min(1.0, 1.0 / mean_up)), up_lengths
+    )
+    if 0.0 < p_cm < 1.0:
+        log_likelihood += num_cm * float(np.log(p_cm)) + num_pm * float(np.log(1.0 - p_cm))
+
+    repair_times: Dict[ProcessorState, HoldingTimeDistribution] = {}
+    parameters: Dict[str, object] = {}
+    for state, family in ((RECLAIMED, pm_family), (DOWN, cm_family)):
+        lengths = np.asarray(intervals[state], dtype=float)
+        if lengths.size == 0:
+            distribution, params = GeometricHolding(1.0), {"p": 1.0}
+            family = "geometric"
+            state_ks = float("nan")
+            state_ll = 0.0
+        else:
+            distribution, params = _SOJOURN_FITTERS[family](lengths)
+            state_ks = ks_distance(lengths, _sojourn_cdf(family, distribution))
+            state_ll = _sojourn_log_likelihood(family, distribution, lengths)
+        repair_times[state] = distribution
+        ks[state.name] = state_ks
+        log_likelihood += state_ll
+        sojourns.append(
+            SojournFit(
+                state=state,
+                family=family,
+                distribution=distribution,
+                num_intervals=int(lengths.size),
+                ks=state_ks,
+                log_likelihood=state_ll,
+            )
+        )
+        parameters[state.name.lower()] = {"family": family, **params}
+
+    parameters.update(
+        wear_rate=wear_rate,
+        pm_level=pm_level,
+        fail_level=fail_level,
+        compliance=compliance,
+        num_pm=num_pm,
+        num_cm=num_cm,
+        mean_up=mean_up,
+    )
+
+    def build():
+        from repro.hazards.degradation import DegradationAvailabilityModel
+
+        return DegradationAvailabilityModel(
+            wear_rate=wear_rate,
+            pm_level=pm_level,
+            fail_level=fail_level,
+            compliance=compliance,
+            pm_time=repair_times[RECLAIMED],
+            cm_time=repair_times[DOWN],
+        )
+
+    return FittedModel(
+        kind="degradation",
+        parameters=parameters,
+        log_likelihood=log_likelihood,
+        num_transitions=interruptions,
+        ks=ks,
+        sojourns=tuple(sojourns),
+        _builder=build,
+    )
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 def fit_model(
@@ -498,6 +846,10 @@ def fit_model(
         return fit_semi_markov(data, **options)
     if kind == "diurnal":
         return fit_diurnal(data, **options)
+    if kind == "correlated":
+        return fit_correlated(data, **options)
+    if kind == "degradation":
+        return fit_degradation(data, **options)
     raise TraceFitError(f"unknown fit kind {kind!r}; expected one of {FIT_KINDS}")
 
 

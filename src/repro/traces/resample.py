@@ -153,9 +153,18 @@ def fitted_trace(
     """
     fitted = fit_model(kind, trace, **fit_options)
     root = as_generator(seed)
-    generators = spawn_generators(int(root.integers(0, 2**62)), num_processors)
+    hazard_builder = fitted.hazard_builder
+    # Overlay fits (correlated) need one extra stream for the platform-level
+    # hazard process; hazard-free fits keep the original recipe untouched.
+    count = num_processors + (1 if hazard_builder is not None else 0)
+    generators = spawn_generators(int(root.integers(0, 2**62)), count)
     rows = [
-        fitted.instantiate().sample_trajectory(horizon, generator)
-        for generator in generators
+        fitted.instantiate().sample_trajectory(horizon, generators[index])
+        for index in range(num_processors)
     ]
-    return AvailabilityTrace(np.vstack(rows))
+    matrix = np.vstack(rows)
+    if hazard_builder is not None:
+        hazard = hazard_builder(num_processors)
+        hazard.reset(generators[-1])
+        hazard.overlay(0, matrix)
+    return AvailabilityTrace(matrix)

@@ -68,7 +68,7 @@ def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
     return [np.random.default_rng(child) for child in spawn_seeds(seed, count)]
 
 
-def derive_run_streams(seed: SeedLike, num_workers: int):
+def derive_run_streams(seed: SeedLike, num_workers: int, *, hazard: bool = False):
     """Derive the per-run generator streams of a simulation run.
 
     Returns ``(availability_streams, scheduler_stream)``: one independent
@@ -77,9 +77,19 @@ def derive_run_streams(seed: SeedLike, num_workers: int):
     engine and the experiment trace bank — anything that needs to reproduce
     the exact availability realisation of a run for a given seed must derive
     its streams through this function.
+
+    With ``hazard=True`` a third element is appended to the return value: a
+    master stream for the platform-level
+    :class:`~repro.hazards.GroupHazardProcess`.  The hazard stream is an
+    *additional* ``SeedSequence`` child, so the worker and scheduler streams
+    are bit-identical whether or not it is requested — runs on hazard-free
+    platforms are unaffected.
     """
     root = as_generator(seed)
-    streams = spawn_generators(int(root.integers(0, 2**62)), num_workers + 1)
+    extra = 2 if hazard else 1
+    streams = spawn_generators(int(root.integers(0, 2**62)), num_workers + extra)
+    if hazard:
+        return streams[:num_workers], streams[num_workers], streams[num_workers + 1]
     return streams[:-1], streams[-1]
 
 

@@ -1,0 +1,122 @@
+"""Unit tests for the wear-level degradation availability model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidModelError
+from repro.hazards import DegradationAvailabilityModel
+from repro.hazards.degradation import SOJOURN_KINDS, sojourn_distribution
+from repro.types import DOWN, RECLAIMED, UP
+from repro.utils.rng import as_generator
+
+#: sample_trajectory(40, 2024) of the fixed model below; pins both the wear
+#: semantics and the RNG consumption order across refactors.
+GOLDEN_TRAJECTORY = [
+    0, 0, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0,
+]
+
+
+def golden_model():
+    return DegradationAvailabilityModel(
+        wear_rate=0.2,
+        pm_level=2,
+        fail_level=4,
+        compliance=0.5,
+        pm_time=sojourn_distribution("deterministic", 3.0),
+        cm_time=sojourn_distribution("deterministic", 6.0),
+    )
+
+
+class TestStreamEquivalence:
+    def test_sample_block_matches_next_state_loop(self):
+        """Both sampling paths consume the RNG in exactly the same order."""
+        length = 5000
+        stepped_model = DegradationAvailabilityModel(wear_rate=0.05)
+        rng = as_generator(99)
+        state = stepped_model.initial_state(rng)
+        stepped = [int(state)]
+        for _ in range(length - 1):
+            state = stepped_model.next_state(state, rng)
+            stepped.append(int(state))
+
+        block_model = DegradationAvailabilityModel(wear_rate=0.05)
+        rng = as_generator(99)
+        first = block_model.initial_state(rng)
+        block = block_model.sample_block(1, length - 1, rng, current=first)
+        assert stepped == [int(first)] + block.tolist()
+
+    def test_golden_seed_trajectory_is_pinned(self):
+        trajectory = golden_model().sample_trajectory(40, 2024)
+        assert trajectory.tolist() == GOLDEN_TRAJECTORY
+
+
+class TestWearSemantics:
+    def test_full_compliance_never_fails(self):
+        """compliance=1 services the worker at pm_level, so wear never
+        reaches fail_level and DOWN is unreachable."""
+        model = DegradationAvailabilityModel(wear_rate=0.3, compliance=1.0)
+        trajectory = model.sample_trajectory(20_000, 5)
+        assert not (trajectory == int(DOWN)).any()
+        assert (trajectory == int(RECLAIMED)).any()
+
+    def test_zero_compliance_runs_to_failure(self):
+        model = DegradationAvailabilityModel(wear_rate=0.3, compliance=0.0)
+        trajectory = model.sample_trajectory(20_000, 5)
+        assert (trajectory == int(DOWN)).any()
+        assert not (trajectory == int(RECLAIMED)).any()
+
+    def test_wear_resets_after_repair(self):
+        model = golden_model()
+        rng = as_generator(1)
+        state = model.initial_state(rng)
+        seen_down = False
+        for _ in range(5000):
+            previous = state
+            state = model.next_state(state, rng)
+            if previous is not UP and state is UP:
+                seen_down = True
+                assert model.wear == 0
+        assert seen_down
+
+    def test_markov_approximation_is_stochastic(self):
+        matrix = golden_model().markov_approximation()
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+        assert ((matrix >= 0.0) & (matrix <= 1.0)).all()
+
+    def test_markov_approximation_repair_split(self):
+        """compliance=0 routes every UP exit to DOWN; compliance=1 to RECLAIMED."""
+        never = DegradationAvailabilityModel(wear_rate=0.1, compliance=0.0)
+        assert never.markov_approximation()[0, 1] == 0.0
+        always = DegradationAvailabilityModel(wear_rate=0.1, compliance=1.0)
+        assert always.markov_approximation()[0, 2] == 0.0
+
+
+class TestValidationAndSojourns:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(wear_rate=0.0),
+            dict(wear_rate=1.5),
+            dict(wear_rate=0.1, pm_level=0),
+            dict(wear_rate=0.1, pm_level=5, fail_level=5),
+            dict(wear_rate=0.1, compliance=1.5),
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(InvalidModelError):
+            DegradationAvailabilityModel(**kwargs)
+
+    @pytest.mark.parametrize("kind", SOJOURN_KINDS)
+    def test_sojourn_families_hit_the_requested_mean(self, kind):
+        distribution = sojourn_distribution(kind, 12.0)
+        assert distribution.mean() == pytest.approx(12.0, rel=0.05)
+
+    def test_unknown_sojourn_family_raises(self):
+        with pytest.raises(InvalidModelError, match="unknown sojourn"):
+            sojourn_distribution("zipf", 5.0)
+
+    def test_sub_slot_mean_raises(self):
+        with pytest.raises(InvalidModelError, match="mean"):
+            sojourn_distribution("geometric", 0.5)

@@ -1,0 +1,173 @@
+"""Unit tests for the platform-level hazard overlays.
+
+The load-bearing property is the determinism contract: a hazard realisation
+depends only on the master stream handed to ``reset`` — never on how the
+horizon is split into prefetch windows — and ``reset`` consumes exactly one
+integer, so attaching a hazard cannot perturb the worker or scheduler
+streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidModelError, SimulationError
+from repro.hazards import ChurnProcess, DomainOutageProcess
+from repro.types import DOWN, UP
+from repro.utils.rng import as_generator
+
+NUM_WORKERS = 20
+HORIZON = 3000
+
+
+def up_matrix(horizon=HORIZON, workers=NUM_WORKERS):
+    return np.full((workers, horizon), int(UP), dtype=np.int8)
+
+
+def overlay_in_chunks(process, seed, chunks):
+    """Apply the overlay over an all-UP matrix split into *chunks* windows."""
+    assert sum(chunks) == HORIZON
+    matrix = up_matrix()
+    process.reset(as_generator(seed))
+    start = 0
+    for length in chunks:
+        process.overlay(start, matrix[:, start : start + length])
+        start += length
+    return matrix
+
+
+class TestWindowSplitInvariance:
+    @pytest.mark.parametrize(
+        "chunks",
+        [
+            (HORIZON,),
+            (1,) + (499,) * 5 + (HORIZON - 1 - 499 * 5,),
+            (7, 1024, 1024, HORIZON - 7 - 2048),
+        ],
+    )
+    def test_domain_outage_realisation_is_split_invariant(self, chunks):
+        reference = overlay_in_chunks(
+            DomainOutageProcess(NUM_WORKERS, domains=4, rate=0.01, mean_outage=10.0),
+            seed=7,
+            chunks=(HORIZON,),
+        )
+        assert (reference == DOWN).sum() > 0, "test needs a non-trivial realisation"
+        split = overlay_in_chunks(
+            DomainOutageProcess(NUM_WORKERS, domains=4, rate=0.01, mean_outage=10.0),
+            seed=7,
+            chunks=chunks,
+        )
+        np.testing.assert_array_equal(reference, split)
+
+    def test_churn_realisation_is_split_invariant(self):
+        reference = overlay_in_chunks(
+            ChurnProcess(NUM_WORKERS, mean_present=200.0, mean_absent=80.0),
+            seed=3,
+            chunks=(HORIZON,),
+        )
+        split = overlay_in_chunks(
+            ChurnProcess(NUM_WORKERS, mean_present=200.0, mean_absent=80.0),
+            seed=3,
+            chunks=(1,) + (333,) * 9 + (HORIZON - 1 - 333 * 9,),
+        )
+        np.testing.assert_array_equal(reference, split)
+
+    def test_reset_consumes_exactly_one_integer(self):
+        """Streams drawn after reset() match streams drawn after one integer."""
+        process = DomainOutageProcess(NUM_WORKERS, domains=4)
+        rng_a = as_generator(42)
+        process.reset(rng_a)
+        rng_b = as_generator(42)
+        rng_b.integers(0, 2**62)
+        assert rng_a.integers(0, 2**62) == rng_b.integers(0, 2**62)
+
+
+class TestStructure:
+    def test_domain_membership_partitions_the_pool(self):
+        process = DomainOutageProcess(NUM_WORKERS, domains=4)
+        seen = np.concatenate([process.members(unit) for unit in range(process.domains)])
+        assert sorted(seen.tolist()) == list(range(NUM_WORKERS))
+        assert process.members(1).tolist() == list(range(1, NUM_WORKERS, 4))
+
+    def test_domains_are_clipped_to_pool_size(self):
+        process = DomainOutageProcess(3, domains=10)
+        assert process.domains == 3
+
+    def test_outage_hits_all_members_simultaneously(self):
+        process = DomainOutageProcess(NUM_WORKERS, domains=2, rate=0.05, mean_outage=6.0)
+        matrix = up_matrix()
+        process.reset(as_generator(11))
+        process.overlay(0, matrix)
+        down = matrix == DOWN
+        assert down.any()
+        # In every slot, the DOWN set is a union of whole domains.
+        members = [set(process.members(unit).tolist()) for unit in range(2)]
+        for slot in np.flatnonzero(down.any(axis=0)):
+            down_set = set(np.flatnonzero(down[:, slot]).tolist())
+            for domain in members:
+                overlap = down_set & domain
+                assert overlap == set() or overlap == domain
+
+    def test_churn_present0_one_starts_fully_enrolled(self):
+        process = ChurnProcess(NUM_WORKERS, present0=1.0)
+        matrix = up_matrix(horizon=1)
+        process.reset(as_generator(0))
+        process.overlay(0, matrix)
+        assert (matrix[:, 0] == int(UP)).all()
+
+    def test_churn_low_present0_starts_mostly_absent(self):
+        process = ChurnProcess(200, present0=0.05)
+        matrix = up_matrix(horizon=1, workers=200)
+        process.reset(as_generator(0))
+        process.overlay(0, matrix)
+        assert (matrix[:, 0] == DOWN).sum() > 150
+
+
+class TestContractViolations:
+    def test_overlay_before_reset_raises(self):
+        process = DomainOutageProcess(NUM_WORKERS)
+        with pytest.raises(SimulationError, match="before reset"):
+            process.overlay(0, up_matrix(horizon=10))
+
+    def test_out_of_order_windows_raise(self):
+        process = DomainOutageProcess(NUM_WORKERS)
+        process.reset(as_generator(1))
+        matrix = up_matrix(horizon=100)
+        process.overlay(0, matrix[:, :50])
+        with pytest.raises(SimulationError, match="sequential"):
+            process.overlay(100, matrix[:, 50:])
+
+    def test_wrong_pool_size_raises(self):
+        process = DomainOutageProcess(NUM_WORKERS)
+        process.reset(as_generator(1))
+        with pytest.raises(SimulationError, match="shape"):
+            process.overlay(0, up_matrix(horizon=10, workers=NUM_WORKERS + 1))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(domains=0),
+            dict(rate=0.0),
+            dict(rate=1.5),
+            dict(mean_outage=0.5),
+        ],
+    )
+    def test_domain_outage_validation(self, kwargs):
+        with pytest.raises(InvalidModelError):
+            DomainOutageProcess(NUM_WORKERS, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mean_present=0.0),
+            dict(mean_absent=0.0),
+            dict(present0=0.0),
+            dict(present0=1.5),
+        ],
+    )
+    def test_churn_validation(self, kwargs):
+        with pytest.raises(InvalidModelError):
+            ChurnProcess(NUM_WORKERS, **kwargs)
+
+    def test_describe_mentions_the_law(self):
+        assert "domains" in DomainOutageProcess(NUM_WORKERS).describe()
+        assert "churn" in ChurnProcess(NUM_WORKERS).describe()

@@ -136,10 +136,23 @@ class TestCommands:
     def test_models_lists_substrates(self, capsys):
         assert main(["models"]) == 0
         out = capsys.readouterr().out
-        for kind in ("markov", "semi-markov", "diurnal", "trace"):
+        for kind in ("markov", "semi-markov", "diurnal", "trace",
+                     "degradation", "correlated", "churn"):
             assert kind in out
+        # Full per-parameter specs: name, type, default, aliases.
         assert "mean_up" in out
-        assert "path: str" in out
+        assert "parameter" in out and "default" in out and "aliases" in out
+        assert "(required)" in out          # trace substrates' path parameter
+        assert "wear_rate" in out
+        assert "[0.02, 0.05]" in out        # range default, spec-file spelling
+        assert "kind" in out                # the fitted substrate's model alias
+
+    def test_models_family_filter(self, capsys):
+        assert main(["models", "--family", "hazard", "--names-only"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines() == ["degradation", "correlated", "churn"]
+        assert main(["models", "--family", "bogus"]) == 2
+        assert "unknown family" in capsys.readouterr().err
 
     def test_models_names_only(self, capsys):
         assert main(["models", "--names-only"]) == 0
@@ -147,6 +160,7 @@ class TestCommands:
         assert out.strip().splitlines() == [
             "markov", "semi-markov", "diurnal", "trace",
             "trace-catalog", "trace-bootstrap", "fitted",
+            "degradation", "correlated", "churn",
         ]
 
     def test_traces_pipeline_end_to_end(self, capsys, tmp_path):

@@ -319,4 +319,5 @@ class TestFacadeVerbs:
         assert model_names == [
             "markov", "semi-markov", "diurnal", "trace",
             "trace-catalog", "trace-bootstrap", "fitted",
+            "degradation", "correlated", "churn",
         ]

@@ -35,14 +35,18 @@ PACKAGE_SURFACE = [
     "AvailabilityModel",
     "AvailabilityTrace",
     "CampaignScale",
+    "ChurnProcess",
     "Configuration",
     "ConfigurationEstimate",
     "DOWN",
+    "DegradationAvailabilityModel",
+    "DomainOutageProcess",
     "ENCDInstance",
     "EXTENSION_HEURISTIC_NAMES",
     "ExpectationMode",
     "ExperimentScenario",
     "GroupAnalysis",
+    "GroupHazardProcess",
     "InfeasibleProblemError",
     "InvalidApplicationError",
     "InvalidConfigurationError",
@@ -101,6 +105,13 @@ def test_api_facade_surface_is_pinned():
 
 def test_package_surface_is_pinned():
     assert sorted(repro.__all__) == PACKAGE_SURFACE
+
+
+def test_hazard_substrates_are_discoverable():
+    kinds = {info.name for info in repro.api.availability_models()}
+    assert {"degradation", "correlated", "churn"} <= kinds
+    names = repro.api.available_heuristics()
+    assert "IE" in names and "RANDOM" in names
 
 
 def test_every_advertised_name_exists():

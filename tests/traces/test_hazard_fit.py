@@ -1,0 +1,172 @@
+"""Fit → generate → fit recovery for the hazard fitters.
+
+``fit_correlated`` must rediscover the outage-domain structure (membership,
+event rate, outage duration) planted by a :class:`DomainOutageProcess`
+overlay, and ``fit_degradation`` the wear parameters of a
+:class:`DegradationAvailabilityModel` — each within statistical tolerances
+calibrated on the generating configurations below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.availability.markov import MarkovAvailabilityModel
+from repro.availability.trace import AvailabilityTrace
+from repro.hazards import DegradationAvailabilityModel, DomainOutageProcess
+from repro.hazards.degradation import sojourn_distribution
+from repro.traces.fit import (
+    FIT_KINDS,
+    TraceFitError,
+    fit_correlated,
+    fit_degradation,
+    fit_model,
+)
+from repro.traces.resample import fitted_trace
+from repro.utils.rng import spawn_generators
+
+pytestmark = pytest.mark.slow
+
+#: A quiet Markov base (high availability, short outages).  The default
+#: Section-V matrix spends ~a third of its slots DOWN, which buries the
+#: correlated-event signal in coincidental co-onsets; a realistic desktop
+#: fleet with rare independent failures is the regime the fitter targets.
+QUIET_BASE = np.array(
+    [
+        [0.99, 0.006, 0.004],
+        [0.15, 0.85, 0.0],
+        [0.10, 0.0, 0.90],
+    ]
+)
+
+NUM_WORKERS = 20
+HORIZON = 20_000
+
+
+def correlated_dataset(seed=7, domains=4, rate=0.002, mean_outage=8.0):
+    generators = spawn_generators(seed, NUM_WORKERS + 1)
+    rows = [
+        MarkovAvailabilityModel(QUIET_BASE).sample_trajectory(HORIZON, generators[index])
+        for index in range(NUM_WORKERS)
+    ]
+    matrix = np.vstack(rows)
+    hazard = DomainOutageProcess(
+        NUM_WORKERS, domains=domains, rate=rate, mean_outage=mean_outage
+    )
+    hazard.reset(generators[-1])
+    hazard.overlay(0, matrix)
+    return AvailabilityTrace(matrix)
+
+
+def degradation_dataset(seed=100, workers=10, horizon=15_000):
+    rows = []
+    for index in range(workers):
+        model = DegradationAvailabilityModel(
+            wear_rate=0.1,
+            pm_level=3,
+            fail_level=6,
+            compliance=0.7,
+            pm_time=sojourn_distribution("lognormal", 5.0),
+            cm_time=sojourn_distribution("lognormal", 20.0),
+        )
+        rows.append(model.sample_trajectory(horizon, seed + index))
+    return AvailabilityTrace(np.vstack(rows))
+
+
+class TestCorrelatedRecovery:
+    def test_domain_structure_is_recovered(self):
+        fitted = fit_correlated(correlated_dataset())
+        parameters = fitted.parameters
+        assert parameters["domains"] == 4
+        # Round-robin membership: domain d holds workers {d, d+4, d+8, ...}.
+        members = sorted(sorted(group) for group in parameters["members"])
+        expected = sorted(
+            sorted(range(first, NUM_WORKERS, 4)) for first in range(4)
+        )
+        assert members == expected
+        assert 0.0015 <= parameters["rate"] <= 0.0030
+        assert 5.0 <= parameters["mean_outage"] <= 11.0
+        assert parameters["num_events"] > 50
+        assert set(fitted.ks) >= {"duration", "gap", "UP", "RECLAIMED", "DOWN"}
+        assert fitted.ks["duration"] < 0.35
+
+    def test_hazard_builder_reconstructs_the_overlay(self):
+        fitted = fit_correlated(correlated_dataset())
+        assert fitted.hazard_builder is not None
+        hazard = fitted.hazard_builder(NUM_WORKERS)
+        assert isinstance(hazard, DomainOutageProcess)
+        assert hazard.domains == 4
+
+    def test_round_trip_through_fitted_trace(self):
+        """fit → generate → fit keeps the domain structure stable."""
+        regenerated = fitted_trace(
+            "correlated", correlated_dataset(), NUM_WORKERS, HORIZON, seed=3
+        )
+        refit = fit_correlated(regenerated)
+        assert refit.parameters["domains"] == 4
+        assert 0.0012 <= refit.parameters["rate"] <= 0.0035
+
+    def test_uncorrelated_data_raises(self):
+        generators = spawn_generators(21, NUM_WORKERS)
+        rows = [
+            MarkovAvailabilityModel(QUIET_BASE).sample_trajectory(2000, generator)
+            for generator in generators
+        ]
+        with pytest.raises(TraceFitError):
+            fit_correlated(AvailabilityTrace(np.vstack(rows)))
+
+    def test_single_row_raises(self):
+        with pytest.raises(TraceFitError):
+            fit_correlated(AvailabilityTrace(np.zeros((1, 100), dtype=np.int8)))
+
+
+class TestDegradationRecovery:
+    def test_wear_parameters_are_recovered(self):
+        fitted = fit_degradation(degradation_dataset(), pm_level=3, fail_level=6)
+        parameters = fitted.parameters
+        assert 0.08 <= parameters["wear_rate"] <= 0.12
+        assert 0.6 <= parameters["compliance"] <= 0.8
+        assert parameters["reclaimed"]["family"] == "lognormal"
+        assert parameters["down"]["family"] == "lognormal"
+        # PM events dominate at compliance 0.7 over a 3-level window.
+        assert parameters["num_pm"] > parameters["num_cm"] > 0
+
+    def test_instantiate_round_trips(self):
+        fitted = fit_degradation(degradation_dataset(), pm_level=3, fail_level=6)
+        model = fitted.instantiate()
+        assert isinstance(model, DegradationAvailabilityModel)
+        refit = fit_degradation(
+            fitted_trace("degradation", degradation_dataset(), 10, 15_000, seed=5),
+            pm_level=3,
+            fail_level=6,
+        )
+        assert 0.08 <= refit.parameters["wear_rate"] <= 0.12
+
+
+class TestDispatch:
+    def test_fit_kinds_include_the_hazard_families(self):
+        assert "correlated" in FIT_KINDS
+        assert "degradation" in FIT_KINDS
+
+    def test_fit_model_dispatches(self):
+        dataset = degradation_dataset(workers=4, horizon=4000)
+        direct = fit_degradation(dataset, pm_level=3, fail_level=6)
+        routed = fit_model("degradation", dataset, pm_level=3, fail_level=6)
+        assert routed.kind == direct.kind == "degradation"
+        assert routed.parameters["wear_rate"] == direct.parameters["wear_rate"]
+
+    def test_fitted_substrate_carries_the_hazard_factory(self, tmp_path):
+        """The registry's fitted substrate re-attaches the fitted overlay."""
+        from repro.availability.registry import model_factory_for
+        from repro.experiments.scenarios import AvailabilitySpec
+        from repro.traces.formats import write_compact
+
+        path = tmp_path / "correlated.trace"
+        write_compact(correlated_dataset(), path)
+        spec = AvailabilitySpec(
+            kind="fitted",
+            parameters=(("model", "correlated"), ("path", str(path))),
+        )
+        factory = model_factory_for(spec)
+        hazard = factory.hazard_factory(NUM_WORKERS)
+        assert isinstance(hazard, DomainOutageProcess)
+        assert hazard.domains == 4
