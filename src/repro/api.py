@@ -125,6 +125,7 @@ class RunResult:
     metrics: Optional[RunMetrics] = None
 
     def as_dict(self) -> dict:
+        """JSON-ready mapping of the scalar result fields (plus metrics)."""
         payload = {
             "heuristic": self.heuristic,
             "seed": self.seed,
@@ -187,6 +188,7 @@ class ComparisonResult:
         return self.summaries[0].heuristic
 
     def table(self) -> str:
+        """Formatted paper-style summary table of the comparison."""
         title = f"compare — m={self.spec.m_values[0]}, {len(self.results)} instances"
         return format_summaries(self.summaries, title=title)
 
@@ -287,6 +289,12 @@ def run(
     every *metrics_stride* slots into ``RunResult.metrics`` — a
     :class:`~repro.metrics.collector.RunMetrics` — without changing any
     other field of the result.
+
+    Example:
+        >>> from repro import api
+        >>> result = api.run("IE", m=4, ncom=5, wmin=1, seed=1)
+        >>> result.success, result.makespan, result.total_restarts
+        (True, 327, 8)
     """
     availability_spec = _as_availability(availability)
     if platform is None:
@@ -357,6 +365,12 @@ def sweep(
     (``InstanceResult.metrics``); ``None`` defers to the spec's own
     settings.  Like the sampler these are runtime options: metric series
     are volatile store fields, outside the spec identity.
+
+    Example:
+        >>> from repro import api
+        >>> result = api.sweep("smoke")
+        >>> result.spec.name, len(result.results)
+        ('smoke', 4)
     """
     campaign_spec = _as_spec(spec)
     owned_store: Optional[ResultStore] = None
@@ -413,6 +427,12 @@ def compare(
     ``api.compare(["IE", "THRESHOLD-IE(tau=0.7)"])``.  *sampler* selects
     the engine driver (runtime only — results are bit-identical across
     samplers).
+
+    Example:
+        >>> from repro import api
+        >>> comparison = api.compare(["IE", "RANDOM"], m=4, ncom=5, wmin=1)
+        >>> comparison.best()
+        'IE'
     """
     availability_spec = _as_availability(availability)
     spec = CampaignSpec(
@@ -449,10 +469,23 @@ def compare(
 # Component discovery
 # ----------------------------------------------------------------------
 def heuristics(family: Optional[str] = None) -> List[ComponentInfo]:
-    """Metadata for every registered heuristic (optionally one family)."""
+    """Metadata for every registered heuristic (optionally one family).
+
+    Example:
+        >>> from repro import api
+        >>> [info.name for info in api.heuristics(family="baseline")]
+        ['RANDOM']
+    """
     return [HEURISTICS.get(name) for name in available_heuristics(family=family)]
 
 
 def availability_models() -> List[ComponentInfo]:
-    """Metadata for every registered availability-model substrate."""
+    """Metadata for every registered availability-model substrate.
+
+    Example:
+        >>> from repro import api
+        >>> names = [info.name for info in api.availability_models()]
+        >>> "markov" in names and "correlated" in names
+        True
+    """
     return list(AVAILABILITY_MODELS.infos())

@@ -14,6 +14,9 @@ Commands
               Gantt drill-downs (``--html``).
 ``demo``      Simulate one instance under one heuristic and print a Gantt chart.
 ``offline``   Solve a random small off-line instance exactly (Theorem 4.1 artefacts).
+``serve``     Run the campaign service: an HTTP API + durable job queue
+              over the same campaign runner (submit specs, share
+              deduplicated runs, poll progress, fetch HTML reports).
 ``heuristics``  List the registered heuristics (family, parameters, description).
 ``models``    List the registered availability-model substrates.
 ``traces``    Recorded-trace pipeline: ``convert`` between log formats,
@@ -219,6 +222,39 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--gantt", type=int, default=2, metavar="N",
         help="runs to re-simulate for the Gantt drill-down (default 2, 0 disables)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign service (HTTP API + durable job queue)",
+    )
+    serve.add_argument(
+        "--root", default="service-root",
+        help="durable service directory: jobs/, stores/ and logs/ live here "
+        "(default: ./service-root)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000, help="bind port (default 8000)")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent campaign worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default="jsonl",
+        help="result-store backend for submitted jobs (default jsonl)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="abnormal worker deaths per job before it is failed (default 3)",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="dispatcher poll interval in seconds (default 0.2)",
+    )
+    serve.add_argument(
+        "--framework", choices=("auto", "fastapi", "stdlib"), default="auto",
+        help="HTTP stack: FastAPI/uvicorn when the 'service' extra is "
+        "installed, stdlib WSGI otherwise (default auto)",
     )
 
     demo = subparsers.add_parser("demo", help="simulate one instance and print a Gantt chart")
@@ -891,16 +927,34 @@ def _cmd_traces_fit(trace, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ServiceConfig, serve
+
+    return serve(ServiceConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        max_attempts=args.max_attempts,
+        poll_interval=args.poll_interval,
+        framework=args.framework,
+    ))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("table1", "table2", "figure2", "campaign", "merge", "report", "demo"):
+    if args.command in (
+        "table1", "table2", "figure2", "campaign", "merge", "report", "demo", "serve",
+    ):
         handler = {
             "campaign": _cmd_campaign_spec,
             "merge": _cmd_merge,
             "report": _cmd_report,
             "demo": _cmd_demo,
+            "serve": _cmd_serve,
         }.get(args.command, _cmd_campaign)
         try:
             return handler(args)

@@ -96,6 +96,16 @@ class DegradationAvailabilityModel(AvailabilityModel):
         :class:`~repro.availability.semi_markov.HoldingTimeDistribution`
         for the preventive (``RECLAIMED``) and corrective (``DOWN``) repair
         sojourns.
+
+    Example:
+        >>> from repro import DegradationAvailabilityModel
+        >>> model = DegradationAvailabilityModel(wear_rate=0.05, compliance=0.8)
+        >>> model.pm_level, model.fail_level
+        (3, 6)
+        >>> from repro import api
+        >>> api.run("IE", m=4, ncom=5, wmin=1, seed=1,
+        ...         availability="degradation(wear_rate=0.05)").success
+        True
     """
 
     def __init__(
@@ -132,6 +142,7 @@ class DegradationAvailabilityModel(AvailabilityModel):
 
     # -- lifecycle -----------------------------------------------------
     def reset(self) -> None:
+        """Return to the pristine state (zero wear, UP, no pending sojourn)."""
         self._wear = 0
         self._state = UP
         self._remaining = 0
@@ -142,6 +153,7 @@ class DegradationAvailabilityModel(AvailabilityModel):
         return self._wear
 
     def initial_state(self, rng: np.random.Generator) -> ProcessorState:
+        """Start a trajectory: pristine worker, first wear increment scheduled."""
         self._wear = 0
         self._state = UP
         self._remaining = max(0, int(rng.geometric(self.wear_rate)) - 1)
@@ -177,6 +189,7 @@ class DegradationAvailabilityModel(AvailabilityModel):
         return self._state
 
     def next_state(self, current: ProcessorState, rng: np.random.Generator) -> ProcessorState:
+        """Advance one slot (fast path inside a scheduled sojourn)."""
         if self._remaining > 0:
             self._remaining -= 1
             return self._state
@@ -246,6 +259,7 @@ class DegradationAvailabilityModel(AvailabilityModel):
         return self._fitted.copy()
 
     def describe(self) -> str:
+        """Human-readable parameter summary (``repro models`` listing)."""
         return (
             f"Degradation(wear_rate={self.wear_rate:g}, "
             f"pm_level={self.pm_level}, fail_level={self.fail_level}, "

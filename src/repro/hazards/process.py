@@ -67,6 +67,12 @@ class GroupHazardProcess(abc.ABC):
     Subclasses provide the structure (:attr:`num_units`, :meth:`members`)
     and the law (:meth:`_initial_outage`, :meth:`_sojourn`); this base class
     owns the run-fill machinery and the determinism bookkeeping.
+
+    Example:
+        >>> from repro import ChurnProcess, GroupHazardProcess
+        >>> process = ChurnProcess(4)   # one unit per churning worker
+        >>> isinstance(process, GroupHazardProcess), process.num_units
+        (True, 4)
     """
 
     def __init__(self, num_workers: int, num_units: int) -> None:
@@ -190,6 +196,21 @@ class DomainOutageProcess(GroupHazardProcess):
         ``1/rate`` slots.
     mean_outage:
         Mean outage duration in slots (``>= 1``); durations are geometric.
+
+    Example:
+        >>> from repro import DomainOutageProcess
+        >>> process = DomainOutageProcess(8, domains=4, rate=0.002)
+        >>> [int(w) for w in process.members(0)]   # workers in domain 0
+        [0, 4]
+
+        Campaigns and :func:`repro.api.run` build it from the expression
+        grammar:
+
+        >>> from repro import api
+        >>> result = api.run("IE", m=4, ncom=5, wmin=1, seed=1,
+        ...                  availability="correlated(domains=4, rate=0.002)")
+        >>> result.success
+        True
     """
 
     def __init__(
@@ -216,6 +237,7 @@ class DomainOutageProcess(GroupHazardProcess):
         ]
 
     def members(self, unit: int) -> np.ndarray:
+        """Worker indices of failure domain *unit* (round-robin partition)."""
         return self._members[unit]
 
     def _initial_outage(self, rng: np.random.Generator) -> bool:
@@ -229,6 +251,7 @@ class DomainOutageProcess(GroupHazardProcess):
         return int(rng.geometric(self.rate))
 
     def describe(self) -> str:
+        """Human-readable parameter summary (``repro models`` listing)."""
         return (
             f"correlated outages: {self.domains} domains over "
             f"{self.num_workers} workers, rate={self.rate:g}/slot, "
@@ -259,6 +282,16 @@ class ChurnProcess(GroupHazardProcess):
         Probability that a worker is enrolled at slot 0 (``0 < present0 <=
         1``); the rest of the pool trickles in later (birth side of the
         birth–death overlay).
+
+    Example:
+        >>> from repro import ChurnProcess
+        >>> process = ChurnProcess(4, mean_present=400, mean_absent=150)
+        >>> process.num_units          # every worker churns independently
+        4
+        >>> from repro import api
+        >>> api.run("IE", m=4, ncom=5, wmin=1, seed=1,
+        ...         availability="churn(mean_present=400, mean_absent=150)").success
+        True
     """
 
     def __init__(
@@ -282,6 +315,7 @@ class ChurnProcess(GroupHazardProcess):
         self._members = [np.array([unit]) for unit in range(num_workers)]
 
     def members(self, unit: int) -> np.ndarray:
+        """The singleton worker behind churn unit *unit*."""
         return self._members[unit]
 
     def _initial_outage(self, rng: np.random.Generator) -> bool:
@@ -293,6 +327,7 @@ class ChurnProcess(GroupHazardProcess):
         return int(rng.geometric(min(1.0, 1.0 / self.mean_present)))
 
     def describe(self) -> str:
+        """Human-readable parameter summary (``repro models`` listing)."""
         return (
             f"pool churn over {self.num_workers} workers: enrolled "
             f"~{self.mean_present:g} slots, absent ~{self.mean_absent:g} "

@@ -1,0 +1,538 @@
+"""The campaign service: shared endpoint handlers plus a stdlib WSGI app.
+
+The HTTP surface is implemented once, framework-neutrally, in
+:class:`ServiceState` — every handler takes plain data and returns
+``(status, payload, content_type)``.  Two adapters expose it:
+
+- :func:`create_wsgi_app` — a pure-stdlib WSGI application (served by
+  ``wsgiref`` via :func:`serve`).  This is what the in-repo tests exercise;
+  it has zero dependencies beyond the Python standard library.
+- :func:`repro.service.fastapi_app.create_app` — a thin FastAPI adapter over
+  the same handlers, for deployments that want uvicorn/ASGI (install the
+  ``service`` extra).  Both adapters serve the identical routes and the
+  identical ``/openapi.json`` bytes.
+
+Start a service from Python::
+
+    from repro.service.app import ServiceConfig, serve
+    serve(ServiceConfig(root="/var/lib/repro", port=8000, workers=4))
+
+or from the CLI: ``repro serve --root /var/lib/repro --workers 4``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs
+
+from repro.exceptions import ExperimentError, ReproError
+from repro.experiments.spec import (
+    BUILTIN_SPEC_NAMES,
+    CampaignSpec,
+    builtin_spec,
+)
+from repro.experiments.store import ResultStore, store_status
+from repro.service import openapi as openapi_module
+from repro.service.jobs import JobQueue, WorkerPool
+from repro.service.schemas import (
+    CampaignAccepted,
+    CampaignCells,
+    CampaignList,
+    CampaignStatus,
+    CampaignSubmission,
+    CampaignSummary,
+    ErrorResponse,
+    HealthResponse,
+    HeuristicProgress,
+    ServiceError,
+    ServiceInfo,
+    cell_record_from_store,
+)
+
+__all__ = ["ServiceConfig", "ServiceState", "create_wsgi_app", "serve"]
+
+#: A handler's raw result: HTTP status, payload (dict => JSON), content type.
+Response = Tuple[int, Union[dict, str], str]
+
+MAX_CELL_PAGE = 1000
+
+ENDPOINTS = {
+    "GET /": "service name, version and this route map",
+    "GET /healthz": "liveness probe with job-queue counters",
+    "GET /openapi.json": "the OpenAPI schema (matches docs/openapi.json)",
+    "GET /campaigns": "all submitted campaigns",
+    "POST /campaigns": "submit a campaign spec (idempotent on content hash)",
+    "GET /campaigns/{id}": "job status plus store-backed completion counters",
+    "GET /campaigns/{id}/cells": "per-cell progress from the result store",
+    "GET /campaigns/{id}/report": "the HTML dashboard over the job's store",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to stand up a service.
+
+    Example::
+
+        >>> config = ServiceConfig(root="/tmp/repro-service", workers=4)
+        >>> config.port
+        8000
+    """
+
+    #: Durable service root: ``jobs/``, ``stores/`` and ``logs/`` live here.
+    root: Union[str, Path] = "service-root"
+    host: str = "127.0.0.1"
+    port: int = 8000
+    #: Concurrent worker processes (one campaign job each).
+    workers: int = 2
+    #: Default result-store backend for submitted jobs.
+    backend: str = "jsonl"
+    #: Abnormal worker deaths per job before it is marked failed.
+    max_attempts: int = 3
+    #: Dispatcher poll interval in seconds.
+    poll_interval: float = 0.2
+    #: HTTP stack: ``auto`` (FastAPI if importable, else stdlib),
+    #: ``fastapi`` or ``stdlib``.
+    framework: str = "auto"
+
+
+class ServiceState:
+    """The framework-neutral service core: a job queue, a worker pool, handlers.
+
+    Handlers return ``(status, payload, content_type)`` tuples; adapters
+    (WSGI below, FastAPI in :mod:`repro.service.fastapi_app`) only translate
+    between their framework's request/response types and these tuples, so
+    behaviour cannot diverge between stacks.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.queue = JobQueue(config.root, backend=config.backend)
+        self.pool = WorkerPool(
+            self.queue,
+            workers=config.workers,
+            poll_interval=config.poll_interval,
+            max_attempts=config.max_attempts,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Recover orphaned jobs and start the worker pool."""
+        self.pool.start()
+
+    def stop(self) -> None:
+        """Stop the pool (live workers are terminated and re-queued on recover)."""
+        self.pool.stop()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def handle_info(self) -> Response:
+        """``GET /``."""
+        import repro
+
+        payload = ServiceInfo(
+            name="repro campaign service",
+            version=repro.__version__,
+            description=(
+                "Submit campaign specs, share deduplicated runs, poll "
+                "per-cell progress and fetch HTML reports."
+            ),
+            endpoints=dict(ENDPOINTS),
+        )
+        return 200, payload.as_dict(), "application/json"
+
+    def handle_health(self) -> Response:
+        """``GET /healthz``."""
+        payload = HealthResponse(
+            status="ok", workers=self.pool.active_workers, jobs=self.queue.counts()
+        )
+        return 200, payload.as_dict(), "application/json"
+
+    def handle_openapi(self) -> Response:
+        """``GET /openapi.json`` (byte-identical to ``docs/openapi.json``)."""
+        return 200, openapi_module.openapi_json_text(), "application/json"
+
+    def handle_submit(self, body: bytes) -> Response:
+        """``POST /campaigns``: validate, deduplicate, queue."""
+        try:
+            payload = json.loads(body.decode("utf-8") if body else "")
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServiceError(f"request body is not valid JSON: {error}", status=400)
+        submission = CampaignSubmission.from_payload(payload)
+        spec = self._resolve_spec(submission)
+        options = submission.options()
+        # collect_metrics/metrics_stride are volatile spec fields excluded
+        # from the persisted spec snapshot (and from its identity hash), so
+        # resolve them into the job options here or a TOML submission with
+        # `collect_metrics = true` would silently lose it.
+        if options["collect_metrics"] is None:
+            options["collect_metrics"] = spec.collect_metrics
+        if options["metrics_stride"] is None:
+            options["metrics_stride"] = spec.metrics_stride
+        job, deduplicated = self.queue.submit(spec, options=options)
+        accepted = CampaignAccepted(
+            id=job["id"],
+            name=job["name"],
+            status=job["status"],
+            deduplicated=deduplicated,
+            total_cells=job["total_cells"],
+            location=f"/campaigns/{job['id']}",
+            report=f"/campaigns/{job['id']}/report",
+        )
+        return (200 if deduplicated else 201), accepted.as_dict(), "application/json"
+
+    def handle_list(self) -> Response:
+        """``GET /campaigns``."""
+        summaries = []
+        for job in self.queue.jobs():
+            completed, _, _ = self._store_progress(job)
+            summaries.append(
+                CampaignSummary(
+                    id=job["id"],
+                    name=job.get("name", ""),
+                    status=job.get("status", "queued"),
+                    completed_cells=completed,
+                    total_cells=job.get("total_cells", 0),
+                    submitted_at=job.get("submitted_at"),
+                )
+            )
+        payload = CampaignList(count=len(summaries), campaigns=summaries)
+        return 200, payload.as_dict(), "application/json"
+
+    def handle_status(self, job_id: str) -> Response:
+        """``GET /campaigns/{id}``."""
+        job = self._job_or_404(job_id)
+        completed, total, by_heuristic = self._store_progress(job)
+        payload = CampaignStatus(
+            id=job["id"],
+            name=job.get("name", ""),
+            status=job.get("status", "queued"),
+            attempts=job.get("attempts", 0),
+            total_cells=total,
+            completed_cells=completed,
+            remaining_cells=max(0, total - completed),
+            by_heuristic=by_heuristic,
+            error=job.get("error"),
+            submitted_at=job.get("submitted_at"),
+            started_at=job.get("started_at"),
+            finished_at=job.get("finished_at"),
+            backend=job.get("backend", self.config.backend),
+            options=job.get("options", {}),
+        )
+        return 200, payload.as_dict(), "application/json"
+
+    def handle_cells(self, job_id: str, query: Dict[str, str]) -> Response:
+        """``GET /campaigns/{id}/cells`` (paginated, straight from the store)."""
+        job = self._job_or_404(job_id)
+        offset = self._int_query(query, "offset", 0, minimum=0)
+        limit = self._int_query(query, "limit", 100, minimum=1, maximum=MAX_CELL_PAGE)
+        records = []
+        store = self._open_store(job)
+        if store is not None:
+            try:
+                records = store.records()
+            finally:
+                store.close()
+        page = records[offset : offset + limit]
+        payload = CampaignCells(
+            id=job["id"],
+            total_cells=job.get("total_cells", 0),
+            completed_cells=len(records),
+            offset=offset,
+            limit=limit,
+            count=len(page),
+            cells=[cell_record_from_store(record) for record in page],
+        )
+        return 200, payload.as_dict(), "application/json"
+
+    def handle_report(self, job_id: str, query: Dict[str, str]) -> Response:
+        """``GET /campaigns/{id}/report`` — the PR 7 HTML dashboard."""
+        from repro.metrics.html import render_html_report
+
+        job = self._job_or_404(job_id)
+        gantt = self._int_query(query, "gantt", 0, minimum=0)
+        store = self._open_store(job)
+        if store is None:
+            raise ServiceError(
+                f"campaign {job_id} has no completed cells yet "
+                f"(status {job.get('status', 'queued')!r})",
+                status=409,
+            )
+        try:
+            results = store.results()
+            spec = store.spec
+        finally:
+            store.close()
+        if not results:
+            raise ServiceError(
+                f"campaign {job_id} has no completed cells yet "
+                f"(status {job.get('status', 'queued')!r})",
+                status=409,
+            )
+        html = render_html_report(results, spec, gantt_runs=gantt)
+        return 200, html, "text/html; charset=utf-8"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_spec(self, submission: CampaignSubmission) -> CampaignSpec:
+        """Coerce the submission's spec source into a validated CampaignSpec."""
+        if submission.builtin is not None:
+            if submission.builtin not in BUILTIN_SPEC_NAMES:
+                raise ServiceError(
+                    f"unknown built-in spec {submission.builtin!r}; "
+                    f"available: {list(BUILTIN_SPEC_NAMES)}"
+                )
+            return builtin_spec(submission.builtin)
+        if submission.spec_toml is not None:
+            import tomllib
+
+            try:
+                data = tomllib.loads(submission.spec_toml)
+            except tomllib.TOMLDecodeError as error:
+                raise ServiceError(f"spec_toml is not valid TOML: {error}")
+            return self._spec_from_mapping(data)
+        return self._spec_from_mapping(submission.spec)
+
+    @staticmethod
+    def _spec_from_mapping(data: dict) -> CampaignSpec:
+        try:
+            return CampaignSpec.from_dict(data)
+        except TypeError as error:
+            # Flat payloads with unknown keys surface as constructor errors.
+            raise ServiceError(f"invalid campaign spec: {error}")
+
+    def _job_or_404(self, job_id: str) -> dict:
+        job = self.queue.job(job_id)
+        if job is None:
+            raise ServiceError(f"unknown campaign {job_id!r}", status=404)
+        return job
+
+    def _open_store(self, job: dict) -> Optional[ResultStore]:
+        directory = self.queue.store_dir(job["id"])
+        if not (directory / "manifest.json").exists():
+            return None
+        return ResultStore.open(directory)
+
+    def _store_progress(self, job: dict):
+        """``(completed, total, by_heuristic)`` from the job's store, if any."""
+        total = job.get("total_cells", 0)
+        store = self._open_store(job)
+        if store is None:
+            return 0, total, []
+        try:
+            status = store_status(store)
+        finally:
+            store.close()
+        by_heuristic = [
+            HeuristicProgress(heuristic=name, done=done, total=per_total)
+            for name, done, per_total in status.by_heuristic
+        ]
+        return status.completed, status.total_cells, by_heuristic
+
+    @staticmethod
+    def _int_query(
+        query: Dict[str, str],
+        name: str,
+        default: int,
+        *,
+        minimum: int,
+        maximum: Optional[int] = None,
+    ) -> int:
+        raw = query.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ServiceError(f"query parameter {name!r} must be an integer, got {raw!r}")
+        if value < minimum or (maximum is not None and value > maximum):
+            bound = f">= {minimum}" + (f" and <= {maximum}" if maximum else "")
+            raise ServiceError(f"query parameter {name!r} must be {bound}, got {value}")
+        return value
+
+
+# ----------------------------------------------------------------------
+# WSGI adapter (stdlib-only)
+# ----------------------------------------------------------------------
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+def _first_values(query_string: str) -> Dict[str, str]:
+    return {key: values[0] for key, values in parse_qs(query_string).items()}
+
+
+def create_wsgi_app(state: ServiceState) -> Callable:
+    """A WSGI application over *state* (same routes as the FastAPI adapter)."""
+
+    def dispatch(method: str, path: str, query: Dict[str, str], body: bytes) -> Response:
+        """Route one request to the matching ServiceState handler."""
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            route: Tuple[str, ...] = ()
+        else:
+            route = tuple(parts)
+        if route == ():
+            if method == "GET":
+                return state.handle_info()
+        elif route == ("healthz",):
+            if method == "GET":
+                return state.handle_health()
+        elif route == ("openapi.json",):
+            if method == "GET":
+                return state.handle_openapi()
+        elif route == ("campaigns",):
+            if method == "GET":
+                return state.handle_list()
+            if method == "POST":
+                return state.handle_submit(body)
+        elif len(route) == 2 and route[0] == "campaigns":
+            if method == "GET":
+                return state.handle_status(route[1])
+        elif len(route) == 3 and route[0] == "campaigns" and route[2] == "cells":
+            if method == "GET":
+                return state.handle_cells(route[1], query)
+        elif len(route) == 3 and route[0] == "campaigns" and route[2] == "report":
+            if method == "GET":
+                return state.handle_report(route[1], query)
+        else:
+            raise ServiceError(f"no such endpoint {path!r}", status=404)
+        raise ServiceError(f"method {method} not allowed on {path!r}", status=405)
+
+    def application(environ, start_response):
+        """The WSGI callable: dispatch, serialise, map errors to JSON."""
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/") or "/"
+        query = _first_values(environ.get("QUERY_STRING", ""))
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        body = environ["wsgi.input"].read(length) if length > 0 else b""
+        try:
+            status, payload, content_type = dispatch(method, path, query, body)
+        except ServiceError as error:
+            status = error.status
+            payload = ErrorResponse(error=str(error)).as_dict()
+            content_type = "application/json"
+        except ReproError as error:
+            # Spec/validation failures carry the registry's message verbatim.
+            status = 422
+            payload = ErrorResponse(error=str(error)).as_dict()
+            content_type = "application/json"
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            payload = ErrorResponse(
+                error=f"internal error: {type(error).__name__}: {error}"
+            ).as_dict()
+            content_type = "application/json"
+        if isinstance(payload, (dict, list)):
+            raw = json.dumps(payload).encode("utf-8")
+        else:
+            raw = payload.encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        start_response(
+            f"{status} {reason}",
+            [
+                ("Content-Type", content_type),
+                ("Content-Length", str(len(raw))),
+            ],
+        )
+        return [raw]
+
+    return application
+
+
+def serve(config: ServiceConfig) -> int:
+    """Run a service until interrupted; returns a process exit code.
+
+    With ``framework="auto"`` the FastAPI/uvicorn stack is used when the
+    ``service`` extra is installed, otherwise the stdlib WSGI server — the
+    routes and payloads are identical either way.
+    """
+    framework = config.framework
+    if framework not in ("auto", "fastapi", "stdlib"):
+        raise ExperimentError(
+            f"unknown framework {framework!r}: expected auto, fastapi or stdlib"
+        )
+    if framework in ("auto", "fastapi"):
+        try:
+            import fastapi  # noqa: F401
+            import uvicorn  # noqa: F401
+        except ImportError:
+            if framework == "fastapi":
+                raise ExperimentError(
+                    "the FastAPI stack is not installed; "
+                    "pip install 'repro[service]' or use --framework stdlib"
+                )
+            framework = "stdlib"
+        else:
+            framework = "fastapi"
+
+    state = ServiceState(config)
+    state.start()
+    try:
+        if framework == "fastapi":
+            import uvicorn
+
+            from repro.service.fastapi_app import create_app
+
+            uvicorn.run(create_app(state), host=config.host, port=config.port)
+            return 0
+        return _serve_stdlib(state, config)
+    finally:
+        state.stop()
+
+
+def _serve_stdlib(state: ServiceState, config: ServiceConfig) -> int:
+    """Serve the WSGI app on wsgiref's threading server until Ctrl-C."""
+    server = make_server(state, config.host, config.port)
+    host, port = server.server_address[:2]
+    print(f"repro campaign service listening on http://{host}:{port}")
+    print(f"  root: {Path(config.root).resolve()}  workers: {config.workers}")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def make_server(state: ServiceState, host: str, port: int):
+    """A threading WSGI server over *state* (also used by the live tests)."""
+    from socketserver import ThreadingMixIn
+    from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+
+    class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+        """One thread per request so polls never block a long submit."""
+
+        daemon_threads = True
+
+    class QuietHandler(WSGIRequestHandler):
+        """Request handler with per-request access logging silenced."""
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            """Drop access-log lines (tests and CI keep stdout clean)."""
+
+    from wsgiref.simple_server import make_server as wsgiref_make_server
+
+    return wsgiref_make_server(
+        host, port, create_wsgi_app(state),
+        server_class=ThreadingWSGIServer, handler_class=QuietHandler,
+    )

@@ -1,0 +1,144 @@
+"""FastAPI adapter over the framework-neutral service core.
+
+This module is a *thin translation layer*: every route delegates to the same
+:class:`~repro.service.app.ServiceState` handlers the stdlib WSGI app uses,
+so the two stacks cannot drift apart.  FastAPI is optional — install the
+``service`` extra (``pip install 'repro[service]'``) — and this module
+imports it lazily, so merely importing :mod:`repro.service` never requires
+it.
+
+Deployment (see ``docs/service.md`` for the full guide)::
+
+    repro serve --root /var/lib/repro --framework fastapi --workers 4
+
+or hand uvicorn the app factory directly::
+
+    uvicorn --factory repro.service.fastapi_app:create_default_app
+
+The adapter serves ``/openapi.json`` itself with the deterministic document
+from :mod:`repro.service.openapi` (byte-identical to ``docs/openapi.json``),
+instead of FastAPI's generated one, so clients see one schema regardless of
+the stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.exceptions import ReproError
+from repro.service.app import ServiceConfig, ServiceState
+from repro.service.schemas import ServiceError
+
+__all__ = ["create_app", "create_default_app"]
+
+
+def create_app(state: ServiceState):
+    """Build the FastAPI application over an already-started *state*.
+
+    Raises ``ImportError`` when FastAPI is not installed.
+    """
+    from fastapi import FastAPI, Request, Response
+
+    # The deterministic schema is served below; FastAPI's own generator and
+    # docs UI are disabled so there is exactly one contract.
+    app = FastAPI(title="repro campaign service", openapi_url=None, docs_url=None,
+                  redoc_url=None)
+
+    def respond(result) -> Response:
+        """Translate a handler (status, payload, content-type) tuple."""
+        status, payload, content_type = result
+        body = payload if isinstance(payload, str) else json.dumps(payload)
+        return Response(content=body, status_code=status, media_type=content_type)
+
+    @app.exception_handler(ServiceError)
+    async def service_error(request: Request, error: ServiceError) -> Response:
+        """Map ServiceError to its carried HTTP status as JSON."""
+        return Response(
+            content=json.dumps({"error": str(error)}),
+            status_code=error.status,
+            media_type="application/json",
+        )
+
+    @app.exception_handler(ReproError)
+    async def repro_error(request: Request, error: ReproError) -> Response:
+        """Map domain validation errors to 422 with the registry message."""
+        return Response(
+            content=json.dumps({"error": str(error)}),
+            status_code=422,
+            media_type="application/json",
+        )
+
+    @app.get("/")
+    async def service_info() -> Response:
+        """Serve GET /: service name, version, endpoint map."""
+        return respond(state.handle_info())
+
+    @app.get("/healthz")
+    async def health() -> Response:
+        """Serve GET /healthz: liveness plus queue counters."""
+        return respond(state.handle_health())
+
+    @app.get("/openapi.json")
+    async def openapi_schema() -> Response:
+        """Serve GET /openapi.json: the committed deterministic schema."""
+        return respond(state.handle_openapi())
+
+    @app.get("/campaigns")
+    async def list_campaigns() -> Response:
+        """Serve GET /campaigns: summaries of every known job."""
+        return respond(state.handle_list())
+
+    @app.post("/campaigns")
+    async def submit_campaign(request: Request) -> Response:
+        """Serve POST /campaigns: validate, dedup by spec hash, enqueue."""
+        body = await request.body()
+        return respond(state.handle_submit(body))
+
+    @app.get("/campaigns/{campaign_id}")
+    async def campaign_status(campaign_id: str) -> Response:
+        """Serve GET /campaigns/{id}: status and per-heuristic progress."""
+        return respond(state.handle_status(campaign_id))
+
+    @app.get("/campaigns/{campaign_id}/cells")
+    async def campaign_cells(
+        campaign_id: str, offset: Optional[str] = None, limit: Optional[str] = None
+    ) -> Response:
+        """Serve GET /campaigns/{id}/cells: paginated per-cell records."""
+        query = {}
+        if offset is not None:
+            query["offset"] = offset
+        if limit is not None:
+            query["limit"] = limit
+        return respond(state.handle_cells(campaign_id, query))
+
+    @app.get("/campaigns/{campaign_id}/report")
+    async def campaign_report(campaign_id: str, gantt: Optional[str] = None) -> Response:
+        """Serve GET /campaigns/{id}/report: the HTML dashboard."""
+        query = {"gantt": gantt} if gantt is not None else {}
+        return respond(state.handle_report(campaign_id, query))
+
+    @app.on_event("shutdown")
+    async def shutdown() -> None:
+        """Stop the worker pool when the ASGI server shuts down."""
+        state.stop()
+
+    return app
+
+
+def create_default_app():
+    """App factory for ``uvicorn --factory``; configured via environment.
+
+    Reads ``REPRO_SERVICE_ROOT`` (default ``service-root``),
+    ``REPRO_SERVICE_WORKERS`` (default 2) and ``REPRO_SERVICE_BACKEND``
+    (default ``jsonl``), then starts the worker pool and returns the app.
+    """
+    config = ServiceConfig(
+        root=os.environ.get("REPRO_SERVICE_ROOT", "service-root"),
+        workers=int(os.environ.get("REPRO_SERVICE_WORKERS", "2")),
+        backend=os.environ.get("REPRO_SERVICE_BACKEND", "jsonl"),
+    )
+    state = ServiceState(config)
+    state.start()
+    return create_app(state)

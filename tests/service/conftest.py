@@ -1,0 +1,76 @@
+"""Shared fixtures and helpers for the service test suite."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.service.app import ServiceConfig, ServiceState, create_wsgi_app
+
+
+def tiny_spec_dict(name: str = "service-test") -> dict:
+    """A 4-cell campaign spec that runs in well under a second."""
+    return {
+        "name": name,
+        "m_values": [4],
+        "ncom_values": [5],
+        "wmin_values": [1],
+        "num_processors_values": [8],
+        "heuristics": ["IE", "RANDOM"],
+        "scenarios_per_cell": 1,
+        "trials_per_scenario": 2,
+        "iterations": 3,
+        "makespan_cap": 30000,
+    }
+
+
+class WsgiClient:
+    """Call a WSGI app in-process, no sockets (the fast path for handler tests)."""
+
+    def __init__(self, app):
+        self.app = app
+
+    def request(self, method: str, path: str, body=None, query: str = ""):
+        raw = b""
+        if body is not None:
+            raw = body if isinstance(body, bytes) else json.dumps(body).encode()
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "CONTENT_LENGTH": str(len(raw)),
+            "wsgi.input": io.BytesIO(raw),
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+            captured["headers"] = dict(headers)
+
+        chunks = self.app(environ, start_response)
+        payload = b"".join(chunks)
+        return captured["status"], captured["headers"], payload
+
+    def get_json(self, path: str, query: str = ""):
+        status, _, payload = self.request("GET", path, query=query)
+        return status, json.loads(payload)
+
+    def post_json(self, path: str, body):
+        status, _, payload = self.request("POST", path, body=body)
+        return status, json.loads(payload)
+
+
+@pytest.fixture
+def service_state(tmp_path):
+    """A ServiceState over a temp root; the worker pool is NOT started."""
+    state = ServiceState(ServiceConfig(root=tmp_path / "root", workers=1))
+    yield state
+    state.stop()
+
+
+@pytest.fixture
+def client(service_state):
+    """An in-process WSGI client over ``service_state``."""
+    return WsgiClient(create_wsgi_app(service_state))

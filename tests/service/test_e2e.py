@@ -1,0 +1,251 @@
+"""End-to-end service tests: live HTTP server, real worker subprocesses.
+
+These are the acceptance tests of ISSUE 9:
+
+* two concurrent identical ``POST /campaigns`` submissions share one run —
+  a single store manifest, and both clients see the completed cells;
+* killing the worker mid-campaign and restarting the service resumes to
+  byte-identical results (modulo the store's volatile wall-clock field)
+  versus an uninterrupted run of the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.runner import run_campaign_spec
+from repro.experiments.spec import CampaignSpec
+from repro.experiments.store import ResultStore
+from repro.service.app import ServiceConfig, ServiceState, make_server
+from repro.service.jobs import JobQueue, WorkerPool, spawn_worker
+
+from tests.service.conftest import tiny_spec_dict
+
+pytestmark = pytest.mark.slow
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def http(method: str, url: str, body=None):
+    """One HTTP exchange; returns (status, parsed-or-raw body)."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            raw = response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+    try:
+        return status, json.loads(raw)
+    except ValueError:
+        return status, raw
+
+
+def stable_records(store_dir) -> str:
+    """The store's records as canonical JSON with volatile fields zeroed."""
+    store = ResultStore.open(store_dir)
+    try:
+        records = store.records()
+    finally:
+        store.close()
+    cleaned = []
+    for record in records:
+        record = dict(record)
+        record["wall_time_seconds"] = 0.0
+        record.pop("metrics", None)
+        cleaned.append(record)
+    return json.dumps(cleaned, sort_keys=True)
+
+
+def wait_for(predicate, *, timeout: float, interval: float = 0.05, message: str = ""):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout}s: {message}")
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """A started service (pool + threading WSGI server) on an ephemeral port."""
+    state = ServiceState(
+        ServiceConfig(root=tmp_path / "root", workers=2, poll_interval=0.05)
+    )
+    state.start()
+    server = make_server(state, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield state, f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        state.stop()
+
+
+# ----------------------------------------------------------------------
+# Concurrent identical submissions share one run
+# ----------------------------------------------------------------------
+def test_concurrent_identical_submissions_share_one_run(live_service):
+    state, base = live_service
+    payload = {"spec": tiny_spec_dict("e2e-shared")}
+    barrier = threading.Barrier(2)
+    outcomes = []
+
+    def submit():
+        barrier.wait()
+        outcomes.append(http("POST", f"{base}/campaigns", payload))
+
+    threads = [threading.Thread(target=submit) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(outcomes) == 2
+    ids = {body["id"] for _, body in outcomes}
+    assert len(ids) == 1, "identical specs must share one job id"
+    job_id = ids.pop()
+    assert sorted(status for status, _ in outcomes) == [200, 201]
+    assert [body["deduplicated"] for _, body in outcomes].count(True) == 1
+
+    # Exactly one store exists for the shared run.
+    stores = [path for path in (state.queue.root / "stores").iterdir() if path.is_dir()]
+    assert [path.name for path in stores] in ([], [job_id])  # worker may not have started yet
+
+    wait_for(
+        lambda: http("GET", f"{base}/campaigns/{job_id}")[1]["status"] == "completed",
+        timeout=60,
+        message="shared campaign never completed",
+    )
+
+    # Single manifest on disk, and it is the job's.
+    stores = [path for path in (state.queue.root / "stores").iterdir() if path.is_dir()]
+    assert [path.name for path in stores] == [job_id]
+    assert (stores[0] / "manifest.json").exists()
+
+    # Both clients (any client) see all completed cells and the HTML report.
+    for _ in range(2):
+        status, cells = http("GET", f"{base}/campaigns/{job_id}/cells")
+        assert status == 200
+        assert cells["completed_cells"] == cells["total_cells"] == 4
+        assert len(cells["cells"]) == 4
+    status, html = http("GET", f"{base}/campaigns/{job_id}/report")
+    assert status == 200
+    assert html.startswith(b"<!DOCTYPE html>")
+
+
+# ----------------------------------------------------------------------
+# Worker kill mid-campaign, then resume: byte-identical results
+# ----------------------------------------------------------------------
+def kill_test_spec() -> CampaignSpec:
+    """~24 cells at ~150 ms each: several seconds of work to kill into."""
+    return CampaignSpec.from_dict({
+        "name": "e2e-kill",
+        "m_values": [10],
+        "ncom_values": [10],
+        "wmin_values": [1],
+        "num_processors_values": [20],
+        "heuristics": ["IE", "RANDOM"],
+        "scenarios_per_cell": 6,
+        "trials_per_scenario": 2,
+        "iterations": 30,
+        "makespan_cap": 30000,
+    })
+
+
+def test_worker_kill_then_restart_resumes_byte_identical(tmp_path):
+    spec = kill_test_spec()
+    queue = JobQueue(tmp_path / "root")
+    job, _ = queue.submit(spec)
+    job_path = queue.job_path(job["id"])
+    results_file = queue.store_dir(job["id"]) / "results.jsonl"
+
+    # First worker: let it land at least one durable cell, then SIGKILL it.
+    proc = spawn_worker(job_path, queue.log_path(job["id"]))
+    try:
+        wait_for(
+            lambda: results_file.exists() and results_file.stat().st_size > 0,
+            timeout=60,
+            interval=0.02,
+            message="worker produced no cells before the kill",
+        )
+    finally:
+        proc.kill()
+    proc.wait(timeout=10)
+
+    document = queue.job(job["id"])
+    assert document["status"] == "running", "killed worker cannot reach a terminal status"
+    partial = ResultStore.open(queue.store_dir(job["id"]))
+    completed_at_kill = len(partial.records())
+    partial.close()
+    assert 0 < completed_at_kill < spec.num_cells(), (
+        f"the kill must interrupt mid-campaign (completed {completed_at_kill}"
+        f"/{spec.num_cells()})"
+    )
+
+    # "Service restart": a fresh queue recovers the orphaned job (dead pid).
+    restarted = JobQueue(tmp_path / "root")
+    assert restarted.recover() == [job["id"]]
+    assert restarted.job(job["id"])["status"] == "queued"
+
+    # Second worker resumes from the store and finishes the campaign.
+    proc = spawn_worker(job_path, restarted.log_path(job["id"]))
+    assert proc.wait(timeout=300) == 0
+    assert restarted.job(job["id"])["status"] == "completed"
+
+    # Reference: an uninterrupted in-process run of the same spec.
+    reference_store = ResultStore.create(tmp_path / "reference", spec)
+    try:
+        run_campaign_spec(spec, store=reference_store)
+    finally:
+        reference_store.close()
+
+    assert stable_records(restarted.store_dir(job["id"])) == stable_records(
+        tmp_path / "reference"
+    ), "resumed run must reproduce the uninterrupted results byte-identically"
+
+
+# ----------------------------------------------------------------------
+# Cooperative yield: the pool drives an interrupted job to completion
+# ----------------------------------------------------------------------
+def test_pool_completes_job_across_max_cells_yields(tmp_path):
+    spec = CampaignSpec.from_dict(tiny_spec_dict("e2e-yield"))
+    queue = JobQueue(tmp_path / "root")
+    # Each dispatch runs exactly one new cell, then yields: 4 worker runs.
+    job, _ = queue.submit(spec, options={"max_cells": 1})
+    pool = WorkerPool(queue, workers=1, poll_interval=0.05)
+    pool.start()
+    try:
+        wait_for(
+            lambda: queue.job(job["id"])["status"] in ("completed", "failed"),
+            timeout=120,
+            message="interrupted job never completed",
+        )
+    finally:
+        pool.stop()
+    document = queue.job(job["id"])
+    assert document["status"] == "completed"
+    assert document["attempts"] == 0, "yields must not count as failures"
+
+    reference_store = ResultStore.create(tmp_path / "reference", spec)
+    try:
+        run_campaign_spec(spec, store=reference_store)
+    finally:
+        reference_store.close()
+    assert stable_records(queue.store_dir(job["id"])) == stable_records(
+        tmp_path / "reference"
+    )

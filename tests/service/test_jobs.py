@@ -1,0 +1,153 @@
+"""JobQueue and WorkerPool unit tests (no HTTP, no subprocesses except noted)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.spec import CampaignSpec
+from repro.service.jobs import JOB_FIELDS, JobQueue, WorkerPool
+
+from tests.service.conftest import tiny_spec_dict
+
+
+def make_spec(name: str = "jobs-test") -> CampaignSpec:
+    return CampaignSpec.from_dict(tiny_spec_dict(name))
+
+
+def test_submit_creates_job_with_pinned_fields(tmp_path):
+    queue = JobQueue(tmp_path)
+    spec = make_spec()
+    job, deduplicated = queue.submit(spec)
+    assert not deduplicated
+    assert job["id"] == spec.spec_hash()
+    assert job["status"] == "queued"
+    assert job["total_cells"] == spec.num_cells()
+    assert sorted(job) == sorted(JOB_FIELDS)
+    # The document on disk is the same one.
+    on_disk = json.loads(queue.job_path(job["id"]).read_text())
+    assert on_disk == job
+
+
+def test_submit_is_idempotent_on_spec_hash(tmp_path):
+    queue = JobQueue(tmp_path)
+    job, _ = queue.submit(make_spec(), options={"n_jobs": 1})
+    again, deduplicated = queue.submit(make_spec(), options={"n_jobs": 4})
+    assert deduplicated
+    assert again["id"] == job["id"]
+    # First submitter's options win; the duplicate changed nothing on disk.
+    assert again["options"] == {"n_jobs": 1}
+
+
+def test_concurrent_submissions_create_exactly_one_job(tmp_path):
+    queue = JobQueue(tmp_path)
+    spec = make_spec()
+    outcomes = []
+    barrier = threading.Barrier(8)
+
+    def submit():
+        barrier.wait()
+        outcomes.append(queue.submit(spec))
+
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(outcomes) == 8
+    created = [job for job, deduplicated in outcomes if not deduplicated]
+    assert len(created) == 1, "exactly one submission must create the job"
+    assert len({job["id"] for job, _ in outcomes}) == 1
+    assert len(list(queue.jobs_dir.glob("*.json"))) == 1
+
+
+def test_update_merges_atomically(tmp_path):
+    queue = JobQueue(tmp_path)
+    job, _ = queue.submit(make_spec())
+    updated = queue.update(job["id"], status="running", pid=1234)
+    assert updated["status"] == "running"
+    assert queue.job(job["id"])["pid"] == 1234
+    with pytest.raises(ExperimentError, match="unknown job"):
+        queue.update("nope", status="failed")
+
+
+def test_counts_and_listing_order(tmp_path):
+    queue = JobQueue(tmp_path)
+    first, _ = queue.submit(make_spec("a"))
+    second, _ = queue.submit(make_spec("b"))
+    queue.update(second["id"], status="completed")
+    counts = queue.counts()
+    assert counts == {"queued": 1, "running": 0, "completed": 1, "failed": 0}
+    listed = queue.jobs()
+    assert [job["id"] for job in listed] == [first["id"], second["id"]]
+
+
+def test_recover_requeues_jobs_with_dead_pids(tmp_path):
+    queue = JobQueue(tmp_path)
+    dead, _ = queue.submit(make_spec("dead"))
+    alive, _ = queue.submit(make_spec("alive"))
+    import os
+
+    queue.update(dead["id"], status="running", pid=2 ** 30)  # no such pid
+    queue.update(alive["id"], status="running", pid=os.getpid())
+    requeued = queue.recover()
+    assert requeued == [dead["id"]]
+    assert queue.job(dead["id"])["status"] == "queued"
+    assert queue.job(alive["id"])["status"] == "running"
+
+
+def test_pool_requeues_abnormal_death_then_fails_at_max_attempts(tmp_path):
+    queue = JobQueue(tmp_path)
+    job, _ = queue.submit(make_spec())
+    pool = WorkerPool(queue, workers=1, max_attempts=2)
+
+    class FakeProc:
+        returncode = -9
+
+        def poll(self):
+            return self.returncode
+
+    # First abnormal death: re-queued with attempts=1.
+    queue.update(job["id"], status="running")
+    pool._procs[job["id"]] = FakeProc()
+    pool._reap()
+    document = queue.job(job["id"])
+    assert document["status"] == "queued"
+    assert document["attempts"] == 1
+    # Second abnormal death reaches max_attempts: failed.
+    queue.update(job["id"], status="running")
+    pool._procs[job["id"]] = FakeProc()
+    pool._reap()
+    document = queue.job(job["id"])
+    assert document["status"] == "failed"
+    assert "worker died" in document["error"]
+
+
+def test_pool_treats_clean_exit_with_queued_status_as_yield(tmp_path):
+    queue = JobQueue(tmp_path)
+    job, _ = queue.submit(make_spec())
+
+    class FakeProc:
+        returncode = 0
+
+        def poll(self):
+            return self.returncode
+
+    pool = WorkerPool(queue, workers=1, max_attempts=2)
+    # Worker exited zero after putting the job back to queued (max_cells).
+    pool._procs[job["id"]] = FakeProc()
+    pool._reap()
+    document = queue.job(job["id"])
+    assert document["status"] == "queued"
+    assert document["attempts"] == 0, "cooperative yield must not count as a failure"
+
+
+def test_pool_validates_configuration(tmp_path):
+    queue = JobQueue(tmp_path)
+    with pytest.raises(ExperimentError):
+        WorkerPool(queue, workers=0)
+    with pytest.raises(ExperimentError):
+        WorkerPool(queue, max_attempts=0)

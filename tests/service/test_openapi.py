@@ -1,0 +1,90 @@
+"""The OpenAPI contract: generated document ≡ committed docs/openapi.json."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.service.openapi import (
+    SCHEMA_CLASSES,
+    main,
+    openapi_document,
+    openapi_json_text,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED = REPO_ROOT / "docs" / "openapi.json"
+
+
+def test_committed_schema_matches_live_app():
+    assert COMMITTED.exists(), "docs/openapi.json must be committed"
+    assert COMMITTED.read_text() == openapi_json_text(), (
+        "docs/openapi.json is stale; regenerate with "
+        "python -m repro.service.openapi --output docs/openapi.json"
+    )
+
+
+def test_check_mode_detects_drift(tmp_path, capsys):
+    good = tmp_path / "openapi.json"
+    good.write_text(openapi_json_text())
+    assert main(["--check", str(good)]) == 0
+    bad = tmp_path / "stale.json"
+    bad.write_text("{}\n")
+    assert main(["--check", str(bad)]) == 1
+
+
+def test_output_mode_writes_canonical_text(tmp_path):
+    target = tmp_path / "openapi.json"
+    assert main(["--output", str(target)]) == 0
+    assert target.read_text() == openapi_json_text()
+
+
+def test_document_structure():
+    document = openapi_document()
+    assert document["openapi"].startswith("3.")
+    assert document["info"]["title"] == "repro campaign service"
+    expected_paths = {
+        "/",
+        "/healthz",
+        "/openapi.json",
+        "/campaigns",
+        "/campaigns/{campaign_id}",
+        "/campaigns/{campaign_id}/cells",
+        "/campaigns/{campaign_id}/report",
+    }
+    assert set(document["paths"]) == expected_paths
+    # Every schema dataclass has a component entry whose properties mirror
+    # the dataclass fields.
+    import dataclasses
+
+    for cls in SCHEMA_CLASSES:
+        component = document["components"]["schemas"][cls.__name__]
+        assert set(component["properties"]) == {
+            f.name for f in dataclasses.fields(cls)
+        }
+
+
+def test_document_is_deterministic():
+    assert openapi_json_text() == openapi_json_text()
+    # sort_keys + indent: the committed file is byte-stable across runs.
+    parsed = json.loads(openapi_json_text())
+    assert json.dumps(parsed, indent=2, sort_keys=True) + "\n" == openapi_json_text()
+
+
+def test_every_response_ref_resolves():
+    document = openapi_document()
+    component_names = set(document["components"]["schemas"])
+
+    def walk(node):
+        if isinstance(node, dict):
+            reference = node.get("$ref")
+            if reference:
+                name = reference.rsplit("/", 1)[-1]
+                assert name in component_names, f"dangling $ref {reference}"
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, list):
+            for value in node:
+                walk(value)
+
+    walk(document)

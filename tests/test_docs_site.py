@@ -1,0 +1,78 @@
+"""Documentation-site consistency checks.
+
+mkdocs itself only runs in CI (``mkdocs build --strict`` in the lint
+lane); these tests catch the same classes of breakage — missing nav
+targets, orphaned pages, dead relative links — without requiring mkdocs
+locally.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s#]+)(?:#[^)]*)?\)")
+
+
+def nav_pages():
+    config = yaml.safe_load((REPO / "mkdocs.yml").read_text(encoding="utf-8"))
+    pages = []
+    for entry in config["nav"]:
+        (_, target), = entry.items()
+        pages.append(target)
+    return pages
+
+
+def test_every_nav_entry_exists():
+    for target in nav_pages():
+        assert (DOCS / target).is_file(), f"nav references missing page {target}"
+
+
+def test_every_docs_page_is_in_nav():
+    in_nav = set(nav_pages())
+    on_disk = {p.name for p in DOCS.glob("*.md")}
+    assert on_disk == in_nav
+
+
+def test_relative_links_resolve():
+    broken = []
+    for page in DOCS.glob("*.md"):
+        for match in LINK_RE.finditer(page.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            if not (DOCS / target).is_file():
+                broken.append(f"{page.name} -> {target}")
+    assert not broken, f"dead relative links: {broken}"
+
+
+def test_readme_links_resolve():
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    broken = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target:
+            continue
+        if not (REPO / target).exists():
+            broken.append(target)
+    assert not broken, f"dead README links: {broken}"
+
+
+@pytest.mark.slow
+def test_cli_reference_matches_live_help():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "gen_cli_docs.py"),
+         "--check", str(REPO / "docs" / "cli.md")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
