@@ -48,13 +48,17 @@ REPORT_SCHEMAS: Dict[str, Tuple[Tuple[str, ...], str]] = {
     "traces_throughput": (("case",), "ops_per_second"),
 }
 
-#: benchmark name -> (discriminator field, discriminator value, metric field)
+#: benchmark name -> (discriminator field, discriminator values, metric field)
 #: for *overhead* rows: percentages gated two-sided on absolute change, not
 #: throughputs gated one-sided on relative drop.  An overhead that balloons
 #: is a regression; one that collapses to nothing usually means the measured
 #: feature silently stopped doing its work.
-OVERHEAD_SCHEMAS: Dict[str, Tuple[str, str, str]] = {
-    "simulator_throughput": ("mode", "metrics_overhead", "overhead_percent"),
+OVERHEAD_SCHEMAS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
+    "simulator_throughput": (
+        "mode",
+        ("metrics_overhead", "telemetry_overhead"),
+        "overhead_percent",
+    ),
 }
 
 
@@ -64,10 +68,10 @@ def _split_runs(report: dict) -> Tuple[List[dict], List[dict]]:
     runs = report.get("runs", [])
     if schema is None:
         return list(runs), []
-    field, value, _ = schema
+    field, values, _ = schema
     return (
-        [run for run in runs if run.get(field) != value],
-        [run for run in runs if run.get(field) == value],
+        [run for run in runs if run.get(field) not in values],
+        [run for run in runs if run.get(field) in values],
     )
 
 

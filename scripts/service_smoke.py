@@ -83,6 +83,13 @@ def main(argv: list[str] | None = None) -> int:
                 raise SystemExit("service did not come up in time")
             time.sleep(0.2)
 
+        status, body = request("GET", f"{base}/healthz")
+        health = json.loads(body)
+        assert health["status"] in ("ok", "degraded"), health
+        for field in ("workers", "jobs", "queue_depth", "stale_jobs"):
+            assert field in health, f"healthz missing {field!r}: {health}"
+        assert health["stale_jobs"] == 0, health
+
         spec_toml = (REPO / "examples" / "service_walkthrough.toml").read_text()
         status, body = request("POST", f"{base}/campaigns", {"spec_toml": spec_toml})
         assert status == 201, (status, body)
@@ -106,6 +113,31 @@ def main(argv: list[str] | None = None) -> int:
         # A duplicate submit must attach to the finished run, not start a new one.
         status, body = request("POST", f"{base}/campaigns", {"spec_toml": spec_toml})
         assert status == 200 and json.loads(body)["deduplicated"], (status, body)
+
+        # Prometheus scrape: exposition format with the request counters the
+        # polling loop above just generated.
+        status, body = request("GET", f"{base}/metrics")
+        assert status == 200, status
+        metrics = body.decode()
+        for line in (
+            "# TYPE repro_http_requests_total counter",
+            "# TYPE repro_http_request_duration_seconds histogram",
+            "# TYPE repro_job_queue_depth gauge",
+            'repro_jobs{status="completed"}',
+            'route="/campaigns/{id}"',
+        ):
+            assert line in metrics, f"metrics missing {line!r}"
+        print(f"scraped /metrics ({len(metrics.splitlines())} lines)")
+
+        # A short SSE read: a completed campaign streams snapshot -> end.
+        status, body = request(
+            "GET", f"{base}{accepted['location']}/events?limit=1&poll=0.05"
+        )
+        assert status == 200, status
+        stream = body.decode()
+        assert stream.startswith("retry: 2000"), stream[:50]
+        assert "event: snapshot" in stream and "event: end" in stream, stream
+        print("streamed SSE snapshot + end for the completed campaign")
 
         status, body = request("GET", base + accepted["report"])
         assert status == 200 and body.startswith(b"<!DOCTYPE html>"), status

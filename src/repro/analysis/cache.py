@@ -18,6 +18,7 @@ and exposes a single :meth:`evaluate` entry point mirroring
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -89,6 +90,11 @@ class AnalysisContext:
         self._comp_cache: Dict[Tuple[FrozenSet[int], int], Tuple[float, float]] = {}
         # (frozen worker set, phase duration) -> Π_q P_ND(duration).
         self._survival_cache: Dict[Tuple[FrozenSet[int], int], float] = {}
+        #: Optional :class:`~repro.telemetry.tracer.Tracer` shared with the
+        #: allocator: when set, ``evaluate_batch`` and
+        #: ``IncrementalAllocator.allocate`` emit spans with memo hit/miss
+        #: counters.  ``None`` (the default) is the exact untraced path.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @property
@@ -256,7 +262,15 @@ class AnalysisContext:
         :meth:`GroupAnalysis.quantities_batch`, and the per-request
         computation estimates are memoised on (frozen worker set, remaining
         workload) keys shared with the scalar entry point.
+
+        When :attr:`tracer` is set, each call accumulates into one
+        aggregated ``analysis.evaluate_batch`` span (flushed at the end of
+        the engine run) counting the requests evaluated and the
+        computation-memo prefetches — the memo-efficiency evidence the
+        profiling report aggregates.
         """
+        tracer = self.tracer
+        begin = time.perf_counter_ns() if tracer is not None else 0
         prepared = []
         prefetch = []
         for request in requests:
@@ -277,10 +291,20 @@ class AnalysisContext:
                 prefetch.append(workers)
         if prefetch:
             self.group.prefetch(prefetch)
-        return [
+        estimates = [
             self._finish_estimate(request, comm_slots, remaining, workers)
             for request, comm_slots, remaining, workers in prepared
         ]
+        if tracer is not None:
+            tracer.accumulate(
+                "analysis.evaluate_batch",
+                begin,
+                counters={
+                    "requests": len(requests),
+                    "prefetched": len(prefetch),
+                },
+            )
+        return estimates
 
     def _evaluate_one(self, request: EvaluationRequest) -> ConfigurationEstimate:
         comm_slots = request.comm_slots

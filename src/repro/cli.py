@@ -17,6 +17,9 @@ Commands
 ``serve``     Run the campaign service: an HTTP API + durable job queue
               over the same campaign runner (submit specs, share
               deduplicated runs, poll progress, fetch HTML reports).
+``profile``   Summarise span traces written by ``campaign --trace`` or
+              ``serve --trace``: wall-clock share per engine/allocator
+              phase, memoisation hit rates, per-heuristic breakdowns.
 ``heuristics``  List the registered heuristics (family, parameters, description).
 ``models``    List the registered availability-model substrates.
 ``traces``    Recorded-trace pipeline: ``convert`` between log formats,
@@ -40,6 +43,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.group import ExpectationMode
@@ -188,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="slots between metric samples (default: the spec's stride, 64)",
     )
     campaign.add_argument(
+        "--trace", action="store_true",
+        help="write span traces to <store>/telemetry (requires --store; "
+        "inspect with `repro profile`; results stay bit-identical)",
+    )
+    campaign.add_argument(
         "--output", default=None, help="write the raw shard results to this JSON file"
     )
 
@@ -255,6 +264,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--framework", choices=("auto", "fastapi", "stdlib"), default="auto",
         help="HTTP stack: FastAPI/uvicorn when the 'service' extra is "
         "installed, stdlib WSGI otherwise (default auto)",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="emit job-lifecycle and worker span traces to <root>/telemetry "
+        "(inspect with `repro profile`)",
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="summarise span traces: where wall-clock time went, memo hit rates",
+    )
+    profile.add_argument(
+        "path",
+        help="a spans-*.jsonl file, a telemetry directory, or a store/service "
+        "root written with --trace",
+    )
+    profile.add_argument(
+        "--html", action="store_true",
+        help="write a self-contained HTML profile instead of printing text",
+    )
+    profile.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="HTML destination (default: <trace dir>/profile.html)",
     )
 
     demo = subparsers.add_parser("demo", help="simulate one instance and print a Gantt chart")
@@ -510,9 +542,16 @@ def _cmd_campaign_spec(args: argparse.Namespace) -> int:
         store.close()
         return 0
 
+    if args.trace and not args.store:
+        print("campaign: --trace requires --store", file=sys.stderr)
+        return 2
+
     store = None
+    trace_dir = None
     if args.store:
         store = ResultStore.create(args.store, spec, backend=args.backend)
+        if args.trace:
+            trace_dir = str(Path(args.store) / "telemetry")
 
     def cell_progress(event: CellProgress) -> None:
         if event.skipped:
@@ -539,10 +578,16 @@ def _cmd_campaign_spec(args: argparse.Namespace) -> int:
             # None defers to the spec's own settings.
             collect_metrics=True if args.collect_metrics else None,
             metrics_stride=args.metrics_stride,
+            trace_dir=trace_dir,
         )
     finally:
         if store is not None:
             store.close()
+    if trace_dir is not None:
+        print(
+            f"span traces in {trace_dir} (summarise with `repro profile {args.store}`)",
+            file=sys.stderr,
+        )
     if args.output:
         path = save_results(results, args.output, label=spec.name)
         print(f"raw results written to {path}", file=sys.stderr)
@@ -939,7 +984,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         poll_interval=args.poll_interval,
         framework=args.framework,
+        trace=args.trace,
     ))
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_profile, profile_trace, render_profile_html
+
+    report = profile_trace(args.path)
+    if not args.html:
+        print(format_profile(report))
+        return 0
+    html = render_profile_html(report)
+    if args.output:
+        destination = Path(args.output)
+    else:
+        # Default next to the trace source (inside it for directories).
+        source = Path(args.path)
+        base = source if source.is_dir() else source.parent
+        destination = base / "profile.html"
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(html, encoding="utf-8")
+    print(f"profile written to {destination}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -947,7 +1014,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command in (
-        "table1", "table2", "figure2", "campaign", "merge", "report", "demo", "serve",
+        "table1", "table2", "figure2", "campaign", "merge", "report", "demo",
+        "serve", "profile",
     ):
         handler = {
             "campaign": _cmd_campaign_spec,
@@ -955,6 +1023,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "report": _cmd_report,
             "demo": _cmd_demo,
             "serve": _cmd_serve,
+            "profile": _cmd_profile,
         }.get(args.command, _cmd_campaign)
         try:
             return handler(args)

@@ -56,6 +56,7 @@ from repro.scheduling.registry import ALL_HEURISTICS, canonical_heuristic, creat
 from repro.simulation.engine import SAMPLERS, SimulationEngine
 from repro.simulation.multirun import MultiHeuristicDriver
 from repro.simulation.results import SimulationResult
+from repro.telemetry.tracer import Tracer, active_tracer, shared_tracer
 from repro.utils.rng import derive_run_streams
 
 __all__ = [
@@ -329,6 +330,18 @@ def _require_sampler(sampler: str) -> None:
         )
 
 
+def _tracer_for(trace_dir: Optional[str]) -> Optional[Tracer]:
+    """The process-wide :class:`Tracer` for *trace_dir* (``None`` -> ``None``).
+
+    Delegates to :func:`repro.telemetry.shared_tracer` so the runner, the
+    engines it drives and any enclosing service worker all append through
+    one buffered handle per process.
+    """
+    if trace_dir is None:
+        return None
+    return shared_tracer(trace_dir)
+
+
 def run_instance(
     scenario: ExperimentScenario,
     heuristic: str,
@@ -342,6 +355,7 @@ def run_instance(
     sampler: str = "kernel",
     collect_metrics: bool = False,
     metrics_stride: int = DEFAULT_STRIDE,
+    tracer=None,
 ) -> InstanceResult:
     """Run one (scenario, trial, heuristic) instance.
 
@@ -355,7 +369,10 @@ def run_instance(
     *collect_metrics* the run carries a
     :class:`~repro.metrics.collector.MetricsCollector` sampling per-slot
     series every *metrics_stride* slots into ``InstanceResult.metrics``;
-    all scalar fields stay bit-identical either way.
+    all scalar fields stay bit-identical either way.  *tracer* attaches a
+    :class:`~repro.telemetry.tracer.Tracer` to the engine and the shared
+    analysis context (spans carry the cell/trial correlation attributes);
+    ``None`` is the exact untraced path.
     """
     scale = scale or CampaignScale.reduced()
     _require_sampler(sampler)
@@ -363,6 +380,9 @@ def run_instance(
         platform = scenario.build_platform()
     if analysis is None:
         analysis = AnalysisContext(platform, mode=mode)
+    tracer = active_tracer(tracer)
+    if tracer is not None:
+        analysis.tracer = tracer
     application = scenario.build_application(iterations=scale.iterations)
     scheduler = create_scheduler(heuristic)
     collector = MetricsCollector(metrics_stride) if collect_metrics else None
@@ -376,9 +396,14 @@ def run_instance(
         analysis=analysis,
         sampler=sampler,
         metrics=collector,
+        tracer=tracer,
     )
     start = time.perf_counter()
-    result = engine.run()
+    if tracer is not None:
+        with tracer.context(cell=scenario.label(), trial=trial, heuristic=heuristic):
+            result = engine.run()
+    else:
+        result = engine.run()
     elapsed = time.perf_counter() - start
     metrics = collector.result().as_dict() if collector is not None else None
     return InstanceResult.from_simulation(scenario, trial, result, elapsed, metrics=metrics)
@@ -437,6 +462,7 @@ def _run_scenario_work(
     sampler: str = "kernel",
     collect_metrics: bool = False,
     metrics_stride: int = DEFAULT_STRIDE,
+    trace_dir: Optional[str] = None,
     on_result: Optional[Callable[[InstanceResult], None]] = None,
 ) -> List[InstanceResult]:
     """Run an ordered subset of one scenario's (trial, heuristic) pairs.
@@ -452,10 +478,18 @@ def _run_scenario_work(
     trial's availability blocks; the remaining heuristics run solo against
     the same realisation.  Either path yields bit-identical results — the
     split is purely a cost optimisation.
+
+    *trace_dir*, when set, attaches a per-process
+    :class:`~repro.telemetry.tracer.Tracer` writing span files into that
+    directory (engine, allocator and analysis spans with cell/trial
+    correlation attributes); ``None`` is the exact untraced path.
     """
     _require_sampler(sampler)
     platform = scenario.build_platform()
     analysis = AnalysisContext(platform, mode=mode)
+    tracer = _tracer_for(trace_dir)
+    if tracer is not None:
+        analysis.tracer = tracer
     application = scenario.build_application(iterations=scale.iterations)
     bank = TraceBank(platform, horizon=scale.makespan_cap) if share_availability else None
     results: List[InstanceResult] = []
@@ -492,9 +526,15 @@ def _run_scenario_work(
                     analysis=analysis,
                     sampler=sampler,
                     metrics=collectors,
+                    tracer=tracer,
                 )
+                if tracer is not None:
+                    with tracer.context(cell=scenario.label(), trial=trial):
+                        driver_results = driver.run()
+                else:
+                    driver_results = driver.run()
                 for index, ((name, _), sim, wall) in enumerate(
-                    zip(contract, driver.run(), driver.wall_seconds)
+                    zip(contract, driver_results, driver.wall_seconds)
                 ):
                     metrics = (
                         collectors[index].result().as_dict()
@@ -519,10 +559,15 @@ def _run_scenario_work(
                     sampler=sampler,
                     collect_metrics=collect_metrics,
                     metrics_stride=metrics_stride,
+                    tracer=tracer,
                 )
             results.append(result)
             if on_result is not None:
                 on_result(result)
+    if tracer is not None:
+        # Make child-process span files durable before the pool hands the
+        # results back to the parent.
+        tracer.flush()
     return results
 
 
@@ -545,6 +590,7 @@ def _run_scenario_payload(payload: dict) -> List[dict]:
         sampler=payload.get("sampler", "kernel"),
         collect_metrics=payload.get("collect_metrics", False),
         metrics_stride=payload.get("metrics_stride", DEFAULT_STRIDE),
+        trace_dir=payload.get("trace_dir"),
     )
     return [result.as_dict() for result in results]
 
@@ -557,6 +603,7 @@ def _scenario_payload(
     sampler: str = "kernel",
     collect_metrics: bool = False,
     metrics_stride: int = DEFAULT_STRIDE,
+    trace_dir: Optional[str] = None,
 ) -> dict:
     return {
         "params": scenario.params,
@@ -569,6 +616,7 @@ def _scenario_payload(
         "sampler": sampler,
         "collect_metrics": collect_metrics,
         "metrics_stride": metrics_stride,
+        "trace_dir": trace_dir,
     }
 
 
@@ -695,6 +743,7 @@ def run_campaign_spec(
     sampler: str = "kernel",
     collect_metrics: Optional[bool] = None,
     metrics_stride: Optional[int] = None,
+    trace_dir: Optional[str] = None,
     cell_progress: Optional[Callable[[CellProgress], None]] = None,
 ) -> List[InstanceResult]:
     """Run (or resume) the campaign described by a :class:`CampaignSpec`.
@@ -733,6 +782,11 @@ def run_campaign_spec(
         the sampler, this is a runtime option outside the spec identity:
         the series are volatile store fields, so runs with and without them
         resume and merge interchangeably.
+    trace_dir:
+        Directory for :class:`~repro.telemetry.tracer.Tracer` span files
+        (one ``spans-<pid>.jsonl`` per process; ``repro campaign --trace``
+        points this at ``<store>/telemetry``).  Another runtime option
+        outside the spec identity: tracing never changes any result.
     cell_progress:
         Per-cell callback; ``done``/``total`` cover this shard including
         store-skipped cells, so resumed runs report true remaining work.
@@ -811,6 +865,7 @@ def run_campaign_spec(
                 sampler=sampler,
                 collect_metrics=collect_metrics,
                 metrics_stride=metrics_stride,
+                trace_dir=trace_dir,
                 on_result=None,
             )
             for cell, result in zip(cells, results):
@@ -826,6 +881,7 @@ def run_campaign_spec(
                 sampler,
                 collect_metrics,
                 metrics_stride,
+                trace_dir,
             )
             for scenario, cells in groups
         ]

@@ -30,6 +30,7 @@ cross-checks the fast path against the reference evaluation.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
 
 from repro.analysis.cache import AnalysisContext
@@ -101,6 +102,12 @@ class IncrementalAllocator:
         elapsed:
             Slots already spent in the current iteration (enters the yield
             criteria).
+
+        When the shared :class:`AnalysisContext` carries a tracer
+        (``analysis.tracer``), every call accumulates into one aggregated
+        ``allocate`` span (duration, ``calls``, memo hit/miss counters,
+        flushed at the end of the engine run); with no tracer this method
+        takes the exact pre-telemetry code path.
         """
         up_workers = sorted(set(int(w) for w in up_workers))
         if not up_workers:
@@ -108,19 +115,63 @@ class IncrementalAllocator:
         capacities = self._capacities
         if sum(capacities[w] for w in up_workers) < self.num_tasks:
             return None
-        if self.batched:
-            return self._allocate_batched(
+        tracer = getattr(self.analysis, "tracer", None)
+        if tracer is None:
+            if self.batched:
+                return self._allocate_batched(
+                    up_workers,
+                    has_program=has_program,
+                    received_data=received_data,
+                    elapsed=elapsed,
+                )
+            return self._allocate_scalar(
                 up_workers,
                 has_program=has_program,
                 received_data=received_data,
                 elapsed=elapsed,
             )
-        return self._allocate_scalar(
+        begin = time.perf_counter_ns()
+        if not self.batched:
+            result = self._allocate_scalar(
+                up_workers,
+                has_program=has_program,
+                received_data=received_data,
+                elapsed=elapsed,
+            )
+            tracer.accumulate(
+                "allocate",
+                begin,
+                counters={"up_workers": len(up_workers)},
+                criterion=self.criterion.name,
+                batched=False,
+            )
+            return result
+        stats = {
+            "steps": 0,
+            "candidates": 0,
+            "single_time_misses": 0,
+            "survival_misses": 0,
+            "computation_misses": 0,
+        }
+        result = self._allocate_batched(
             up_workers,
             has_program=has_program,
             received_data=received_data,
             elapsed=elapsed,
+            stats=stats,
         )
+        # The computation memo is probed exactly once per candidate, so
+        # hits are the complement of the recorded misses.
+        stats["computation_hits"] = stats["candidates"] - stats["computation_misses"]
+        stats["up_workers"] = len(up_workers)
+        tracer.accumulate(
+            "allocate",
+            begin,
+            counters=stats,
+            criterion=self.criterion.name,
+            batched=True,
+        )
+        return result
 
     # ------------------------------------------------------------------
     def _allocate_scalar(
@@ -263,6 +314,7 @@ class IncrementalAllocator:
         has_program: Iterable[int] = (),
         received_data: Optional[Mapping[int, int]] = None,
         elapsed: int = 0,
+        stats: Optional[Dict[str, int]] = None,
     ) -> Optional[Configuration]:
         """Frontier-at-a-time evaluation (bit-identical to the scalar path).
 
@@ -282,6 +334,13 @@ class IncrementalAllocator:
         Every candidate value is produced by the same scalar float
         expressions as ``_allocate_scalar``, so the selected worker — and
         therefore the returned configuration — is identical.
+
+        *stats*, when given (only by the traced :meth:`allocate` wrapper),
+        accumulates greedy-step / candidate counts plus memo misses.  The
+        miss increments live inside the already-slow cache-miss branches and
+        the per-step increments are two dict adds per greedy step, so the
+        counters never touch the per-candidate hot path; with ``stats=None``
+        the loop is byte-for-byte the untraced one.
         """
         capacities = self._capacities
         speeds = self._speeds
@@ -323,6 +382,9 @@ class IncrementalAllocator:
             ]
             if not eligible:
                 return None  # defensive: cannot happen after the capacity sum check
+            if stats is not None:
+                stats["steps"] += 1
+                stats["candidates"] += len(eligible)
 
             # --- frontier preparation (one batch, not one call per worker) --
             candidate_sets = {
@@ -367,6 +429,8 @@ class IncrementalAllocator:
                 else:
                     comm_time = single_time_get((worker, new_comm_q))
                     if comm_time is None:
+                        if stats is not None:
+                            stats["single_time_misses"] += 1
                         comm_time = single_expected_time(worker, new_comm_q)
                 others_max = second_time if worker == slowest_worker else slowest_time
                 if others_max > comm_time:
@@ -379,6 +443,8 @@ class IncrementalAllocator:
                     duration = int(ceil(comm_time))
                     comm_probability = survival_get((candidate_set, duration))
                     if comm_probability is None:
+                        if stats is not None:
+                            stats["survival_misses"] += 1
                         comm_probability = comm_survival(candidate_set, duration)
                 else:
                     comm_time = 0.0
@@ -388,6 +454,8 @@ class IncrementalAllocator:
                 # uncached-trivial branch of ``computation`` never applies.
                 comp = computation_get((candidate_set, workload))
                 if comp is None:
+                    if stats is not None:
+                        stats["computation_misses"] += 1
                     comp = computation(candidate_set, workload)
                 comp_probability, comp_time = comp
                 # --- criterion value ---------------------------------------

@@ -23,9 +23,10 @@ or from the CLI: ``repro serve --root /var/lib/repro --workers 4``.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
 from urllib.parse import parse_qs
 
 from repro.exceptions import ExperimentError, ReproError
@@ -37,6 +38,12 @@ from repro.experiments.spec import (
 from repro.experiments.store import ResultStore, store_status
 from repro.service import openapi as openapi_module
 from repro.service.jobs import JobQueue, WorkerPool
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    process_rss_bytes,
+)
+from repro.telemetry.tracer import shared_tracer
 from repro.service.schemas import (
     CampaignAccepted,
     CampaignCells,
@@ -52,7 +59,13 @@ from repro.service.schemas import (
     cell_record_from_store,
 )
 
-__all__ = ["ServiceConfig", "ServiceState", "create_wsgi_app", "serve"]
+__all__ = [
+    "ServiceConfig",
+    "ServiceState",
+    "create_wsgi_app",
+    "route_template",
+    "serve",
+]
 
 #: A handler's raw result: HTTP status, payload (dict => JSON), content type.
 Response = Tuple[int, Union[dict, str], str]
@@ -61,14 +74,19 @@ MAX_CELL_PAGE = 1000
 
 ENDPOINTS = {
     "GET /": "service name, version and this route map",
-    "GET /healthz": "liveness probe with job-queue counters",
+    "GET /healthz": "liveness probe with queue depth and stale-job detection",
+    "GET /metrics": "Prometheus text exposition (queue, workers, requests, RSS)",
     "GET /openapi.json": "the OpenAPI schema (matches docs/openapi.json)",
     "GET /campaigns": "all submitted campaigns",
     "POST /campaigns": "submit a campaign spec (idempotent on content hash)",
     "GET /campaigns/{id}": "job status plus store-backed completion counters",
     "GET /campaigns/{id}/cells": "per-cell progress from the result store",
     "GET /campaigns/{id}/report": "the HTML dashboard over the job's store",
+    "GET /campaigns/{id}/events": "live progress as Server-Sent Events",
 }
+
+#: Terminal job statuses: the SSE stream emits ``end`` and stops on these.
+_TERMINAL_STATUSES = ("completed", "failed")
 
 
 @dataclass(frozen=True)
@@ -97,6 +115,9 @@ class ServiceConfig:
     #: HTTP stack: ``auto`` (FastAPI if importable, else stdlib),
     #: ``fastapi`` or ``stdlib``.
     framework: str = "auto"
+    #: Attach a span tracer: the queue/pool emit ``job.*`` lifecycle events
+    #: and every worker traces its runs into ``<root>/telemetry/``.
+    trace: bool = False
 
 
 class ServiceState:
@@ -111,11 +132,50 @@ class ServiceState:
     def __init__(self, config: ServiceConfig):
         self.config = config
         self.queue = JobQueue(config.root, backend=config.backend)
+        trace_dir = Path(config.root) / "telemetry" if config.trace else None
+        if trace_dir is not None:
+            self.queue.tracer = shared_tracer(trace_dir)
         self.pool = WorkerPool(
             self.queue,
             workers=config.workers,
             poll_interval=config.poll_interval,
             max_attempts=config.max_attempts,
+            trace_dir=trace_dir,
+        )
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by method, route template and status.",
+        )
+        self._request_latency = self.metrics.histogram(
+            "repro_http_request_duration_seconds",
+            "HTTP request latency in seconds, by method and route template.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._sse_streams = self.metrics.gauge(
+            "repro_sse_streams_active",
+            "Server-Sent-Event progress streams currently open.",
+        )
+        self._sse_streams.set(0)
+        self._queue_depth = self.metrics.gauge(
+            "repro_job_queue_depth",
+            "Jobs waiting to run (status queued).",
+        )
+        self._jobs_gauge = self.metrics.gauge(
+            "repro_jobs",
+            "Jobs known to the queue, by status.",
+        )
+        self._workers_gauge = self.metrics.gauge(
+            "repro_workers_active",
+            "Worker processes currently running a job.",
+        )
+        self._stale_gauge = self.metrics.gauge(
+            "repro_jobs_stale",
+            "Jobs marked running whose recorded worker pid is dead.",
+        )
+        self._rss_gauge = self.metrics.gauge(
+            "process_resident_memory_bytes",
+            "Resident-set size of the service process in bytes.",
         )
 
     # ------------------------------------------------------------------
@@ -149,10 +209,45 @@ class ServiceState:
 
     def handle_health(self) -> Response:
         """``GET /healthz``."""
+        counts = self.queue.counts()
+        stale = self.queue.stale_jobs()
         payload = HealthResponse(
-            status="ok", workers=self.pool.active_workers, jobs=self.queue.counts()
+            status="degraded" if stale else "ok",
+            workers=self.pool.active_workers,
+            jobs=counts,
+            queue_depth=counts.get("queued", 0),
+            stale_jobs=len(stale),
         )
         return 200, payload.as_dict(), "application/json"
+
+    def handle_metrics(self) -> Response:
+        """``GET /metrics`` — Prometheus text exposition format 0.0.4.
+
+        Point-in-time gauges (queue depth, jobs by status, workers, RSS)
+        are refreshed at scrape time; the request counter/histogram
+        accumulate across the process lifetime.
+        """
+        counts = self.queue.counts()
+        for status, count in counts.items():
+            self._jobs_gauge.set(count, status=status)
+        self._queue_depth.set(counts.get("queued", 0))
+        self._workers_gauge.set(self.pool.active_workers)
+        self._stale_gauge.set(len(self.queue.stale_jobs()))
+        rss = process_rss_bytes()
+        if rss is not None:
+            self._rss_gauge.set(rss)
+        return 200, self.metrics.render(), "text/plain; version=0.0.4; charset=utf-8"
+
+    def observe_request(
+        self, method: str, route: str, status: int, seconds: float
+    ) -> None:
+        """Record one handled request into the service metrics.
+
+        *route* must be a route template (``/campaigns/{id}``), never a raw
+        path — label cardinality stays bounded by the route table.
+        """
+        self._requests_total.inc(method=method, route=route, status=str(status))
+        self._request_latency.observe(seconds, method=method, route=route)
 
     def handle_openapi(self) -> Response:
         """``GET /openapi.json`` (byte-identical to ``docs/openapi.json``)."""
@@ -278,6 +373,89 @@ class ServiceState:
         html = render_html_report(results, spec, gantt_runs=gantt)
         return 200, html, "text/html; charset=utf-8"
 
+    def handle_events(self, job_id: str, query: Dict[str, str]) -> Response:
+        """``GET /campaigns/{id}/events`` — live progress as Server-Sent Events.
+
+        The payload is a *generator of SSE chunks* (strings), not a JSON
+        document; both adapters stream it without buffering.  Protocol:
+
+        - ``event: snapshot`` — current status/progress, sent immediately.
+        - ``event: progress`` — sent whenever the completed-cell count or
+          job status changes (polled every ``poll`` seconds, default 0.5).
+        - ``: heartbeat`` comment lines after ``heartbeat`` idle seconds
+          (default 15) so proxies do not drop the connection.
+        - ``event: end`` — final state once the job reaches a terminal
+          status (or vanishes); the stream then closes.
+
+        ``limit`` (default 0 = unbounded) caps the number of *events*
+        (snapshot/progress/end, not heartbeats) before the stream closes —
+        mainly for tests and one-shot curl probes.
+        """
+        self._job_or_404(job_id)
+        poll = self._float_query(query, "poll", 0.5, minimum=0.05, maximum=30.0)
+        heartbeat = self._float_query(query, "heartbeat", 15.0, minimum=0.1, maximum=300.0)
+        limit = self._int_query(query, "limit", 0, minimum=0)
+        stream = self._event_stream(job_id, poll=poll, heartbeat=heartbeat, limit=limit)
+        return 200, stream, "text/event-stream; charset=utf-8"
+
+    def _event_stream(
+        self, job_id: str, *, poll: float, heartbeat: float, limit: int
+    ) -> Iterator[str]:
+        """The SSE chunk generator behind :meth:`handle_events`."""
+
+        def _format(event: str, event_id: int, data: dict) -> str:
+            return (
+                f"event: {event}\nid: {event_id}\n"
+                f"data: {json.dumps(data, sort_keys=True)}\n\n"
+            )
+
+        def _progress_payload(job: dict) -> dict:
+            completed, total, _ = self._store_progress(job)
+            return {
+                "id": job["id"],
+                "status": job.get("status", "queued"),
+                "completed_cells": completed,
+                "total_cells": total,
+                "attempts": job.get("attempts", 0),
+            }
+
+        self._sse_streams.inc()
+        try:
+            event_id = 0
+            emitted = 0
+            yield "retry: 2000\n\n"
+            job = self.queue.job(job_id)
+            last = _progress_payload(job) if job is not None else None
+            if last is not None:
+                yield _format("snapshot", event_id, last)
+                emitted += 1
+            last_activity = time.monotonic()
+            while True:
+                if job is None:
+                    yield _format("end", event_id + 1, {"id": job_id, "status": "gone"})
+                    return
+                if job.get("status") in _TERMINAL_STATUSES:
+                    event_id += 1
+                    yield _format("end", event_id, _progress_payload(job))
+                    return
+                if limit and emitted >= limit:
+                    return
+                time.sleep(poll)
+                job = self.queue.job(job_id)
+                current = _progress_payload(job) if job is not None else None
+                if current is not None and current != last:
+                    if job.get("status") not in _TERMINAL_STATUSES:
+                        event_id += 1
+                        yield _format("progress", event_id, current)
+                        emitted += 1
+                    last = current
+                    last_activity = time.monotonic()
+                elif time.monotonic() - last_activity >= heartbeat:
+                    yield ": heartbeat\n\n"
+                    last_activity = time.monotonic()
+        finally:
+            self._sse_streams.dec()
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -357,6 +535,27 @@ class ServiceState:
             raise ServiceError(f"query parameter {name!r} must be {bound}, got {value}")
         return value
 
+    @staticmethod
+    def _float_query(
+        query: Dict[str, str],
+        name: str,
+        default: float,
+        *,
+        minimum: float,
+        maximum: Optional[float] = None,
+    ) -> float:
+        raw = query.get(name)
+        if raw is None:
+            return default
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ServiceError(f"query parameter {name!r} must be a number, got {raw!r}")
+        if value < minimum or (maximum is not None and value > maximum):
+            bound = f">= {minimum}" + (f" and <= {maximum}" if maximum else "")
+            raise ServiceError(f"query parameter {name!r} must be {bound}, got {value}")
+        return value
+
 
 # ----------------------------------------------------------------------
 # WSGI adapter (stdlib-only)
@@ -377,6 +576,56 @@ def _first_values(query_string: str) -> Dict[str, str]:
     return {key: values[0] for key, values in parse_qs(query_string).items()}
 
 
+def route_template(path: str) -> str:
+    """The bounded-cardinality route label for *path* (metrics only).
+
+    Raw paths would make every campaign id a distinct Prometheus label
+    value; the template collapses them onto the route table.
+    """
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        return "/"
+    if parts[0] in ("healthz", "metrics", "openapi.json") and len(parts) == 1:
+        return "/" + parts[0]
+    if parts[0] == "campaigns":
+        if len(parts) == 1:
+            return "/campaigns"
+        if len(parts) == 2:
+            return "/campaigns/{id}"
+        if len(parts) == 3 and parts[2] in ("cells", "report", "events"):
+            return "/campaigns/{id}/" + parts[2]
+    return "<unmatched>"
+
+
+class _ObservedStream:
+    """WSGI response iterable over a chunk generator (SSE streaming).
+
+    Encodes each string chunk, and on ``close()`` — which WSGI servers call
+    even when the client disconnects mid-stream — closes the underlying
+    generator (running its cleanup) and fires the observation callback
+    exactly once.
+    """
+
+    def __init__(self, chunks: Iterator[str], on_close: Callable[[], None]):
+        self._chunks = chunks
+        self._on_close = on_close
+        self._closed = False
+
+    def __iter__(self) -> Iterator[bytes]:
+        for chunk in self._chunks:
+            yield chunk.encode("utf-8")
+
+    def close(self) -> None:
+        """Close the chunk generator and record the request once."""
+        if self._closed:
+            return
+        self._closed = True
+        closer = getattr(self._chunks, "close", None)
+        if closer is not None:
+            closer()
+        self._on_close()
+
+
 def create_wsgi_app(state: ServiceState) -> Callable:
     """A WSGI application over *state* (same routes as the FastAPI adapter)."""
 
@@ -393,6 +642,9 @@ def create_wsgi_app(state: ServiceState) -> Callable:
         elif route == ("healthz",):
             if method == "GET":
                 return state.handle_health()
+        elif route == ("metrics",):
+            if method == "GET":
+                return state.handle_metrics()
         elif route == ("openapi.json",):
             if method == "GET":
                 return state.handle_openapi()
@@ -410,12 +662,20 @@ def create_wsgi_app(state: ServiceState) -> Callable:
         elif len(route) == 3 and route[0] == "campaigns" and route[2] == "report":
             if method == "GET":
                 return state.handle_report(route[1], query)
+        elif len(route) == 3 and route[0] == "campaigns" and route[2] == "events":
+            if method == "GET":
+                return state.handle_events(route[1], query)
         else:
             raise ServiceError(f"no such endpoint {path!r}", status=404)
         raise ServiceError(f"method {method} not allowed on {path!r}", status=405)
 
     def application(environ, start_response):
-        """The WSGI callable: dispatch, serialise, map errors to JSON."""
+        """The WSGI callable: dispatch, serialise, map errors to JSON.
+
+        Streaming payloads (the SSE generator) are passed through without a
+        Content-Length and observed into the request metrics when the
+        stream closes; everything else is a buffered single-chunk body.
+        """
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/") or "/"
         query = _first_values(environ.get("QUERY_STRING", ""))
@@ -424,6 +684,7 @@ def create_wsgi_app(state: ServiceState) -> Callable:
         except ValueError:
             length = 0
         body = environ["wsgi.input"].read(length) if length > 0 else b""
+        begin = time.perf_counter()
         try:
             status, payload, content_type = dispatch(method, path, query, body)
         except ServiceError as error:
@@ -441,11 +702,27 @@ def create_wsgi_app(state: ServiceState) -> Callable:
                 error=f"internal error: {type(error).__name__}: {error}"
             ).as_dict()
             content_type = "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        route = route_template(path)
         if isinstance(payload, (dict, list)):
             raw = json.dumps(payload).encode("utf-8")
-        else:
+        elif isinstance(payload, str):
             raw = payload.encode("utf-8")
-        reason = _REASONS.get(status, "Unknown")
+        else:
+            # Streaming response: no Content-Length, latency covers the
+            # whole stream lifetime (close() fires on client disconnect too).
+            start_response(
+                f"{status} {reason}",
+                [("Content-Type", content_type), ("Cache-Control", "no-cache")],
+            )
+            final_status = status
+            return _ObservedStream(
+                payload,
+                lambda: state.observe_request(
+                    method, route, final_status, time.perf_counter() - begin
+                ),
+            )
+        state.observe_request(method, route, status, time.perf_counter() - begin)
         start_response(
             f"{status} {reason}",
             [

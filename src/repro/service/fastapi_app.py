@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Optional
 
 from repro.exceptions import ReproError
-from repro.service.app import ServiceConfig, ServiceState
+from repro.service.app import ServiceConfig, ServiceState, route_template
 from repro.service.schemas import ServiceError
 
 __all__ = ["create_app", "create_default_app"]
@@ -51,6 +52,19 @@ def create_app(state: ServiceState):
         status, payload, content_type = result
         body = payload if isinstance(payload, str) else json.dumps(payload)
         return Response(content=body, status_code=status, media_type=content_type)
+
+    @app.middleware("http")
+    async def observe_requests(request: Request, call_next):
+        """Record every request into the shared service metrics registry."""
+        begin = time.perf_counter()
+        response = await call_next(request)
+        state.observe_request(
+            request.method,
+            route_template(request.url.path),
+            response.status_code,
+            time.perf_counter() - begin,
+        )
+        return response
 
     @app.exception_handler(ServiceError)
     async def service_error(request: Request, error: ServiceError) -> Response:
@@ -79,6 +93,11 @@ def create_app(state: ServiceState):
     async def health() -> Response:
         """Serve GET /healthz: liveness plus queue counters."""
         return respond(state.handle_health())
+
+    @app.get("/metrics")
+    async def metrics() -> Response:
+        """Serve GET /metrics: Prometheus text exposition."""
+        return respond(state.handle_metrics())
 
     @app.get("/openapi.json")
     async def openapi_schema() -> Response:
@@ -119,6 +138,31 @@ def create_app(state: ServiceState):
         query = {"gantt": gantt} if gantt is not None else {}
         return respond(state.handle_report(campaign_id, query))
 
+    @app.get("/campaigns/{campaign_id}/events")
+    async def campaign_events(
+        campaign_id: str,
+        poll: Optional[str] = None,
+        heartbeat: Optional[str] = None,
+        limit: Optional[str] = None,
+    ) -> Response:
+        """Serve GET /campaigns/{id}/events: the SSE progress stream."""
+        from fastapi.responses import StreamingResponse
+
+        query = {}
+        if poll is not None:
+            query["poll"] = poll
+        if heartbeat is not None:
+            query["heartbeat"] = heartbeat
+        if limit is not None:
+            query["limit"] = limit
+        status, stream, content_type = state.handle_events(campaign_id, query)
+        return StreamingResponse(
+            stream,
+            status_code=status,
+            media_type=content_type,
+            headers={"Cache-Control": "no-cache"},
+        )
+
     @app.on_event("shutdown")
     async def shutdown() -> None:
         """Stop the worker pool when the ASGI server shuts down."""
@@ -131,13 +175,16 @@ def create_default_app():
     """App factory for ``uvicorn --factory``; configured via environment.
 
     Reads ``REPRO_SERVICE_ROOT`` (default ``service-root``),
-    ``REPRO_SERVICE_WORKERS`` (default 2) and ``REPRO_SERVICE_BACKEND``
-    (default ``jsonl``), then starts the worker pool and returns the app.
+    ``REPRO_SERVICE_WORKERS`` (default 2), ``REPRO_SERVICE_BACKEND``
+    (default ``jsonl``) and ``REPRO_SERVICE_TRACE`` (``1`` enables span
+    tracing into ``<root>/telemetry``), then starts the worker pool and
+    returns the app.
     """
     config = ServiceConfig(
         root=os.environ.get("REPRO_SERVICE_ROOT", "service-root"),
         workers=int(os.environ.get("REPRO_SERVICE_WORKERS", "2")),
         backend=os.environ.get("REPRO_SERVICE_BACKEND", "jsonl"),
+        trace=os.environ.get("REPRO_SERVICE_TRACE", "") in ("1", "true", "yes"),
     )
     state = ServiceState(config)
     state.start()

@@ -110,6 +110,9 @@ class JobQueue:
     def __init__(self, root: Union[str, Path], *, backend: str = "jsonl"):
         self.root = Path(root)
         self.backend = backend
+        #: Optional :class:`repro.telemetry.Tracer` — when set, the queue and
+        #: pool emit ``job.*`` lifecycle events (enqueue/claim/finish/requeue).
+        self.tracer = None
         # Re-entrant: update() holds the lock while minting a temp path.
         self._lock = threading.RLock()
         self._counter = 0
@@ -190,6 +193,10 @@ class JobQueue:
             return existing, True
         finally:
             temp.unlink(missing_ok=True)
+        if self.tracer is not None:
+            self.tracer.event(
+                "job.enqueue", job=job_id, campaign=spec.name, cells=job["total_cells"]
+            )
         return job, False
 
     # ------------------------------------------------------------------
@@ -222,6 +229,19 @@ class JobQueue:
         for job in self.jobs():
             totals[job.get("status", "queued")] = totals.get(job.get("status", "queued"), 0) + 1
         return totals
+
+    def stale_jobs(self) -> List[str]:
+        """Ids of jobs marked ``running`` whose recorded pid is dead.
+
+        These are jobs orphaned by a crashed worker that the pool's reaper
+        (or :meth:`recover` after a restart) has not picked up yet — the
+        health endpoint surfaces them as a degradation signal.
+        """
+        return [
+            job["id"]
+            for job in self.jobs()
+            if job.get("status") == "running" and not _pid_alive(job.get("pid"))
+        ]
 
     # ------------------------------------------------------------------
     # Updates
@@ -278,15 +298,28 @@ def _worker_environment() -> dict:
     return environment
 
 
-def spawn_worker(job_path: Union[str, Path], log_path: Union[str, Path]) -> subprocess.Popen:
-    """Start one worker process over *job_path* (stdout+stderr appended to the log)."""
+def spawn_worker(
+    job_path: Union[str, Path],
+    log_path: Union[str, Path],
+    *,
+    trace_dir: Optional[Union[str, Path]] = None,
+) -> subprocess.Popen:
+    """Start one worker process over *job_path* (stdout+stderr appended to the log).
+
+    *trace_dir* (if given) is exported as ``REPRO_TRACE_DIR``: the worker
+    opens a span tracer there and wraps the whole run in a ``job.run`` span,
+    so service-side traces line up with the engine spans the run emits.
+    """
     log_handle = open(log_path, "ab")
+    environment = _worker_environment()
+    if trace_dir is not None:
+        environment["REPRO_TRACE_DIR"] = str(trace_dir)
     try:
         return subprocess.Popen(
             [sys.executable, "-m", "repro.service.worker", str(job_path)],
             stdout=log_handle,
             stderr=subprocess.STDOUT,
-            env=_worker_environment(),
+            env=environment,
         )
     finally:
         log_handle.close()
@@ -311,6 +344,7 @@ class WorkerPool:
         workers: int = 2,
         poll_interval: float = 0.2,
         max_attempts: int = 3,
+        trace_dir: Optional[Union[str, Path]] = None,
     ):
         if workers < 1:
             raise ExperimentError(f"worker pool needs >= 1 worker, got {workers}")
@@ -320,6 +354,8 @@ class WorkerPool:
         self.workers = int(workers)
         self.poll_interval = float(poll_interval)
         self.max_attempts = int(max_attempts)
+        #: Forwarded to every spawned worker as ``REPRO_TRACE_DIR``.
+        self.trace_dir = trace_dir
         self._procs: Dict[str, subprocess.Popen] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -378,11 +414,18 @@ class WorkerPool:
             if job.get("status") != "queued" or job["id"] in self._procs:
                 continue
             self._procs[job["id"]] = spawn_worker(
-                self.queue.job_path(job["id"]), self.queue.log_path(job["id"])
+                self.queue.job_path(job["id"]),
+                self.queue.log_path(job["id"]),
+                trace_dir=self.trace_dir,
             )
+            if self.queue.tracer is not None:
+                self.queue.tracer.event(
+                    "job.claim", job=job["id"], attempts=job.get("attempts", 0)
+                )
             free -= 1
 
     def _reap(self) -> None:
+        tracer = self.queue.tracer
         for job_id in list(self._procs):
             proc = self._procs[job_id]
             if proc.poll() is None:
@@ -390,8 +433,15 @@ class WorkerPool:
             del self._procs[job_id]
             job = self.queue.job(job_id)
             if job is None or job.get("status") in ("completed", "failed"):
+                if tracer is not None and job is not None:
+                    tracer.event(
+                        "job.finish", job=job_id, status=job.get("status"),
+                        exit_code=proc.returncode,
+                    )
                 continue
             if proc.returncode == 0 and job.get("status") == "queued":
+                if tracer is not None:
+                    tracer.event("job.requeue", job=job_id, reason="yield")
                 continue  # cooperative yield: progress made, more to do
             attempts = int(job.get("attempts", 0)) + 1
             if attempts >= self.max_attempts:
@@ -406,5 +456,15 @@ class WorkerPool:
                         f"after {attempts} attempts"
                     ),
                 )
+                if tracer is not None:
+                    tracer.event(
+                        "job.finish", job=job_id, status="failed",
+                        exit_code=proc.returncode, attempts=attempts,
+                    )
             else:
                 self.queue.update(job_id, status="queued", attempts=attempts, pid=None)
+                if tracer is not None:
+                    tracer.event(
+                        "job.requeue", job=job_id, reason="died",
+                        exit_code=proc.returncode, attempts=attempts,
+                    )

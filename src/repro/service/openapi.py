@@ -126,8 +126,30 @@ def _paths() -> dict:
         "/healthz": {
             "get": {
                 "operationId": "health",
-                "summary": "Liveness probe with job-queue counters.",
+                "summary": "Liveness probe with queue depth and stale-job detection.",
+                "description": (
+                    "`status` is `degraded` (still 200) when any job is marked "
+                    "running but its recorded worker pid is dead; the pool's "
+                    "reaper re-queues such jobs on its next tick."
+                ),
                 "responses": {"200": _json_response("Service is up.", "HealthResponse")},
+            }
+        },
+        "/metrics": {
+            "get": {
+                "operationId": "metrics",
+                "summary": "Prometheus text exposition (format 0.0.4).",
+                "description": (
+                    "Queue depth, jobs by status, active workers, stale jobs, "
+                    "process RSS, plus request counters and latency histograms "
+                    "labelled by method and route template."
+                ),
+                "responses": {
+                    "200": {
+                        "description": "The metrics exposition.",
+                        "content": {"text/plain": {"schema": {"type": "string"}}},
+                    }
+                },
             }
         },
         "/openapi.json": {
@@ -242,6 +264,54 @@ def _paths() -> dict:
                     "409": _json_response(
                         "The campaign has no completed cells yet.", "ErrorResponse"
                     ),
+                },
+            }
+        },
+        "/campaigns/{campaign_id}/events": {
+            "get": {
+                "operationId": "campaign_events",
+                "summary": "Live campaign progress as Server-Sent Events.",
+                "description": (
+                    "Emits an immediate `snapshot` event, a `progress` event "
+                    "whenever the completed-cell count or job status changes, "
+                    "`: heartbeat` comments while idle, and a final `end` "
+                    "event once the job reaches a terminal status. Event "
+                    "`data` is the JSON progress payload (id, status, "
+                    "completed_cells, total_cells, attempts)."
+                ),
+                "parameters": [
+                    campaign_id,
+                    {
+                        "name": "poll",
+                        "in": "query",
+                        "required": False,
+                        "schema": {"type": "number", "default": 0.5},
+                        "description": "Store/job poll interval in seconds.",
+                    },
+                    {
+                        "name": "heartbeat",
+                        "in": "query",
+                        "required": False,
+                        "schema": {"type": "number", "default": 15.0},
+                        "description": "Idle seconds between heartbeat comments.",
+                    },
+                    {
+                        "name": "limit",
+                        "in": "query",
+                        "required": False,
+                        "schema": {"type": "integer", "default": 0},
+                        "description": (
+                            "Close the stream after this many events "
+                            "(0 = unbounded; heartbeats do not count)."
+                        ),
+                    },
+                ],
+                "responses": {
+                    "200": {
+                        "description": "The event stream.",
+                        "content": {"text/event-stream": {"schema": {"type": "string"}}},
+                    },
+                    "404": _json_response("Unknown campaign id.", "ErrorResponse"),
                 },
             }
         },

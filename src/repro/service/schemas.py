@@ -255,11 +255,19 @@ class ServiceInfo(_Schema):
 
 @dataclass(frozen=True)
 class HealthResponse(_Schema):
-    """Response of ``GET /healthz``."""
+    """Response of ``GET /healthz``.
+
+    *queue_depth* counts jobs waiting to run (queued + requeued); *stale_jobs*
+    counts jobs marked ``running`` whose recorded worker pid is no longer
+    alive — when any exist the overall *status* degrades from ``"ok"`` to
+    ``"degraded"`` (the pool's reaper will requeue them on its next tick).
+    """
 
     status: str
     workers: int
     jobs: Dict[str, int]
+    queue_depth: int
+    stale_jobs: int
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,7 @@ def run_job(job_path: Path) -> int:
     from repro.experiments.spec import CampaignSpec
     from repro.experiments.store import ResultStore, store_status
     from repro.service.jobs import JobQueue
+    from repro.telemetry import shared_tracer
 
     job = json.loads(job_path.read_text())
     root = job_path.parent.parent
@@ -48,6 +49,8 @@ def run_job(job_path: Path) -> int:
     job_id = job["id"]
     queue.update(job_id, status="running", pid=os.getpid(), started_at=time.time())
     options = job.get("options", {})
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    tracer = shared_tracer(trace_dir) if trace_dir else None
     try:
         base_dir = job.get("base_dir")
         spec = CampaignSpec.from_dict(
@@ -57,6 +60,7 @@ def run_job(job_path: Path) -> int:
             queue.store_dir(job_id), spec, backend=job.get("backend")
         )
         try:
+            start_ns = time.perf_counter_ns()
             run_campaign_spec(
                 spec,
                 store=store,
@@ -65,10 +69,20 @@ def run_job(job_path: Path) -> int:
                 sampler=options.get("sampler") or "kernel",
                 collect_metrics=options.get("collect_metrics"),
                 metrics_stride=options.get("metrics_stride"),
+                trace_dir=trace_dir,
             )
             remaining = store_status(store).remaining
+            if tracer is not None:
+                tracer.record(
+                    "job.run", start_ns, job=job_id, campaign=job.get("name"),
+                    remaining=remaining,
+                )
         finally:
             store.close()
+            if tracer is not None:
+                # Shared per-process tracer: flush, never close (the runner
+                # holds the same handle).  The process exits right after.
+                tracer.flush()
     except ReproError as error:
         queue.update(
             job_id, status="failed", pid=None, finished_at=time.time(), error=str(error)

@@ -64,6 +64,7 @@ decision by decision without subclassing the engine.
 
 from __future__ import annotations
 
+import time
 from typing import Generator, List, Optional, Sequence
 
 import numpy as np
@@ -86,6 +87,7 @@ from repro.simulation.kernels import (
 )
 from repro.simulation.results import IterationRecord, SimulationResult
 from repro.simulation.state import WorkerRuntime
+from repro.telemetry.tracer import active_tracer
 from repro.types import DOWN, RECLAIMED, UP, ProcessorState
 from repro.utils.rng import SeedLike, derive_run_streams
 
@@ -178,6 +180,12 @@ class SimulationEngine:
         read-only — attaching one never changes the trajectory or the
         result — and when ``None`` (the default) the hooks cost a single
         predicted-not-taken branch per visited slot.
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer` recording
+        wall-clock spans of the run's phases (block fetch, communication
+        phase, fast-forward jumps, whole run).  Like the collector it is
+        strictly read-only; ``None`` (or a ``NullTracer``) takes the exact
+        untraced code path.
     """
 
     def __init__(
@@ -196,6 +204,7 @@ class SimulationEngine:
         record_events: bool = False,
         record_activity: bool = False,
         metrics=None,
+        tracer=None,
     ) -> None:
         if max_slots < 1:
             raise SimulationError(f"max_slots must be >= 1, got {max_slots}")
@@ -228,6 +237,7 @@ class SimulationEngine:
         self.events = EventLog(enabled=record_events)
         self.record_activity = bool(record_activity)
         self.metrics = metrics
+        self.tracer = active_tracer(tracer)
         self._shared_blocks = shared_blocks
         self._kernel = sampler == "kernel"
         #: Result of the most recently completed run (also the
@@ -288,6 +298,19 @@ class SimulationEngine:
 
     def _fetch_block(self, start: int) -> None:
         """Materialise worker states for slots ``[start, start + block)``."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._fetch_block_impl(start)
+        begin = time.perf_counter_ns()
+        self._fetch_block_impl(start)
+        tracer.accumulate(
+            "engine.block_fetch",
+            begin,
+            counters={"slots": self._block_len},
+            heuristic=self.scheduler.name,
+        )
+
+    def _fetch_block_impl(self, start: int) -> None:
         if self._shared_blocks is not None:
             # The source serves aligned windows shared by every engine of a
             # multi-heuristic pass; the window containing *start* may begin
@@ -455,6 +478,12 @@ class SimulationEngine:
         collector = self.metrics
         if collector is not None:
             collector.begin(tprog, tdata, self.max_slots, self.scheduler.name)
+
+        # Hoisted like the collector: with tracing off every span site below
+        # reduces to one predicted-not-taken branch.
+        tracer = self.tracer
+        heuristic_name = self.scheduler.name
+        run_begin = time.perf_counter_ns() if tracer is not None else 0
 
         if self.record_activity:
             self.activity_matrix = np.full(
@@ -647,6 +676,7 @@ class SimulationEngine:
                     # Valid on failure slots too: the failure scan already
                     # pruned DOWN workers from the configuration, so the
                     # current column is DOWN-free for the enrolled set.
+                    begin = time.perf_counter_ns() if tracer is not None else 0
                     advance, units, holders = comm_phase_span(
                         self._block,
                         enrolled_ids,
@@ -674,6 +704,13 @@ class SimulationEngine:
                     record.communication_slots += advance
                     slot += advance - 1
                     states_dirty = True
+                    if tracer is not None:
+                        tracer.accumulate(
+                            "engine.comm_phase",
+                            begin,
+                            counters={"advance": advance},
+                            heuristic=heuristic_name,
+                        )
                 elif comm_remaining:
                     granted = self._comm.allocate(enrolled_runtimes, tprog=tprog, tdata=tdata)
                     served = self._comm.serve(
@@ -701,6 +738,7 @@ class SimulationEngine:
                         # finishes.  Drain whole grant intervals event by
                         # event.  The scan window is bounded by the work
                         # actually left (plus one slot of slack for stalls).
+                        begin = time.perf_counter_ns() if tracer is not None else 0
                         if kernel:
                             nc_span = frozen_span(
                                 self._block_data.ensure_next_change(),
@@ -724,6 +762,13 @@ class SimulationEngine:
                             record.communication_slots += consumed
                             slot += consumed
                             states_dirty = True
+                            if tracer is not None:
+                                tracer.accumulate(
+                                    "engine.comm_drain",
+                                    begin,
+                                    counters={"advance": consumed},
+                                    heuristic=heuristic_name,
+                                )
                 else:
                     workload = current_config.workload(platform)
                     all_up = all(runtime.is_up() for runtime in enrolled_runtimes)
@@ -772,6 +817,7 @@ class SimulationEngine:
                             runtime.absorb_free_transfers(tprog, tdata)
                     elif can_fast_forward and not failure:
                         # ---- fast-forward uneventful compute/idle slots --
+                        begin = time.perf_counter_ns() if tracer is not None else 0
                         if kernel:
                             # Jump straight over UP/RECLAIMED flicker to the
                             # first enrolled DOWN transition, the iteration's
@@ -797,6 +843,13 @@ class SimulationEngine:
                                     record.idle_slots += idled
                                 slot += advance
                                 states_dirty = True
+                                if tracer is not None:
+                                    tracer.accumulate(
+                                        "engine.fast_forward",
+                                        begin,
+                                        counters={"advance": advance},
+                                        heuristic=heuristic_name,
+                                    )
                         else:
                             advance, clean = self._scan_uneventful(
                                 rel,
@@ -814,6 +867,13 @@ class SimulationEngine:
                                     record.idle_slots += advance
                                 slot += advance
                                 states_dirty = not clean
+                                if tracer is not None:
+                                    tracer.accumulate(
+                                        "engine.fast_forward",
+                                        begin,
+                                        counters={"advance": advance},
+                                        heuristic=heuristic_name,
+                                    )
             if collector is not None:
                 # ``slot`` is now the last slot this loop pass covered
                 # (fast-forward branches advance it past the entry slot).
@@ -836,6 +896,20 @@ class SimulationEngine:
                 enrolled_ids,
                 total_compute_slots,
                 iteration_index,
+            )
+
+        if tracer is not None:
+            # One aggregated record per in-loop phase (comm, drain,
+            # fast-forward, block fetch) plus the allocator/analysis spans
+            # accumulated on this thread during the run, then the container.
+            tracer.flush_accumulated()
+            tracer.record(
+                "engine.run",
+                run_begin,
+                heuristic=heuristic_name,
+                sampler=self.sampler,
+                slots=makespan if success else self.max_slots,
+                success=success,
             )
 
         self.last_result = SimulationResult(
@@ -977,6 +1051,7 @@ def simulate(
     record_events: bool = False,
     record_activity: bool = False,
     metrics=None,
+    tracer=None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`SimulationEngine`."""
     engine = SimulationEngine(
@@ -992,5 +1067,6 @@ def simulate(
         record_events=record_events,
         record_activity=record_activity,
         metrics=metrics,
+        tracer=tracer,
     )
     return engine.run()

@@ -253,6 +253,11 @@ class MultiHeuristicDriver:
         ``None`` entries), one per scheduler, attached to the matching
         engine.  Collectors are read-only observers, so attaching them
         keeps every result bit-identical.
+    tracer:
+        Optional shared :class:`~repro.telemetry.tracer.Tracer` attached
+        to every engine (engine spans carry the heuristic name, so one
+        trace file disentangles the interleaved runs).  Read-only like the
+        collectors; ``None`` is the exact untraced path.
 
     After :meth:`run`, :attr:`wall_seconds` holds the per-scheduler driving
     time (the shared window generation is attributed to the engine that
@@ -272,6 +277,7 @@ class MultiHeuristicDriver:
         block_size: int = DEFAULT_BLOCK_SIZE,
         sampler: str = "kernel",
         metrics: Optional[Sequence] = None,
+        tracer=None,
     ) -> None:
         if not schedulers:
             raise SimulationError("MultiHeuristicDriver needs at least one scheduler")
@@ -305,6 +311,7 @@ class MultiHeuristicDriver:
                 sampler=sampler,
                 shared_blocks=self.source,
                 metrics=metrics[index] if metrics is not None else None,
+                tracer=tracer,
             )
             for index, scheduler in enumerate(schedulers)
         ]

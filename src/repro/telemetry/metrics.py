@@ -1,0 +1,280 @@
+"""Minimal Prometheus-style metrics primitives (text exposition 0.0.4).
+
+The service's ``GET /metrics`` endpoint renders a :class:`MetricsRegistry`
+into the standard text format so any Prometheus-compatible scraper can
+consume it, without pulling in a client library.  Three instrument kinds
+cover everything the service needs:
+
+* :class:`Counter` — monotonically increasing totals (requests served).
+* :class:`Gauge` — point-in-time values (queue depth, worker count, RSS).
+* :class:`Histogram` — cumulative-bucket latency distributions with
+  ``_sum``/``_count`` series.
+
+All instruments are labelled: call ``inc``/``set``/``observe`` with
+keyword labels and each distinct label combination becomes one sample
+line.  Rendering is deterministic (metrics sorted by name, samples by
+label values) so tests can pin exact output.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "process_rss_bytes",
+]
+
+# Request-latency buckets in seconds: sub-millisecond static routes up to
+# multi-second report renders.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> List[str]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing labelled counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add *amount* (must be >= 0) to the sample selected by *labels*."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Return the current total for the sample selected by *labels*."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        """Render one sample line per label combination, sorted."""
+        with self._lock:
+            samples = sorted(self._values.items())
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            for key, value in samples
+        ]
+
+
+class Gauge(_Metric):
+    """Labelled gauge settable to arbitrary values."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the sample selected by *labels* to *value*."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add *amount* to the sample selected by *labels*."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract *amount* from the sample selected by *labels*."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Return the current value for the sample selected by *labels*."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        """Render one sample line per label combination, sorted."""
+        with self._lock:
+            samples = sorted(self._values.items())
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            for key, value in samples
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with ``_sum`` and ``_count`` series."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation of *value* for the sample *labels*."""
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * len(self.buckets)
+                self._sums[key] = 0.0
+                self._totals[key] = 0
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            self._sums[key] += value
+            self._totals[key] += 1
+
+    def count(self, **labels: str) -> int:
+        """Return the observation count for the sample selected by *labels*."""
+        return self._totals.get(_label_key(labels), 0)
+
+    def render(self) -> List[str]:
+        """Render cumulative buckets plus ``_sum``/``_count`` per sample."""
+        with self._lock:
+            keys = sorted(self._counts)
+            lines: List[str] = []
+            for key in keys:
+                counts = self._counts[key]
+                for bound, count in zip(self.buckets, counts):
+                    labels = _format_labels(key, [("le", _format_value(bound))])
+                    lines.append(f"{self.name}_bucket{labels} {count}")
+                inf_labels = _format_labels(key, [("le", "+Inf")])
+                lines.append(f"{self.name}_bucket{inf_labels} {self._totals[key]}")
+                lines.append(
+                    f"{self.name}_sum{_format_labels(key)} "
+                    f"{_format_value(self._sums[key])}"
+                )
+                lines.append(
+                    f"{self.name}_count{_format_labels(key)} {self._totals[key]}"
+                )
+        return lines
+
+
+class MetricsRegistry:
+    """Named collection of instruments rendered as one text exposition."""
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered "
+                        f"as {existing.kind}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        """Get or create the counter *name*."""
+        return self._register(Counter(name, help_text))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._register(Gauge(name, help_text))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram *name*."""
+        return self._register(Histogram(name, help_text, buckets))  # type: ignore[return-value]
+
+    def render(self) -> str:
+        """Render every instrument in Prometheus text format 0.0.4."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.header())
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+def process_rss_bytes() -> Optional[int]:
+    """Resident-set size of this process in bytes, or ``None`` if unknown.
+
+    Reads ``/proc/self/status`` (Linux); falls back to
+    ``resource.getrusage`` peak RSS elsewhere.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kilobytes, macOS bytes; both are acceptable as a
+        # fallback order-of-magnitude signal, normalise the common case.
+        return int(peak) * 1024 if peak < 1 << 40 else int(peak)
+    except Exception:
+        return None

@@ -289,18 +289,19 @@ class TestCompareReports:
             sys.path.pop(0)
 
 
-def make_overhead_report(scale=1.0, overheads=(2.0, 4.0)):
-    """A simulator report carrying both throughput and metrics_overhead rows."""
+def make_overhead_report(scale=1.0, overheads=(2.0, 4.0), mode="metrics_overhead"):
+    """A simulator report carrying both throughput and overhead rows."""
+    prefix = "collector" if mode == "metrics_overhead" else "tracer"
     report = make_report(scale=scale)
     for heuristic, overhead in zip(("RANDOM", "IE"), overheads):
         report["runs"].append(
             {
-                "mode": "metrics_overhead",
+                "mode": mode,
                 "heuristic": heuristic,
                 "workers": 20,
                 "slots": 100_000,
-                "collector_off_slots_per_second": 40_000.0,
-                "collector_on_slots_per_second": 40_000.0 / (1 + overhead / 100.0),
+                f"{prefix}_off_slots_per_second": 40_000.0,
+                f"{prefix}_on_slots_per_second": 40_000.0 / (1 + overhead / 100.0),
                 "overhead_percent": overhead,
             }
         )
@@ -377,3 +378,44 @@ class TestOverheadGate:
             )
             assert abs(100.0 * (ratio - 1.0) - row["overhead_percent"]) < 0.01
         assert set(baseline["metrics_overhead_percent"]) == {"RANDOM", "IE"}
+
+
+class TestTelemetryOverheadGate:
+    """telemetry_overhead rows ride the same two-sided gate as metrics_overhead."""
+
+    def test_telemetry_rows_partition_as_overhead(self, tmp_path):
+        """The tracer rows never feed the throughput ratio check."""
+        current = make_overhead_report(mode="telemetry_overhead")
+        for run in current["runs"]:
+            if run["mode"] == "telemetry_overhead":
+                run["tracer_on_slots_per_second"] = 1.0
+        proc = run_gate(tmp_path, make_overhead_report(mode="telemetry_overhead"), current)
+        assert proc.returncode == 0, proc.stderr
+        assert "+0.00pp" in proc.stdout
+
+    def test_telemetry_shift_beyond_limit_fails_both_ways(self, tmp_path):
+        for base, fresh in (((2.0, 4.0), (32.0, 4.0)), ((28.0, 4.0), (1.0, 4.0))):
+            proc = run_gate(
+                tmp_path,
+                make_overhead_report(overheads=base, mode="telemetry_overhead"),
+                make_overhead_report(overheads=fresh, mode="telemetry_overhead"),
+            )
+            assert proc.returncode == 1
+            assert "REGRESSION" in proc.stdout
+
+    def test_committed_baseline_tracer_under_budget(self):
+        """Acceptance pin: tracing costs <5% on the 20-worker bench — and the
+        off side is the exact pre-telemetry path, so a large negative
+        overhead would be just as alarming."""
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "results" / "BENCH_simulator.json").read_text()
+        )
+        rows = [run for run in baseline["runs"] if run["mode"] == "telemetry_overhead"]
+        assert {row["heuristic"] for row in rows} == {"RANDOM", "IE"}
+        for row in rows:
+            assert -5.0 < row["overhead_percent"] < 5.0, row
+            ratio = (
+                row["tracer_off_slots_per_second"] / row["tracer_on_slots_per_second"]
+            )
+            assert abs(100.0 * (ratio - 1.0) - row["overhead_percent"]) < 0.01
+        assert set(baseline["telemetry_overhead_percent"]) == {"RANDOM", "IE"}

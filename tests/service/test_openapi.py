@@ -46,11 +46,13 @@ def test_document_structure():
     expected_paths = {
         "/",
         "/healthz",
+        "/metrics",
         "/openapi.json",
         "/campaigns",
         "/campaigns/{campaign_id}",
         "/campaigns/{campaign_id}/cells",
         "/campaigns/{campaign_id}/report",
+        "/campaigns/{campaign_id}/events",
     }
     assert set(document["paths"]) == expected_paths
     # Every schema dataclass has a component entry whose properties mirror

@@ -63,7 +63,7 @@ SCHEMA_FIELDS = {
         "id", "total_cells", "completed_cells", "offset", "limit", "count", "cells",
     ],
     "ServiceInfo": ["name", "version", "description", "endpoints"],
-    "HealthResponse": ["status", "workers", "jobs"],
+    "HealthResponse": ["status", "workers", "jobs", "queue_depth", "stale_jobs"],
     "ErrorResponse": ["error"],
 }
 

@@ -1,0 +1,95 @@
+"""Prometheus text-format conformance of the metrics primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    process_rss_bytes,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    counter = Counter("requests_total", "Requests.")
+    counter.inc(method="GET", route="/")
+    counter.inc(2, method="GET", route="/")
+    counter.inc(method="POST", route="/")
+    assert counter.value(method="GET", route="/") == 3
+    assert counter.value(method="POST", route="/") == 1
+    assert counter.value(method="PUT", route="/") == 0
+
+
+def test_counter_rejects_negative_increment():
+    counter = Counter("c", "h")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge("depth", "Depth.")
+    gauge.set(5)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value() == 4
+    gauge.set(1, status="queued")
+    assert gauge.value(status="queued") == 1
+
+
+def test_histogram_cumulative_buckets_and_sum():
+    histogram = Histogram("lat", "Latency.", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    lines = histogram.render()
+    assert 'lat_bucket{le="0.1"} 1' in lines
+    assert 'lat_bucket{le="1"} 2' in lines
+    assert 'lat_bucket{le="+Inf"} 3' in lines
+    assert "lat_count 3" in lines
+    assert histogram.count() == 3
+
+
+def test_registry_render_is_deterministic_and_typed():
+    registry = MetricsRegistry()
+    registry.gauge("z_gauge", "Last.").set(1)
+    registry.counter("a_counter", "First.").inc()
+    text = registry.render()
+    assert text.index("a_counter") < text.index("z_gauge")
+    assert "# HELP a_counter First." in text
+    assert "# TYPE a_counter counter" in text
+    assert "# TYPE z_gauge gauge" in text
+    assert text.endswith("\n")
+    assert registry.render() == text
+
+
+def test_registry_get_or_create_and_type_conflict():
+    registry = MetricsRegistry()
+    first = registry.counter("c", "h")
+    assert registry.counter("c", "h") is first
+    with pytest.raises(ValueError):
+        registry.gauge("c", "h")
+
+
+def test_label_values_are_escaped():
+    counter = Counter("c", "h")
+    counter.inc(route='a"b\\c\nd')
+    (line,) = counter.render()
+    assert '\\"' in line and "\\\\" in line and "\\n" in line
+
+
+def test_samples_sorted_by_label_values():
+    gauge = Gauge("jobs", "Jobs.")
+    gauge.set(1, status="running")
+    gauge.set(2, status="completed")
+    gauge.set(3, status="failed")
+    lines = gauge.render()
+    statuses = [line.split('"')[1] for line in lines]
+    assert statuses == sorted(statuses)
+
+
+def test_process_rss_bytes_reports_positive():
+    rss = process_rss_bytes()
+    assert rss is None or rss > 1024 * 1024  # any real interpreter is >1 MiB
